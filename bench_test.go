@@ -1,0 +1,325 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (Section 4), plus ablations of the design choices the paper
+// argues for. Workload sizes here are trimmed so `go test -bench=.`
+// finishes in minutes; cmd/phishbench runs the full-size versions and
+// prints them next to the published numbers.
+//
+//	go test -bench=Table1 -benchmem .
+//	go test -bench=Fig -benchmem .
+//	go test -bench=Ablation -benchmem .
+package phish_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"phish"
+	"phish/internal/apps/fib"
+	"phish/internal/apps/knary"
+	"phish/internal/apps/matmul"
+	"phish/internal/apps/nqueens"
+	"phish/internal/apps/pfold"
+	"phish/internal/apps/ray"
+	"phish/internal/strata"
+)
+
+// Benchmark workload sizes (small enough for -bench=., large enough to
+// exhibit the shapes).
+const (
+	benchFibN    = 24
+	benchNQN     = 10
+	benchRayW    = 96
+	benchRayH    = 72
+	benchPfoldN  = 15
+	benchPfoldTh = 6
+)
+
+// ---- Table 1: serial slowdown -------------------------------------------
+//
+// Slowdown = T(parallel code on 1 processor) / T(best serial code). The
+// paper reports fib 4.44/5.90 (Strata/Phish), nqueens 1.09/1.12, ray
+// 1.00/1.04. The SHAPE to verify: fib's tiny grain makes it by far the
+// worst; nqueens and ray are near 1; Phish costs slightly more than the
+// static-set Strata baseline.
+
+func BenchmarkTable1SerialFib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = fib.Serial(benchFibN)
+	}
+}
+
+func BenchmarkTable1StrataFib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := strata.Run(fib.Program(), fib.Root, fib.RootArgs(benchFibN), 1, strata.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PhishFib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := phish.RunLocal(fib.Program(), fib.Root, fib.RootArgs(benchFibN), phish.LocalOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SerialNQueens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = nqueens.Serial(benchNQN)
+	}
+}
+
+func BenchmarkTable1StrataNQueens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := strata.Run(nqueens.Program(), nqueens.Root, nqueens.RootArgs(benchNQN), 1, strata.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PhishNQueens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := phish.RunLocal(nqueens.Program(), nqueens.Root, nqueens.RootArgs(benchNQN), phish.LocalOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SerialRay(b *testing.B) {
+	s, err := ray.SceneByName("default")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = ray.Serial(s, benchRayW, benchRayH)
+	}
+}
+
+func BenchmarkTable1StrataRay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := strata.Run(ray.Program(), ray.Root, ray.RootArgs("default", benchRayW, benchRayH, 4), 1, strata.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PhishRay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := phish.RunLocal(ray.Program(), ray.Root, ray.RootArgs("default", benchRayW, benchRayH, 4), phish.LocalOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 4 and 5: pfold scaling --------------------------------------
+//
+// Figure 4 plots average per-participant execution time against P (it
+// should fall like 1/P); Figure 5 plots S_P = P*T1/ΣT_P(i) against P (it
+// should hug the linear dashed line). Each sub-benchmark reports both as
+// custom metrics: avg-ms and speedup.
+
+func benchPfoldAt(b *testing.B, p int) {
+	t1 := pfoldT1(b)
+	for i := 0; i < b.N; i++ {
+		res, err := phish.RunLocal(pfold.Program(), pfold.Root,
+			pfold.RootArgs(benchPfoldN, benchPfoldTh), phish.LocalOptions{Workers: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum time.Duration
+		times := make([]time.Duration, 0, len(res.Workers))
+		for _, w := range res.Workers {
+			sum += w.ExecTime
+			times = append(times, w.ExecTime)
+		}
+		avg := sum / time.Duration(len(res.Workers))
+		b.ReportMetric(float64(avg.Microseconds())/1000, "avg-ms")
+		b.ReportMetric(phish.SpeedupFromTimes(t1, times), "speedup")
+	}
+}
+
+// pfoldT1 measures (once per process) the one-participant execution time
+// used as the speedup numerator.
+var cachedT1 time.Duration
+
+func pfoldT1(b *testing.B) time.Duration {
+	b.Helper()
+	if cachedT1 != 0 {
+		return cachedT1
+	}
+	res, err := phish.RunLocal(pfold.Program(), pfold.Root,
+		pfold.RootArgs(benchPfoldN, benchPfoldTh), phish.LocalOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cachedT1 = res.Workers[0].ExecTime
+	return cachedT1
+}
+
+func BenchmarkFig4And5Pfold(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) { benchPfoldAt(b, p) })
+	}
+}
+
+// ---- Table 2: pfold message and scheduling statistics --------------------
+//
+// The paper's locality evidence: >10M tasks executed but ≤59 ever in use,
+// only 70/133 stolen at P=4/8, almost all synchronizations local, and
+// only ~1.6k/2k messages. Reported here as custom metrics per P.
+
+func BenchmarkTable2PfoldStats(b *testing.B) {
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := phish.RunLocal(pfold.Program(), pfold.Root,
+					pfold.RootArgs(benchPfoldN, benchPfoldTh), phish.LocalOptions{Workers: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				t := res.Totals
+				b.ReportMetric(float64(t.TasksExecuted), "tasks")
+				b.ReportMetric(float64(t.MaxTasksInUse), "max-in-use")
+				b.ReportMetric(float64(t.TasksStolen), "stolen")
+				b.ReportMetric(float64(t.Synchronizations), "synchs")
+				b.ReportMetric(float64(t.NonLocalSynchs), "nonlocal")
+				b.ReportMetric(float64(t.MessagesSent), "msgs")
+			}
+		})
+	}
+}
+
+// ---- Ablations ------------------------------------------------------------
+//
+// The design choices DESIGN.md calls out, each measured against its
+// alternative. The paper argues LIFO execution keeps the working set
+// small and FIFO (tail) stealing keeps steals rare; random victims are
+// the analyzed policy.
+
+func ablationRun(b *testing.B, cfg phish.WorkerConfig, p int) *phish.LocalResult {
+	b.Helper()
+	res, err := phish.RunLocal(fib.Program(), fib.Root, fib.RootArgs(benchFibN),
+		phish.LocalOptions{Workers: p, Config: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkAblationLocalOrder(b *testing.B) {
+	run := func(name string, cfg phish.WorkerConfig) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, cfg, 4)
+				b.ReportMetric(float64(res.Totals.MaxTasksInUse), "max-in-use")
+			}
+		})
+	}
+	lifo := phish.DefaultWorkerConfig()
+	fifo := phish.DefaultWorkerConfig()
+	fifo.LocalOrder = phish.FIFO
+	run("LIFO", lifo)
+	run("FIFO", fifo)
+}
+
+func BenchmarkAblationStealEnd(b *testing.B) {
+	run := func(name string, cfg phish.WorkerConfig) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, cfg, 4)
+				b.ReportMetric(float64(res.Totals.TasksStolen), "stolen")
+				b.ReportMetric(float64(res.Totals.MessagesSent), "msgs")
+			}
+		})
+	}
+	tail := phish.DefaultWorkerConfig()
+	head := phish.DefaultWorkerConfig()
+	head.StealFrom = phish.StealHead
+	run("tail-FIFO", tail)
+	run("head-LIFO", head)
+}
+
+func BenchmarkAblationVictim(b *testing.B) {
+	run := func(name string, cfg phish.WorkerConfig) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, cfg, 4)
+				b.ReportMetric(float64(res.Totals.StealAttempts), "attempts")
+				b.ReportMetric(float64(res.Totals.TasksStolen), "stolen")
+			}
+		})
+	}
+	random := phish.DefaultWorkerConfig()
+	rr := phish.DefaultWorkerConfig()
+	rr.Victim = phish.RoundRobinVictim
+	run("random", random)
+	run("round-robin", rr)
+}
+
+// BenchmarkAblationLatency shows the claim of Section 1: a scheduler that
+// rarely communicates tolerates a slow network. Injecting three orders of
+// magnitude of one-way latency into the fabric barely moves fib's
+// completion time because only a few dozen messages are ever sent.
+func BenchmarkAblationLatency(b *testing.B) {
+	for _, lat := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		b.Run(fmt.Sprintf("latency=%v", lat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := phish.RunLocal(fib.Program(), fib.Root, fib.RootArgs(benchFibN),
+					phish.LocalOptions{Workers: 4, Latency: lat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Totals.MessagesSent), "msgs")
+			}
+		})
+	}
+}
+
+// ---- Grain-size sweep ------------------------------------------------------
+//
+// Table 1's spectrum, made continuous: fib is a zero-grain tree and ray a
+// huge-grain one. knary exposes the grain as a knob, so this sweep maps
+// the per-task work at which Phish's scheduling overhead fades into the
+// noise (slowdown → 1), the way the paper's three applications sample it.
+func BenchmarkGrainSizeSweep(b *testing.B) {
+	const depth, fan = 9, 2
+	for _, work := range []int64{0, 64, 512, 4096, 32768} {
+		b.Run(fmt.Sprintf("work=%d", work), func(b *testing.B) {
+			t0 := time.Now()
+			_ = knary.Serial(depth, fan, work)
+			serial := time.Since(t0)
+			for i := 0; i < b.N; i++ {
+				res, err := phish.RunLocal(knary.Program(), knary.Root,
+					knary.RootArgs(depth, fan, work), phish.LocalOptions{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Elapsed)/float64(serial), "slowdown")
+			}
+		})
+	}
+}
+
+// BenchmarkDataHeavySteals probes the steal path when tasks carry real
+// payloads (matmul quadrants are kilobytes, not a couple of ints): the
+// locality discipline must keep such heavyweight transfers rare.
+func BenchmarkDataHeavySteals(b *testing.B) {
+	const n = 512
+	a := matmul.Random(n, 1)
+	bb := matmul.Random(n, 2)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := phish.RunLocal(matmul.Program(), matmul.Root,
+					matmul.RootArgs(a, bb, n), phish.LocalOptions{Workers: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Totals.TasksStolen), "stolen")
+				b.ReportMetric(float64(res.Totals.TasksExecuted), "tasks")
+			}
+		})
+	}
+}

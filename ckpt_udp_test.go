@@ -1,0 +1,143 @@
+package phish_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/apps/pfold"
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// TestCheckpointRestoreOverUDP checkpoints a pfold run over real UDP
+// sockets, kills everything, and resumes on fresh endpoints — the binary
+// -checkpoint/-restore path, in-process so it can be dissected.
+func TestCheckpointRestoreOverUDP(t *testing.T) {
+	const jobID types.JobID = 3
+	spec := wire.JobSpec{ID: jobID, Name: "pfold", Program: "pfold",
+		RootFn: pfold.Root, RootArgs: pfold.RootArgs(14, 3)}
+	want := pfold.Serial(14)
+
+	chConn, err := phishnet.ListenUDP(jobID, types.ClearinghouseID, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chCfg := clearinghouse.DefaultConfig()
+	chCfg.UpdateEvery = 100 * time.Millisecond
+	ch := clearinghouse.New(spec, chConn, chCfg)
+	go ch.Run()
+
+	cfg := core.DefaultConfig()
+	cfg.StealTimeout = 200 * time.Millisecond
+	cfg.StealBackoff = time.Millisecond
+
+	var wg sync.WaitGroup
+	workers := make([]*core.Worker, 2)
+	for i := range workers {
+		conn, err := phishnet.ListenUDP(jobID, types.WorkerID(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetPeer(types.ClearinghouseID, chConn.LocalAddr())
+		workers[i] = core.NewWorker(jobID, types.WorkerID(i), pfold.Program(), conn, cfg, clock.System)
+		wg.Add(1)
+		go func(w *core.Worker) { defer wg.Done(); _ = w.Run() }(workers[i])
+	}
+
+	// Mimic the binary's periodic loop: checkpoint, resume, keep
+	// computing, checkpoint again; kill after the second one.
+	time.Sleep(60 * time.Millisecond) // let it get going
+	if _, err := ch.Checkpoint(30 * time.Second); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	cp, err := ch.Checkpoint(30 * time.Second)
+	if err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond) // job progresses past the snapshot
+	if ch.Done() {
+		t.Skip("job finished before checkpoint")
+	}
+	var execA int64
+	for _, w := range workers {
+		execA += w.Stats().TasksExecuted
+	}
+	for _, w := range workers {
+		w.Crash()
+	}
+	wg.Wait()
+	ch.Stop()
+	chConn.Close()
+
+	// Serialize/deserialize like the file on disk.
+	var buf bytes.Buffer
+	if err := clearinghouse.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = clearinghouse.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume on fresh UDP endpoints with fresh ids.
+	chConn2, err := phishnet.ListenUDP(jobID, types.ClearinghouseID, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2 := clearinghouse.NewFromCheckpoint(cp, chConn2, chCfg)
+	go ch2.Run()
+	defer ch2.Stop()
+	workers2 := make([]*core.Worker, 2)
+	var wg2 sync.WaitGroup
+	for i := range workers2 {
+		conn, err := phishnet.ListenUDP(jobID, types.WorkerID(100+i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetPeer(types.ClearinghouseID, chConn2.LocalAddr())
+		workers2[i] = core.NewWorker(jobID, types.WorkerID(100+i), pfold.Program(), conn, cfg, clock.System)
+		wg2.Add(1)
+		go func(w *core.Worker) { defer wg2.Done(); _ = w.Run() }(workers2[i])
+	}
+	v, err := ch2.WaitResult(60 * time.Second)
+	if err != nil {
+		for _, w := range workers2 {
+			w.Crash()
+		}
+		wg2.Wait()
+		fmt.Println(ch2.DebugMembers())
+		for _, w := range workers2 {
+			fmt.Println(w.DebugDump())
+		}
+		t.Fatalf("restored job hung: %v", err)
+	}
+	wg2.Wait()
+	got := v.([]int64)
+	if !reflect.DeepEqual(got, want) {
+		var gotN, wantN int64
+		for _, x := range got {
+			gotN += x
+		}
+		for _, x := range want {
+			wantN += x
+		}
+		var execB, orphB, redoB int64
+		for _, w := range workers2 {
+			s := w.Stats()
+			execB += s.TasksExecuted
+			orphB += s.Orphans
+			redoB += s.TasksRedone
+		}
+		t.Fatalf("restored histogram wrong: got %d foldings want %d (execA=%d execB=%d orphans=%d redone=%d)",
+			gotN, wantN, execA, execB, orphB, redoB)
+	}
+}

@@ -1,0 +1,79 @@
+// Command clearinghouse runs a standalone clearinghouse for one parallel
+// job over UDP. Normally the phish launcher starts the clearinghouse
+// itself; this binary exists for setups where the clearinghouse should
+// live on a dedicated machine.
+//
+// Usage:
+//
+//	clearinghouse -program pfold -addr :7071 [-hb 10s] [args...]
+//
+// It prints the job's output and the root result, then exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"phish/internal/apps"
+	"phish/internal/clearinghouse"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7071", "UDP address to listen on")
+	program := flag.String("program", "", "program to run (fib, nqueens, pfold, ray)")
+	job := flag.Int64("job", 1, "job id")
+	hb := flag.Duration("hb", 15*time.Second, "heartbeat timeout for crash detection (0 disables)")
+	update := flag.Duration("update", 2*time.Minute, "membership update push interval (the paper's 2 minutes)")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	flag.Usage = func() {
+		fmt.Println("usage: clearinghouse -program <name> [flags] [program args...]\nprograms:")
+		fmt.Print(apps.Usage())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	app, err := apps.Lookup(*program)
+	if err != nil {
+		log.Fatalf("clearinghouse: %v", err)
+	}
+	rootArgs, err := app.ParseArgs(flag.Args())
+	if err != nil {
+		log.Fatalf("clearinghouse: %v", err)
+	}
+
+	conn, err := phishnet.ListenUDP(types.JobID(*job), types.ClearinghouseID, *addr)
+	if err != nil {
+		log.Fatalf("clearinghouse: %v", err)
+	}
+	spec := wire.JobSpec{
+		ID:       types.JobID(*job),
+		Name:     app.Name,
+		Program:  app.Name,
+		RootFn:   app.Root,
+		RootArgs: rootArgs,
+		CHAddr:   conn.LocalAddr(),
+	}
+	cfg := clearinghouse.DefaultConfig()
+	cfg.UpdateEvery = *update
+	cfg.HeartbeatTimeout = *hb
+	ch := clearinghouse.New(spec, conn, cfg)
+	go ch.Run()
+	defer ch.Stop()
+
+	fmt.Printf("clearinghouse: job %d (%s) on %s — waiting for workers\n",
+		spec.ID, spec.Name, conn.LocalAddr())
+
+	v, err := ch.WaitResult(*timeout)
+	if err != nil {
+		log.Fatalf("clearinghouse: %v", err)
+	}
+	if out := ch.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Println(app.Render(v))
+}

@@ -1,0 +1,247 @@
+// Command phish launches a parallel job the way the paper describes:
+// "simply typing `ray my-scene` ... starts up the Clearinghouse and the
+// first worker on the local workstation, so the computation begins right
+// away. Also by default, it automatically submits the job to the
+// PhishJobQ. Thus, as other workstations become idle, they automatically
+// begin working on the ray-tracing job."
+//
+// Usage:
+//
+//	phish [-jobq host:7070] [-workers 4] [-out img.ppm] <program> [args...]
+//
+// Examples:
+//
+//	phish ray default 320 240        # trace the default scene locally
+//	phish -jobq :7070 pfold 18       # fold and let the network pile on
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"phish/internal/apps"
+	"phish/internal/apps/ray"
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/jobq"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+func main() {
+	jobqAddr := flag.String("jobq", "", "PhishJobQ address to submit the job to (empty = run purely locally)")
+	chAddr := flag.String("ch-addr", ":0", "UDP address for the clearinghouse")
+	workers := flag.Int("workers", 1, "local workers to start immediately")
+	out := flag.String("out", "", "write a ray image result to this PPM file")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	stats := flag.Bool("stats", false, "print per-worker scheduling statistics at the end")
+	ckptFile := flag.String("checkpoint", "", "periodically checkpoint the job to this file")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval")
+	restore := flag.String("restore", "", "resume the job from this checkpoint file instead of starting fresh")
+	flag.Usage = func() {
+		fmt.Println("usage: phish [flags] <program> [args...]\nprograms:")
+		fmt.Print(apps.Usage())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	apps.RegisterAll()
+
+	var cp *clearinghouse.JobCheckpoint
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		var rerr error
+		cp, rerr = clearinghouse.ReadCheckpoint(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("phish: %v", rerr)
+		}
+	} else if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var app apps.App
+	var rootArgs []types.Value
+	var err error
+	if cp != nil {
+		app, err = apps.Lookup(cp.Spec.Program)
+		if err != nil {
+			log.Fatalf("phish: checkpointed program: %v", err)
+		}
+	} else {
+		app, err = apps.Lookup(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		rootArgs, err = app.ParseArgs(flag.Args()[1:])
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+	}
+
+	// Start the clearinghouse on this workstation.
+	jobID := types.JobID(time.Now().UnixNano()&0x7fffffff | 1)
+	if cp != nil {
+		jobID = cp.Spec.ID
+	}
+	chConn, err := phishnet.ListenUDP(jobID, types.ClearinghouseID, *chAddr)
+	if err != nil {
+		log.Fatalf("phish: %v", err)
+	}
+	spec := wire.JobSpec{
+		ID:       jobID,
+		Name:     app.Name,
+		Program:  app.Name,
+		RootFn:   app.Root,
+		RootArgs: rootArgs,
+		CHAddr:   chConn.LocalAddr(),
+	}
+	chCfg := clearinghouse.DefaultConfig()
+	chCfg.UpdateEvery = 15 * time.Second
+	chCfg.HeartbeatTimeout = 30 * time.Second
+	var ch *clearinghouse.Clearinghouse
+	if cp != nil {
+		cp.Spec.CHAddr = chConn.LocalAddr()
+		spec = cp.Spec
+		ch = clearinghouse.NewFromCheckpoint(cp, chConn, chCfg)
+		fmt.Printf("phish: resuming job %d (%s) from %s (%d state bundles)\n",
+			spec.ID, spec.Name, *restore, len(cp.States))
+	} else {
+		ch = clearinghouse.New(spec, chConn, chCfg)
+	}
+	go ch.Run()
+	defer ch.Stop()
+
+	// Periodic checkpointing.
+	if *ckptFile != "" {
+		go func() {
+			for {
+				time.Sleep(*ckptEvery)
+				if ch.Done() {
+					return
+				}
+				snap, err := ch.Checkpoint(time.Minute)
+				if err != nil {
+					log.Printf("phish: checkpoint skipped: %v", err)
+					continue
+				}
+				tmp := *ckptFile + ".tmp"
+				f, err := os.Create(tmp)
+				if err != nil {
+					log.Printf("phish: checkpoint: %v", err)
+					continue
+				}
+				werr := clearinghouse.WriteCheckpoint(f, snap)
+				cerr := f.Close()
+				if werr != nil || cerr != nil {
+					log.Printf("phish: checkpoint write failed: %v %v", werr, cerr)
+					continue
+				}
+				if err := os.Rename(tmp, *ckptFile); err != nil {
+					log.Printf("phish: checkpoint rename: %v", err)
+					continue
+				}
+				fmt.Printf("phish: checkpointed %d participants to %s\n", len(snap.States), *ckptFile)
+			}
+		}()
+	}
+
+	// Submit to the PhishJobQ so idle workstations join.
+	if *jobqAddr != "" {
+		cli := jobq.NewClient(*jobqAddr)
+		id, err := cli.Submit(spec)
+		if err != nil {
+			log.Fatalf("phish: submit: %v", err)
+		}
+		defer func() {
+			_ = cli.Done(id)
+			_ = cli.Close()
+		}()
+		fmt.Printf("phish: job %d submitted to %s\n", id, *jobqAddr)
+	}
+
+	// Start the first worker(s) locally — the computation begins right
+	// away.
+	prog, err := core.LookupProgram(app.Name)
+	if err != nil {
+		log.Fatalf("phish: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.HeartbeatEvery = 5 * time.Second
+	cfg.StealTimeout = time.Second
+	cfg.StealBackoff = 5 * time.Millisecond
+	var wg sync.WaitGroup
+	locals := make([]*core.Worker, 0, *workers)
+	// Restored workers take ids clear of anything a previous incarnation
+	// could have used, so checkpoint bundles never collide with them.
+	idBase := 0
+	if cp != nil {
+		idBase = 1 << 30
+	}
+	for i := 0; i < *workers; i++ {
+		conn, err := phishnet.ListenUDP(jobID, types.WorkerID(idBase+i), ":0")
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		conn.SetPeer(types.ClearinghouseID, chConn.LocalAddr())
+		w := core.NewWorker(jobID, types.WorkerID(idBase+i), prog, conn, cfg, clock.System)
+		locals = append(locals, w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run()
+		}()
+	}
+
+	fmt.Printf("phish: running %s (clearinghouse %s, %d local workers)\n",
+		app.Name, chConn.LocalAddr(), *workers)
+	start := time.Now()
+	v, err := ch.WaitResult(*timeout)
+	if err != nil {
+		log.Fatalf("phish: %v", err)
+	}
+	wg.Wait()
+	fmt.Printf("phish: done in %v\n", time.Since(start).Round(time.Millisecond))
+	if o := ch.Output(); o != "" {
+		fmt.Print(o)
+	}
+	if *stats {
+		for _, w := range locals {
+			fmt.Printf("  worker %d: %v\n", w.ID(), w.Stats())
+		}
+	}
+
+	if img, ok := v.([]byte); ok && *out != "" {
+		w, h := rayDims(rootArgs)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		defer f.Close()
+		if err := ray.WritePPM(f, img, w, h); err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		fmt.Printf("phish: wrote %s (%dx%d)\n", *out, w, h)
+		return
+	}
+	fmt.Println(app.Render(v))
+}
+
+// rayDims extracts width/height from ray root args (scene, w, h, ...).
+func rayDims(args []types.Value) (int, int) {
+	if len(args) >= 3 {
+		w, _ := args[1].(int64)
+		h, _ := args[2].(int64)
+		return int(w), int(h)
+	}
+	return 0, 0
+}

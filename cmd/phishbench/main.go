@@ -1,0 +1,130 @@
+// Command phishbench regenerates the paper's evaluation: Table 1 (serial
+// slowdown), Figure 4 (pfold execution time vs participants), Figure 5
+// (pfold speedup), and Table 2 (message and scheduling statistics),
+// printing each next to the published numbers.
+//
+// Usage:
+//
+//	phishbench                 # everything, laptop-sized
+//	phishbench -exp table1     # one experiment
+//	phishbench -pfold-n 18 -ps 1,2,4,8,16,32 -exp fig5
+//
+// Absolute times are this machine's; the comparison is about shape (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"phish/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, all")
+	fibN := flag.Int64("fib-n", 0, "fib input (0 = default)")
+	nqN := flag.Int("nqueens-n", 0, "nqueens input")
+	pfoldN := flag.Int("pfold-n", 0, "pfold polymer length")
+	pfoldTh := flag.Int("pfold-threshold", 0, "pfold serial threshold")
+	rayW := flag.Int("ray-w", 0, "ray image width")
+	rayH := flag.Int("ray-h", 0, "ray image height")
+	repeats := flag.Int("repeats", 0, "timing repetitions (median reported)")
+	psFlag := flag.String("ps", "", "participant counts, e.g. 1,2,4,8,16,32")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	if *fibN > 0 {
+		o.FibN = *fibN
+	}
+	if *nqN > 0 {
+		o.NQueensN = *nqN
+	}
+	if *pfoldN > 0 {
+		o.PfoldN = *pfoldN
+	}
+	if *pfoldTh > 0 {
+		o.PfoldThreshold = *pfoldTh
+	}
+	if *rayW > 0 {
+		o.RayW = *rayW
+	}
+	if *rayH > 0 {
+		o.RayH = *rayH
+	}
+	if *repeats > 0 {
+		o.Repeats = *repeats
+	}
+	if *psFlag != "" {
+		var ps []int
+		for _, s := range strings.Split(*psFlag, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				log.Fatalf("phishbench: bad -ps entry %q", s)
+			}
+			ps = append(ps, p)
+		}
+		o.Ps = ps
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	did := false
+
+	if run("table1") {
+		did = true
+		rows, err := o.Table1()
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	var pts []harness.ScalingPoint
+	if run("fig4") || run("fig5") {
+		var err error
+		pts, err = o.PfoldScaling()
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+	}
+	if run("fig4") {
+		did = true
+		harness.PrintFig4(os.Stdout, pts)
+		fmt.Println()
+	}
+	if run("fig5") {
+		did = true
+		harness.PrintFig5(os.Stdout, pts)
+		fmt.Println()
+	}
+	if run("table2") {
+		did = true
+		t2, err := o.Table2()
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintTable2(os.Stdout, t2)
+		fmt.Println()
+	}
+	if *exp == "speedup-all" {
+		// The paper: "all 4 of our applications demonstrate similar
+		// speedups, but for lack of space we only present the pfold data."
+		did = true
+		for _, name := range []string{"fib", "nqueens", "ray", "pfold"} {
+			pts, err := o.AppScaling(name)
+			if err != nil {
+				log.Fatalf("phishbench: %v", err)
+			}
+			fmt.Printf("speedup — %s\n", name)
+			harness.PrintFig5(os.Stdout, pts)
+			fmt.Println()
+		}
+	}
+	if !did {
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, all)", *exp)
+	}
+}

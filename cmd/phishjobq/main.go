@@ -1,0 +1,40 @@
+// Command phishjobq runs the PhishJobQ: the macro-level scheduler's job
+// pool. Exactly one instance serves a Phish network; PhishJobManagers on
+// idle workstations request jobs from it, and the phish launcher submits
+// jobs to it.
+//
+// Usage:
+//
+//	phishjobq [-addr :7070]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"phish/internal/jobq"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "TCP address to listen on")
+	flag.Parse()
+
+	pool := jobq.NewPool()
+	srv, err := jobq.NewServer(pool, *addr)
+	if err != nil {
+		log.Fatalf("phishjobq: %v", err)
+	}
+	fmt.Printf("phishjobq: serving the job pool on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("phishjobq: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("phishjobq: close: %v", err)
+	}
+}

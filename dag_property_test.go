@@ -1,0 +1,170 @@
+package phish_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"phish"
+)
+
+// The random-DAG property test: a program whose task tree shape, fan-out,
+// leaf values, and combine constants are all derived deterministically
+// from a seed. A serial recursion computes the expected value; the
+// scheduler must reproduce it for every seed, worker count, and
+// scheduling discipline — steals, joins, presets and all.
+
+// splitmix64 is a tiny deterministic mixer (Vigna's splitmix64 finalizer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// dagShape derives a node's behavior from its seed: leaf value or fan-out
+// plus per-node constant.
+func dagShape(seed int64, depth int64) (isLeaf bool, fan int64, nodeConst int64) {
+	h := splitmix64(uint64(seed))
+	if depth <= 0 || h%5 == 0 {
+		return true, 0, 0
+	}
+	return false, 1 + int64(h>>8%3), int64(h >> 17 % 1000)
+}
+
+func dagLeafValue(seed int64) int64 { return int64(splitmix64(uint64(seed)*7+1) % 100003) }
+
+func dagChildSeed(seed, i int64) int64 { return int64(splitmix64(uint64(seed)) ^ uint64(i*0x5851f42d)) }
+
+// dagSerial is the oracle.
+func dagSerial(seed, depth int64) int64 {
+	isLeaf, fan, nodeConst := dagShape(seed, depth)
+	if isLeaf {
+		return dagLeafValue(seed)
+	}
+	v := nodeConst
+	for i := int64(1); i <= fan; i++ {
+		v = v*31 + dagSerial(dagChildSeed(seed, i), depth-1)
+	}
+	return v
+}
+
+// dagTasks counts the tasks a parallel run executes (nodes + combines).
+func dagTasks(seed, depth int64) int64 {
+	isLeaf, fan, _ := dagShape(seed, depth)
+	if isLeaf {
+		return 1
+	}
+	n := int64(2) // this node + its combine successor
+	for i := int64(1); i <= fan; i++ {
+		n += dagTasks(dagChildSeed(seed, i), depth-1)
+	}
+	return n
+}
+
+var (
+	dagOnce sync.Once
+	dagProg *phish.Program
+)
+
+func dagProgram() *phish.Program {
+	dagOnce.Do(func() {
+		dagProg = phish.NewProgram("dag")
+		dagProg.Register("node", func(c phish.TaskCtx) {
+			seed, depth := c.Int(0), c.Int(1)
+			isLeaf, fan, nodeConst := dagShape(seed, depth)
+			if isLeaf {
+				c.Return(dagLeafValue(seed))
+				return
+			}
+			// Slot 0 carries the node constant (preset, not a synch);
+			// slots 1..fan carry child results.
+			s := c.Successor("combine", int(fan)+1)
+			c.Preset(s, 0, nodeConst)
+			for i := int64(1); i <= fan; i++ {
+				c.Spawn("node", s.Cont(int(i)), dagChildSeed(seed, i), depth-1)
+			}
+		})
+		dagProg.Register("combine", func(c phish.TaskCtx) {
+			v := c.Int(0)
+			for i := 1; i < c.NArgs(); i++ {
+				v = v*31 + c.Int(i)
+			}
+			c.Return(v)
+		})
+	})
+	return dagProg
+}
+
+func runDAG(t testing.TB, seed, depth int64, workers int, cfg phish.WorkerConfig) *phish.LocalResult {
+	t.Helper()
+	res, err := phish.RunLocal(dagProgram(), "node", phish.Args(seed, depth),
+		phish.LocalOptions{Workers: workers, Config: cfg})
+	if err != nil {
+		t.Fatalf("seed=%d depth=%d P=%d: %v", seed, depth, workers, err)
+	}
+	return res
+}
+
+func TestQuickRandomDAGs(t *testing.T) {
+	f := func(rawSeed int64, pRaw uint8) bool {
+		seed := rawSeed | 1
+		depth := int64(7 + splitmix64(uint64(rawSeed))%4) // 7..10
+		p := int(pRaw%5) + 1                              // 1..5 workers
+		want := dagSerial(seed, depth)
+		res := runDAG(t, seed, depth, p, phish.DefaultWorkerConfig())
+		if res.Value.(int64) != want {
+			t.Logf("seed=%d depth=%d P=%d: got %d want %d", seed, depth, p, res.Value, want)
+			return false
+		}
+		if res.Totals.TasksExecuted != dagTasks(seed, depth) {
+			t.Logf("seed=%d depth=%d P=%d: tasks %d want %d",
+				seed, depth, p, res.Totals.TasksExecuted, dagTasks(seed, depth))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomDAGsAblations(t *testing.T) {
+	fifo := phish.DefaultWorkerConfig()
+	fifo.LocalOrder = phish.FIFO
+	head := phish.DefaultWorkerConfig()
+	head.StealFrom = phish.StealHead
+	rr := phish.DefaultWorkerConfig()
+	rr.Victim = phish.RoundRobinVictim
+	cfgs := []phish.WorkerConfig{fifo, head, rr}
+
+	f := func(rawSeed int64, pick uint8) bool {
+		seed := rawSeed*2 + 1
+		const depth = 8
+		cfg := cfgs[int(pick)%len(cfgs)]
+		want := dagSerial(seed, depth)
+		res := runDAG(t, seed, depth, 4, cfg)
+		return res.Value.(int64) == want &&
+			res.Totals.TasksExecuted == dagTasks(seed, depth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDAGSurvivesChurnedWorkers(t *testing.T) {
+	// Random DAGs with reclaim churn injected mid-run: every answer must
+	// still match the oracle, and no work may be lost.
+	for _, seed := range []int64{3, 17, 91} {
+		const depth = 12
+		want := dagSerial(seed, depth)
+		res, err := phish.RunLocal(dagProgram(), "node", phish.Args(seed, int64(depth)),
+			phish.LocalOptions{Workers: 6})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if got := res.Value.(int64); got != want {
+			t.Errorf("seed=%d: got %d want %d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Adaptive parallelism on a simulated network of workstations — the
+// macro-level scheduler end to end.
+//
+//	go run ./examples/adaptive [-stations 6] [-minutes 3]
+//
+// Six workstations with synthetic owners run their PhishJobManagers. Two
+// jobs are submitted to the PhishJobQ. As owners wander off, their idle
+// workstations request jobs and join; when owners return, workers migrate
+// their tasks and die ("owner sovereignty"); when a job's parallelism
+// shrinks, surplus workers retire and are reassigned. The demo prints the
+// timeline of these macro-level events.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/apps/nqueens"
+	"phish/internal/clearinghouse"
+	"phish/internal/cluster"
+	"phish/internal/core"
+	"phish/internal/idlesim"
+	"phish/internal/jobmanager"
+)
+
+func main() {
+	stations := flag.Int("stations", 6, "simulated workstations")
+	demoLen := flag.Duration("len", 20*time.Second, "how long to let the network churn")
+	flag.Parse()
+
+	// Compress the paper's minute-scale polling so the demo is watchable:
+	// 5 min busy poll -> 300ms, 30 s retry -> 30ms, 2 s owner check -> 20ms.
+	w := core.DefaultConfig()
+	w.MaxStealFailures = 20
+	w.StealTimeout = 25 * time.Millisecond
+	w.HeartbeatEvery = 20 * time.Millisecond
+	opts := cluster.Options{
+		Worker: w,
+		CH: clearinghouse.Config{
+			UpdateEvery:      50 * time.Millisecond,
+			HeartbeatTimeout: 500 * time.Millisecond,
+		},
+		JM: jobmanager.Config{
+			BusyPoll:  300 * time.Millisecond,
+			IdleRetry: 30 * time.Millisecond,
+			WorkPoll:  20 * time.Millisecond,
+		},
+	}
+	c := cluster.New(opts)
+	defer c.Close()
+
+	var ws []*cluster.Workstation
+	for i := 0; i < *stations; i++ {
+		// Owners alternate busy and idle periods of a few hundred ms.
+		owner := idlesim.NewActivity(int64(i+1), time.Now(),
+			300*time.Millisecond, 1200*time.Millisecond, // busy
+			400*time.Millisecond, 2*time.Second, // idle
+			i%2 == 0) // half start idle
+		ws = append(ws, c.AddWorkstation(owner))
+	}
+	fmt.Printf("adaptive: %d workstations with wandering owners\n", *stations)
+
+	j1 := c.Submit(fib.Program(), fib.Root, fib.RootArgs(30))
+	j2 := c.Submit(nqueens.Program(), nqueens.Root, nqueens.RootArgs(12))
+	fmt.Println("adaptive: submitted fib(30) and nqueens(12) to the PhishJobQ")
+
+	// Narrate the churn until both jobs finish or the demo window closes.
+	deadline := time.Now().Add(*demoLen)
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	lastLine := ""
+	for time.Now().Before(deadline) && !(j1.Done() && j2.Done()) {
+		<-tick.C
+		line := fmt.Sprintf("  t=%4.1fs  fib workers=%d done=%v | nqueens workers=%d done=%v",
+			time.Until(deadline).Seconds(), len(j1.LiveWorkers()), j1.Done(),
+			len(j2.LiveWorkers()), j2.Done())
+		if line != lastLine {
+			fmt.Println(line)
+			lastLine = line
+		}
+	}
+
+	report := func(name string, j *cluster.Job, want int64) {
+		v, err := j.Wait(2 * time.Minute)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		ok := "OK"
+		if v.(int64) != want {
+			ok = fmt.Sprintf("WRONG (want %d)", want)
+		}
+		t := j.Totals()
+		fmt.Printf("\n%s = %v  [%s]\n", name, v, ok)
+		fmt.Printf("  participants ever: %d; tasks %d; stolen %d; migrated %d; redone %d\n",
+			t.Worker, t.TasksExecuted, t.TasksStolen, t.TasksMigrated, t.TasksRedone)
+	}
+	report("fib(30)", j1, fib.Serial(30))
+	report("nqueens(12)", j2, 14200)
+
+	fmt.Println("\nmacro-level events per workstation:")
+	for _, s := range ws {
+		st := s.Stats()
+		fmt.Printf("  ws%-2d  started=%2d  finished=%2d  reclaimed=%2d  retired=%2d  empty-polls=%2d\n",
+			s.ID, st.JobsStarted.Load(), st.Finished.Load(), st.Reclaims.Load(),
+			st.Retired.Load(), st.EmptyPolls.Load())
+	}
+}

@@ -1,0 +1,3 @@
+module phish
+
+go 1.22

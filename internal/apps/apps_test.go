@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"phish"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"fib", "knary", "matmul", "nqueens", "pfold", "ray"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("seti"); err == nil {
+		t.Error("unknown app did not error")
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	for _, name := range Names() {
+		app, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args, err := app.ParseArgs(nil)
+		if err != nil {
+			t.Errorf("%s: default args: %v", name, err)
+		}
+		if len(args) == 0 {
+			t.Errorf("%s: empty root args", name)
+		}
+	}
+}
+
+func TestParseArgsRejectsGarbage(t *testing.T) {
+	cases := map[string][]string{
+		"fib":     {"abc"},
+		"nqueens": {"x"},
+		"pfold":   {"10", "zz"},
+		"ray":     {"no-such-scene"},
+		"knary":   {"3", "2", "NaN"},
+		"matmul":  {"99"},
+	}
+	for name, args := range cases {
+		app, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.ParseArgs(args); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}
+
+func TestEndToEndThroughCatalog(t *testing.T) {
+	app, err := Lookup("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, err := app.ParseArgs([]string{"14"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phish.RunLocal(app.Program(), app.Root, args, phish.LocalOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := app.Render(res.Value); !strings.Contains(out, "377") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestUsageMentionsEveryApp(t *testing.T) {
+	u := Usage()
+	for _, name := range Names() {
+		if !strings.Contains(u, name) {
+			t.Errorf("usage missing %s:\n%s", name, u)
+		}
+	}
+}
+
+func TestRegisterAllIdempotent(t *testing.T) {
+	RegisterAll()
+	RegisterAll() // programs are singletons; double registration must not panic
+}

@@ -1,0 +1,56 @@
+package fib
+
+import (
+	"testing"
+
+	"phish"
+)
+
+func TestSerial(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := Serial(int64(n)); got != w {
+			t.Errorf("Serial(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 5, 10, 16} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(n), phish.LocalOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
+		if got, want := res.Value.(int64), Serial(n); got != want {
+			t.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestParallelMultiWorker(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(18), phish.LocalOptions{Workers: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got, want := res.Value.(int64), Serial(18); got != want {
+			t.Errorf("P=%d: fib(18) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTaskConservation(t *testing.T) {
+	const n = 15
+	res, err := phish.RunLocal(Program(), Root, RootArgs(n), phish.LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Totals.TasksExecuted, TaskCount(n); got != want {
+		t.Errorf("tasks executed = %d, want %d", got, want)
+	}
+	// Leaves and sum tasks each deliver exactly one result; the topmost
+	// sum's result is counted at the clearinghouse, not here.
+	if got, want := res.Totals.Synchronizations, SynchCount(n); got != want {
+		t.Errorf("synchronizations = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+// Package knary is a synthetic benchmark: a uniform k-ary task tree of
+// configurable depth whose every node spins for a configurable amount of
+// work before spawning its children. It is the controlled-grain-size
+// instrument behind the Table 1 discussion — fib is knary with zero grain
+// ("it does almost nothing but spawn parallel tasks"), ray is knary with a
+// huge grain — and it drives the grain-size sweep in the benchmarks, which
+// maps out how much per-task work is needed before Phish's scheduling
+// overhead disappears, on this machine, the way the paper's applications
+// map it out on a SparcStation.
+package knary
+
+import (
+	"sync"
+
+	"phish"
+)
+
+// Spin burns deterministic CPU: w rounds of a xorshift step. It returns a
+// value derived from the state so the compiler cannot elide the loop.
+func Spin(seed uint64, w int64) uint64 {
+	x := seed | 1
+	for i := int64(0); i < w; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// Nodes returns the node count of the (depth, fan) tree.
+func Nodes(depth, fan int64) int64 {
+	if depth <= 0 {
+		return 1
+	}
+	n := int64(1)
+	f := int64(1)
+	for d := int64(1); d <= depth; d++ {
+		f *= fan
+		n += f
+	}
+	return n
+}
+
+// TaskCount returns the tasks a parallel run executes: one per node plus
+// one sum successor per internal node.
+func TaskCount(depth, fan int64) int64 {
+	if depth <= 0 {
+		return 1
+	}
+	internal := Nodes(depth-1, fan)
+	return Nodes(depth, fan) + internal
+}
+
+// Serial is the best serial implementation: recurse, spinning w per node,
+// and count the nodes. The spin result guards a branch the compiler
+// cannot fold away (a nonzero xorshift state never becomes zero, so the
+// branch never fires, but only we know that).
+func Serial(depth, fan, work int64) int64 {
+	if Spin(uint64(depth)+11, work) == 0 {
+		return -1 << 62 // unreachable; defeats dead-code elimination
+	}
+	if depth <= 0 {
+		return 1
+	}
+	var sum int64 = 1
+	for i := int64(0); i < fan; i++ {
+		sum += Serial(depth-1, fan, work)
+	}
+	return sum
+}
+
+func knaryTask(c phish.TaskCtx) {
+	depth, fan, work := c.Int(0), c.Int(1), c.Int(2)
+	if Spin(uint64(depth)+11, work) == 0 {
+		c.Return(int64(-1 << 62)) // unreachable; defeats dead-code elimination
+		return
+	}
+	if depth <= 0 {
+		c.Return(int64(1))
+		return
+	}
+	s := c.Successor("knary.sum", int(fan))
+	for i := int64(0); i < fan; i++ {
+		c.Spawn("knary", s.Cont(int(i)), depth-1, fan, work)
+	}
+}
+
+func sumTask(c phish.TaskCtx) {
+	var sum int64 = 1 // this node
+	for i := 0; i < c.NArgs(); i++ {
+		sum += c.Int(i)
+	}
+	c.Return(sum)
+}
+
+var (
+	once sync.Once
+	prog *phish.Program
+)
+
+// Program returns the knary parallel program.
+func Program() *phish.Program {
+	once.Do(func() {
+		prog = phish.NewProgram("knary")
+		prog.Register("knary", knaryTask)
+		prog.Register("knary.sum", sumTask)
+	})
+	return prog
+}
+
+// Root names the program's root task function.
+const Root = "knary"
+
+// RootArgs builds the root argument list for a (depth, fan) tree with
+// `work` spin rounds per node.
+func RootArgs(depth, fan, work int64) []phish.Value {
+	return phish.Args(depth, fan, work)
+}

@@ -1,0 +1,75 @@
+package knary
+
+import (
+	"testing"
+
+	"phish"
+	"phish/internal/strata"
+)
+
+func TestNodes(t *testing.T) {
+	cases := []struct{ depth, fan, want int64 }{
+		{0, 3, 1},
+		{1, 3, 4},
+		{2, 3, 13},
+		{3, 2, 15},
+		{1, 1, 2},
+	}
+	for _, c := range cases {
+		if got := Nodes(c.depth, c.fan); got != c.want {
+			t.Errorf("Nodes(%d,%d) = %d, want %d", c.depth, c.fan, got, c.want)
+		}
+	}
+}
+
+func TestSerialCountsNodes(t *testing.T) {
+	for _, c := range []struct{ depth, fan int64 }{{0, 2}, {3, 2}, {4, 3}, {6, 2}} {
+		if got, want := Serial(c.depth, c.fan, 10), Nodes(c.depth, c.fan); got != want {
+			t.Errorf("Serial(%d,%d) = %d, want %d", c.depth, c.fan, got, want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, p := range []int{1, 3} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(6, 3, 5), phish.LocalOptions{Workers: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got, want := res.Value.(int64), Nodes(6, 3); got != want {
+			t.Errorf("P=%d: got %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTaskCountConservation(t *testing.T) {
+	res, err := phish.RunLocal(Program(), Root, RootArgs(7, 2, 0), phish.LocalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Totals.TasksExecuted, TaskCount(7, 2); got != want {
+		t.Errorf("tasks executed = %d, want %d", got, want)
+	}
+}
+
+func TestOnStrata(t *testing.T) {
+	res, err := strata.Run(Program(), Root, RootArgs(6, 3, 5), 4, strata.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Value.(int64), Nodes(6, 3); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestSpinIsDeterministicAndProportional(t *testing.T) {
+	if Spin(7, 100) != Spin(7, 100) {
+		t.Error("spin not deterministic")
+	}
+	if Spin(7, 100) == Spin(7, 101) {
+		t.Error("spin ignores work parameter")
+	}
+	if Spin(0, 10) == 0 {
+		t.Error("zero seed must still mix (seeded with |1)")
+	}
+}

@@ -1,0 +1,182 @@
+// Package matmul is a divide-and-conquer matrix multiplication — one of
+// the "new applications" the paper's future work calls for, and a
+// deliberately different stress on the scheduler than the tree searches:
+// its tasks carry kilobytes of matrix data, so steals and result
+// deliveries are heavyweight, probing how the locality-preserving
+// discipline behaves when communication actually hurts.
+//
+// C = A·B is computed by quadrant decomposition: eight recursive
+// sub-multiplies joined by a combine task that adds and assembles the
+// quadrants. Leaves below the cutoff multiply directly. The serial
+// implementation runs the same recursion (the paper's slowdown metric
+// compares against "the best serial implementation of the same
+// algorithm"), which also makes the parallel result bit-identical to the
+// serial one despite floating-point non-associativity.
+package matmul
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"phish"
+)
+
+// LeafSize is the dimension at which recursion bottoms out into a direct
+// triple loop.
+const LeafSize = 32
+
+// Random returns a deterministic pseudo-random n×n matrix with small
+// integer entries (so products are exact in float64 and comparisons can
+// be bitwise).
+func Random(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = float64(rng.Intn(9) - 4)
+	}
+	return m
+}
+
+// mulLeaf computes C = A·B directly (row-major n×n).
+func mulLeaf(a, b []float64, n int) []float64 {
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n:]
+			ci := c[i*n:]
+			for j := 0; j < n; j++ {
+				ci[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// quadrant extracts quadrant (qi, qj) of an n×n matrix (half = n/2).
+func quadrant(m []float64, n, qi, qj int) []float64 {
+	half := n / 2
+	out := make([]float64, half*half)
+	for i := 0; i < half; i++ {
+		copy(out[i*half:(i+1)*half], m[(qi*half+i)*n+qj*half:])
+	}
+	return out
+}
+
+// assemble writes quadrant (qi, qj) into an n×n matrix.
+func assemble(dst []float64, q []float64, n, qi, qj int) {
+	half := n / 2
+	for i := 0; i < half; i++ {
+		copy(dst[(qi*half+i)*n+qj*half:(qi*half+i)*n+qj*half+half], q[i*half:(i+1)*half])
+	}
+}
+
+// add returns x + y element-wise.
+func add(x, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Serial computes A·B with the same quadrant recursion the parallel
+// version uses.
+func Serial(a, b []float64, n int) []float64 {
+	if n <= LeafSize {
+		return mulLeaf(a, b, n)
+	}
+	if n%2 != 0 {
+		panic("matmul: dimension must be divisible by 2 down to the leaf size")
+	}
+	c := make([]float64, n*n)
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			x := Serial(quadrant(a, n, qi, 0), quadrant(b, n, 0, qj), n/2)
+			y := Serial(quadrant(a, n, qi, 1), quadrant(b, n, 1, qj), n/2)
+			assemble(c, add(x, y), n, qi, qj)
+		}
+	}
+	return c
+}
+
+// TaskCount returns the tasks a parallel multiply of dimension n executes
+// (one multiply task per recursion node plus one combine per internal
+// node).
+func TaskCount(n int) int64 {
+	if n <= LeafSize {
+		return 1
+	}
+	return 8*TaskCount(n/2) + 2
+}
+
+// Task args: n, A (row-major), B (row-major).
+func mulTask(c phish.TaskCtx) {
+	n := int(c.Int(0))
+	a := c.Arg(1).([]float64)
+	b := c.Arg(2).([]float64)
+	if n <= LeafSize {
+		c.Return(mulLeaf(a, b, n))
+		return
+	}
+	// Eight sub-multiplies; slot order is (qi, qj, half) with half the
+	// k-range index, so the combiner knows which pairs to add.
+	s := c.Successor("matmul.combine", 9)
+	c.Preset(s, 0, int64(n))
+	slot := 1
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			c.Spawn("matmul", s.Cont(slot),
+				int64(n/2), quadrant(a, n, qi, 0), quadrant(b, n, 0, qj))
+			c.Spawn("matmul", s.Cont(slot+1),
+				int64(n/2), quadrant(a, n, qi, 1), quadrant(b, n, 1, qj))
+			slot += 2
+		}
+	}
+}
+
+func combineTask(c phish.TaskCtx) {
+	n := int(c.Int(0))
+	out := make([]float64, n*n)
+	slot := 1
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			x := c.Arg(slot).([]float64)
+			y := c.Arg(slot + 1).([]float64)
+			assemble(out, add(x, y), n, qi, qj)
+			slot += 2
+		}
+	}
+	c.Return(out)
+}
+
+var (
+	once sync.Once
+	prog *phish.Program
+)
+
+// Program returns the matmul parallel program.
+func Program() *phish.Program {
+	once.Do(func() {
+		prog = phish.NewProgram("matmul")
+		prog.Register("matmul", mulTask)
+		prog.Register("matmul.combine", combineTask)
+	})
+	return prog
+}
+
+// Root names the program's root task function.
+const Root = "matmul"
+
+// RootArgs builds the root argument list for C = A·B of dimension n.
+// n must be LeafSize·2^k for some k ≥ 0.
+func RootArgs(a, b []float64, n int) []phish.Value {
+	if len(a) != n*n || len(b) != n*n {
+		panic(fmt.Sprintf("matmul: matrices must be %d×%d", n, n))
+	}
+	return phish.Args(int64(n), a, b)
+}

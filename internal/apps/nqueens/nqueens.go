@@ -1,0 +1,115 @@
+// Package nqueens is the paper's second toy application: counting, by
+// backtrack search, the number of ways to place n queens on an n×n board
+// so that no queen attacks another. Backtrack search is the prototypical
+// dynamic-parallelism workload (the paper credits DIB, a distributed
+// backtracking system, as the inspiration for idle-initiated scheduling).
+//
+// The parallel version spawns a task per feasible queen placement down to
+// SpawnDepth rows and solves the remaining subboard serially inside the
+// leaf task — the coarse grain that gives nqueens its near-1.0 serial
+// slowdown in Table 1.
+package nqueens
+
+import (
+	"sync"
+
+	"phish"
+)
+
+// SpawnDepth is how many rows of the board are explored with parallel
+// tasks before leaf tasks switch to the serial solver.
+const SpawnDepth = 3
+
+// Serial is the best serial implementation: bitmask backtracking with no
+// task packaging.
+func Serial(n int) int64 {
+	if n <= 0 {
+		return 1 // the empty placement
+	}
+	return serialFrom(n, 0, 0, 0, 0)
+}
+
+// serialFrom counts completions from a partial placement. cols, d1, d2 are
+// the attacked-column and attacked-diagonal bitmasks at row row.
+func serialFrom(n, row int, cols, d1, d2 uint64) int64 {
+	if row == n {
+		return 1
+	}
+	var count int64
+	full := uint64(1)<<uint(n) - 1
+	free := full &^ (cols | d1 | d2)
+	for free != 0 {
+		bit := free & (-free)
+		free ^= bit
+		count += serialFrom(n, row+1, cols|bit, (d1|bit)<<1, (d2|bit)>>1)
+	}
+	return count
+}
+
+func nqTask(c phish.TaskCtx) {
+	n := int(c.Int(0))
+	row := int(c.Int(1))
+	cols := uint64(c.Int(2))
+	d1 := uint64(c.Int(3))
+	d2 := uint64(c.Int(4))
+
+	if row == n {
+		c.Return(int64(1))
+		return
+	}
+	if row >= SpawnDepth {
+		c.Return(serialFrom(n, row, cols, d1, d2))
+		return
+	}
+	full := uint64(1)<<uint(n) - 1
+	free := full &^ (cols | d1 | d2)
+	if free == 0 {
+		c.Return(int64(0))
+		return
+	}
+	// One child per feasible placement; a sum successor joins them.
+	nkids := 0
+	for f := free; f != 0; f &= f - 1 {
+		nkids++
+	}
+	s := c.Successor("nqueens.sum", nkids)
+	slot := 0
+	for free != 0 {
+		bit := free & (-free)
+		free ^= bit
+		c.Spawn("nqueens", s.Cont(slot),
+			int64(n), int64(row+1), int64(cols|bit), int64((d1|bit)<<1), int64((d2|bit)>>1))
+		slot++
+	}
+}
+
+func sumTask(c phish.TaskCtx) {
+	var total int64
+	for i := 0; i < c.NArgs(); i++ {
+		total += c.Int(i)
+	}
+	c.Return(total)
+}
+
+var (
+	once sync.Once
+	prog *phish.Program
+)
+
+// Program returns the nqueens parallel program.
+func Program() *phish.Program {
+	once.Do(func() {
+		prog = phish.NewProgram("nqueens")
+		prog.Register("nqueens", nqTask)
+		prog.Register("nqueens.sum", sumTask)
+	})
+	return prog
+}
+
+// Root names the program's root task function.
+const Root = "nqueens"
+
+// RootArgs builds the root argument list for an n×n board.
+func RootArgs(n int) []phish.Value {
+	return phish.Args(int64(n), int64(0), int64(0), int64(0), int64(0))
+}

@@ -1,0 +1,59 @@
+package nqueens
+
+import (
+	"testing"
+
+	"phish"
+)
+
+// Known n-queens solution counts (OEIS A000170).
+var known = map[int]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724, 11: 2680, 12: 14200,
+}
+
+func TestSerial(t *testing.T) {
+	for n, want := range known {
+		if got := Serial(n); got != want {
+			t.Errorf("Serial(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8, 9} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(n), phish.LocalOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("nqueens(%d): %v", n, err)
+		}
+		if got, want := res.Value.(int64), known[n]; got != want {
+			t.Errorf("nqueens(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestParallelMultiWorker(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(9), phish.LocalOptions{Workers: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got, want := res.Value.(int64), known[9]; got != want {
+			t.Errorf("P=%d: nqueens(9) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var prev int64 = -1
+	for i := 0; i < 3; i++ {
+		res, err := phish.RunLocal(Program(), Root, RootArgs(8), phish.LocalOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Value.(int64)
+		if prev != -1 && got != prev {
+			t.Fatalf("run %d: result %d differs from previous %d", i, got, prev)
+		}
+		prev = got
+	}
+}

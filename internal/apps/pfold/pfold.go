@@ -1,0 +1,208 @@
+// Package pfold is the paper's flagship real application: protein folding
+// on a lattice. It enumerates every folding of an n-monomer polymer into
+// the two-dimensional square lattice — every self-avoiding walk of n−1
+// steps — and computes a histogram of the energy values, where the energy
+// of a folding is its number of topological contacts: pairs of monomers
+// that are adjacent on the lattice but not adjacent along the chain.
+//
+// The original was developed by Chris Joerg (MIT LCS) and Vijay Pande
+// (MIT CMSE); this reconstruction follows the published description. It is
+// the workload behind the paper's Figure 4 (execution time), Figure 5
+// (speedup), and Table 2 (scheduling statistics).
+//
+// The search tree is explored in parallel: a task extends a partial
+// folding by one monomer per feasible lattice cell, spawning a child per
+// extension and a merge successor that sums the children's histograms.
+// When the number of remaining monomers drops to the serial threshold the
+// task enumerates the rest of its subtree inline — the grain-size knob.
+package pfold
+
+import (
+	"fmt"
+	"sync"
+
+	"phish"
+)
+
+// DefaultThreshold is the remaining-monomer count below which a task
+// switches to serial enumeration.
+const DefaultThreshold = 6
+
+// pos packs a lattice coordinate; monomer chains are far shorter than the
+// offset, so coordinates never collide.
+type pos int32
+
+func pack(x, y int32) pos          { return pos((x+512)<<10 | (y + 512)) }
+func (p pos) unpack() (x, y int32) { return int32(p)>>10 - 512, int32(p)&1023 - 512 }
+
+func neighbors(p pos) [4]pos {
+	x, y := p.unpack()
+	return [4]pos{pack(x+1, y), pack(x-1, y), pack(x, y+1), pack(x, y-1)}
+}
+
+// HistSize returns the histogram length used for an n-monomer polymer:
+// energies range over [0, maxContacts] and a monomer on the square
+// lattice has at most 4 neighbors, 2 of which are chain bonds in the
+// interior, so n+1 slots are comfortably enough; we keep the loose bound
+// 2n+1 to make the invariant obvious.
+func HistSize(n int) int { return 2*n + 1 }
+
+// walker enumerates completions of a partial folding.
+type walker struct {
+	n    int
+	occ  map[pos]int32 // occupied cell -> monomer index
+	path []pos
+	hist []int64
+}
+
+// contactsAt counts the new contacts created by placing monomer idx at p:
+// occupied neighbors other than the chain predecessor.
+func (w *walker) contactsAt(p pos, idx int32) int {
+	c := 0
+	for _, q := range neighbors(p) {
+		if j, ok := w.occ[q]; ok && j != idx-1 {
+			c++
+		}
+	}
+	return c
+}
+
+// extend recursively places monomers idx..n-1, accumulating energy.
+func (w *walker) extend(idx int32, energy int) {
+	if int(idx) == w.n {
+		w.hist[energy]++
+		return
+	}
+	last := w.path[idx-1]
+	for _, q := range neighbors(last) {
+		if _, taken := w.occ[q]; taken {
+			continue
+		}
+		dc := w.contactsAt(q, idx)
+		w.occ[q] = idx
+		w.path = append(w.path, q)
+		w.extend(idx+1, energy+dc)
+		w.path = w.path[:idx]
+		delete(w.occ, q)
+	}
+}
+
+// Serial is the best serial implementation: enumerate all foldings of an
+// n-monomer polymer and return the energy histogram.
+func Serial(n int) []int64 {
+	if n < 1 {
+		panic("pfold: need at least one monomer")
+	}
+	w := &walker{
+		n:    n,
+		occ:  map[pos]int32{pack(0, 0): 0},
+		path: []pos{pack(0, 0)},
+		hist: make([]int64, HistSize(n)),
+	}
+	w.extend(1, 0)
+	return w.hist
+}
+
+// Foldings returns the total number of foldings of an n-monomer polymer
+// (the number of self-avoiding walks of n−1 steps, OEIS A001411).
+func Foldings(hist []int64) int64 {
+	var total int64
+	for _, h := range hist {
+		total += h
+	}
+	return total
+}
+
+// Task arguments: n, threshold, energy-so-far, path (packed positions).
+func pfoldTask(c phish.TaskCtx) {
+	n := int(c.Int(0))
+	threshold := int(c.Int(1))
+	energy := int(c.Int(2))
+	packed := c.Arg(3).([]int64)
+
+	w := &walker{n: n, occ: make(map[pos]int32, n), hist: make([]int64, HistSize(n))}
+	for i, pp := range packed {
+		p := pos(pp)
+		w.occ[p] = int32(i)
+		w.path = append(w.path, p)
+	}
+	idx := int32(len(packed))
+
+	if int(idx) == n {
+		w.hist[energy]++
+		c.Return(w.hist)
+		return
+	}
+	if n-int(idx) <= threshold {
+		// Small remainder: enumerate serially inside this task.
+		w.extend(idx, energy)
+		c.Return(w.hist)
+		return
+	}
+
+	// Fan out: one child per feasible placement of the next monomer.
+	last := w.path[idx-1]
+	type ext struct {
+		p  pos
+		dc int
+	}
+	var exts []ext
+	for _, q := range neighbors(last) {
+		if _, taken := w.occ[q]; !taken {
+			exts = append(exts, ext{q, w.contactsAt(q, idx)})
+		}
+	}
+	if len(exts) == 0 {
+		c.Return(w.hist) // dead end: contributes nothing
+		return
+	}
+	s := c.Successor("pfold.merge", len(exts))
+	for slot, e := range exts {
+		child := make([]int64, len(packed)+1)
+		copy(child, packed)
+		child[len(packed)] = int64(e.p)
+		c.Spawn("pfold", s.Cont(slot),
+			int64(n), int64(threshold), int64(energy+e.dc), child)
+	}
+}
+
+func mergeTask(c phish.TaskCtx) {
+	sum := append([]int64(nil), c.Arg(0).([]int64)...)
+	for i := 1; i < c.NArgs(); i++ {
+		h := c.Arg(i).([]int64)
+		if len(h) != len(sum) {
+			panic(fmt.Sprintf("pfold: histogram length mismatch %d vs %d", len(h), len(sum)))
+		}
+		for j, v := range h {
+			sum[j] += v
+		}
+	}
+	c.Return(sum)
+}
+
+var (
+	once sync.Once
+	prog *phish.Program
+)
+
+// Program returns the pfold parallel program.
+func Program() *phish.Program {
+	once.Do(func() {
+		prog = phish.NewProgram("pfold")
+		prog.Register("pfold", pfoldTask)
+		prog.Register("pfold.merge", mergeTask)
+	})
+	return prog
+}
+
+// Root names the program's root task function.
+const Root = "pfold"
+
+// RootArgs builds the root argument list for an n-monomer polymer with
+// the given serial threshold (DefaultThreshold when threshold <= 0).
+func RootArgs(n, threshold int) []phish.Value {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return phish.Args(int64(n), int64(threshold), int64(0), []int64{int64(pack(0, 0))})
+}

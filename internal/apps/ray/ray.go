@@ -1,0 +1,82 @@
+// Package ray is the paper's second real application: a ray tracer that
+// renders images by tracing light rays through a mathematical scene model
+// (spheres, a checkerboard floor, point lights, Phong shading, shadows,
+// and recursive reflections).
+//
+// Rendering parallelizes over horizontal bands: a task responsible for
+// rows [y0, y1) either renders them inline when the band is thin enough
+// (the coarse grain that gives ray its ~1.0 serial slowdown in Table 1)
+// or splits the band in two and joins the halves with a concatenating
+// successor. Because bands always split at a row boundary, the parallel
+// image is byte-identical to the serial rendering.
+package ray
+
+import (
+	"sync"
+
+	"phish"
+)
+
+// DefaultBand is the band height below which a task renders inline.
+const DefaultBand = 8
+
+// Task args: scene name, w, h, y0, y1, band.
+func rayTask(c phish.TaskCtx) {
+	sceneName := c.String(0)
+	w := int(c.Int(1))
+	h := int(c.Int(2))
+	y0 := int(c.Int(3))
+	y1 := int(c.Int(4))
+	band := int(c.Int(5))
+
+	scene, err := SceneByName(sceneName)
+	if err != nil {
+		panic(err) // all workers run the same binary; this cannot differ
+	}
+	if y1-y0 <= band {
+		c.Return(scene.RenderRows(w, h, y0, y1))
+		return
+	}
+	mid := (y0 + y1) / 2
+	s := c.Successor("ray.join", 2)
+	c.Spawn("ray", s.Cont(0), sceneName, int64(w), int64(h), int64(y0), int64(mid), int64(band))
+	c.Spawn("ray", s.Cont(1), sceneName, int64(w), int64(h), int64(mid), int64(y1), int64(band))
+}
+
+// joinTask concatenates a split band: slot 0 is the top half, slot 1 the
+// bottom, so the result stays in row order.
+func joinTask(c phish.TaskCtx) {
+	top := c.Arg(0).([]byte)
+	bottom := c.Arg(1).([]byte)
+	img := make([]byte, 0, len(top)+len(bottom))
+	img = append(img, top...)
+	img = append(img, bottom...)
+	c.Return(img)
+}
+
+var (
+	once sync.Once
+	prog *phish.Program
+)
+
+// Program returns the ray parallel program.
+func Program() *phish.Program {
+	once.Do(func() {
+		prog = phish.NewProgram("ray")
+		prog.Register("ray", rayTask)
+		prog.Register("ray.join", joinTask)
+	})
+	return prog
+}
+
+// Root names the program's root task function.
+const Root = "ray"
+
+// RootArgs builds the root argument list: render scene at w×h with the
+// given leaf band height (DefaultBand when band <= 0).
+func RootArgs(scene string, w, h, band int) []phish.Value {
+	if band <= 0 {
+		band = DefaultBand
+	}
+	return phish.Args(scene, int64(w), int64(h), int64(0), int64(h), int64(band))
+}

@@ -1,0 +1,133 @@
+package ray
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"phish"
+)
+
+func TestSphereIntersect(t *testing.T) {
+	s := Sphere{Center: V(0, 0, 5), Radius: 1}
+	// Straight-on hit.
+	if tt, ok := s.intersect(V(0, 0, 0), V(0, 0, 1)); !ok || math.Abs(tt-4) > 1e-9 {
+		t.Errorf("head-on: t=%v ok=%v, want 4", tt, ok)
+	}
+	// Miss.
+	if _, ok := s.intersect(V(0, 2, 0), V(0, 0, 1)); ok {
+		t.Error("ray 2 units above sphere should miss")
+	}
+	// Tangent-ish graze from inside: origin inside the sphere hits the far wall.
+	if tt, ok := s.intersect(V(0, 0, 5), V(0, 0, 1)); !ok || math.Abs(tt-1) > 1e-9 {
+		t.Errorf("from center: t=%v ok=%v, want 1", tt, ok)
+	}
+	// Behind the origin: no hit.
+	if _, ok := s.intersect(V(0, 0, 10), V(0, 0, 1)); ok {
+		t.Error("sphere behind ray origin should not hit")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, 5, 6)
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("dot = %v", got)
+	}
+	if got := a.Cross(b); got != V(-3, 6, -3) {
+		t.Errorf("cross = %v", got)
+	}
+	if got := V(3, 4, 0).Norm().Len(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("norm len = %v", got)
+	}
+	// Reflecting a downward ray off a floor flips Y.
+	if got := V(1, -1, 0).Reflect(V(0, 1, 0)); got != V(1, 1, 0) {
+		t.Errorf("reflect = %v", got)
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	s, err := SceneByName("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Serial(s, 40, 30)
+	b := Serial(s, 40, 30)
+	if !bytes.Equal(a, b) {
+		t.Error("serial render is not deterministic")
+	}
+	if len(a) != 40*30*3 {
+		t.Errorf("image size %d, want %d", len(a), 40*30*3)
+	}
+}
+
+func TestRenderRowsComposition(t *testing.T) {
+	s, err := SceneByName("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := s.RenderRows(32, 24, 0, 24)
+	var parts []byte
+	for y := 0; y < 24; y += 6 {
+		parts = append(parts, s.RenderRows(32, 24, y, y+6)...)
+	}
+	if !bytes.Equal(whole, parts) {
+		t.Error("stitched bands differ from whole-image render")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s, err := SceneByName("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Serial(s, 48, 36)
+	for _, p := range []int{1, 2, 4} {
+		res, err := phish.RunLocal(Program(), Root, RootArgs("default", 48, 36, 4), phish.LocalOptions{Workers: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got := res.Value.([]byte); !bytes.Equal(got, want) {
+			t.Errorf("P=%d: parallel image differs from serial", p)
+		}
+	}
+}
+
+func TestRingScene(t *testing.T) {
+	s, err := SceneByName("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := Serial(s, 32, 24)
+	// The mirrored center sphere must appear: some pixel well above
+	// background brightness.
+	bright := false
+	for i := 0; i < len(img); i += 3 {
+		if img[i] > 200 || img[i+1] > 200 || img[i+2] > 200 {
+			bright = true
+			break
+		}
+	}
+	if !bright {
+		t.Error("ring scene renders with no bright pixels; lighting looks broken")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	var buf bytes.Buffer
+	img := make([]byte, 2*2*3)
+	if err := WritePPM(&buf, img, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n2 2\n255\n")) {
+		t.Errorf("bad PPM header: %q", buf.Bytes()[:12])
+	}
+	if err := WritePPM(&buf, img, 3, 3); err == nil {
+		t.Error("size mismatch not detected")
+	}
+}
+
+func TestUnknownScene(t *testing.T) {
+	if _, err := SceneByName("no-such-scene"); err == nil {
+		t.Error("expected error for unknown scene")
+	}
+}

@@ -1,0 +1,179 @@
+package ray
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Material describes how a surface responds to light.
+type Material struct {
+	Color      Vec     // diffuse color
+	Specular   float64 // specular coefficient
+	Shininess  float64 // Phong exponent
+	Reflective float64 // 0..1 mirror contribution
+}
+
+// Sphere is a scene object.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Mat    Material
+}
+
+// intersect returns the smallest positive ray parameter t with origin o
+// and direction d (unit), or false.
+func (s Sphere) intersect(o, d Vec) (float64, bool) {
+	oc := o.Sub(s.Center)
+	b := oc.Dot(d)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := b*b - c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t := -b - sq; t > 1e-6 {
+		return t, true
+	}
+	if t := -b + sq; t > 1e-6 {
+		return t, true
+	}
+	return 0, false
+}
+
+// Light is a point light.
+type Light struct {
+	Pos       Vec
+	Intensity Vec // per-channel intensity
+}
+
+// Scene is a full description of what to render. Scenes are registered by
+// name so every worker process of a job reconstructs the identical scene
+// from the job's scene-name argument — the Phish analogue of typing
+// "ray my-scene".
+type Scene struct {
+	Name       string
+	Spheres    []Sphere
+	Lights     []Light
+	Ambient    Vec
+	Background Vec
+	// Floor enables the checkerboard ground plane at y = FloorY.
+	Floor        bool
+	FloorY       float64
+	FloorA       Vec
+	FloorB       Vec
+	FloorReflect float64
+	// Camera.
+	Eye    Vec
+	LookAt Vec
+	FOV    float64 // vertical field of view, radians
+	// MaxDepth bounds recursive reflections.
+	MaxDepth int
+}
+
+var (
+	scenesMu sync.RWMutex
+	scenes   = make(map[string]*Scene)
+)
+
+// RegisterScene makes a scene loadable by name in this process.
+func RegisterScene(s *Scene) {
+	scenesMu.Lock()
+	defer scenesMu.Unlock()
+	if _, dup := scenes[s.Name]; dup {
+		panic(fmt.Sprintf("ray: duplicate scene %q", s.Name))
+	}
+	scenes[s.Name] = s
+}
+
+// SceneByName loads a registered scene.
+func SceneByName(name string) (*Scene, error) {
+	scenesMu.RLock()
+	defer scenesMu.RUnlock()
+	s, ok := scenes[name]
+	if !ok {
+		names := make([]string, 0, len(scenes))
+		for n := range scenes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("ray: unknown scene %q (have %v)", name, names)
+	}
+	return s, nil
+}
+
+func init() {
+	RegisterScene(defaultScene())
+	RegisterScene(ringScene())
+}
+
+// defaultScene is a small deterministic scene: three spheres over a
+// checkerboard with two lights.
+func defaultScene() *Scene {
+	return &Scene{
+		Name: "default",
+		Spheres: []Sphere{
+			{Center: V(0, 1, 0), Radius: 1, Mat: Material{Color: V(0.9, 0.2, 0.2), Specular: 0.6, Shininess: 48, Reflective: 0.25}},
+			{Center: V(-2.2, 0.7, 1.0), Radius: 0.7, Mat: Material{Color: V(0.2, 0.5, 0.9), Specular: 0.4, Shininess: 24, Reflective: 0.1}},
+			{Center: V(1.9, 0.5, 1.4), Radius: 0.5, Mat: Material{Color: V(0.2, 0.8, 0.3), Specular: 0.8, Shininess: 96, Reflective: 0.4}},
+		},
+		Lights: []Light{
+			{Pos: V(5, 8, -4), Intensity: V(0.9, 0.9, 0.9)},
+			{Pos: V(-6, 4, -2), Intensity: V(0.3, 0.3, 0.4)},
+		},
+		Ambient:      V(0.08, 0.08, 0.10),
+		Background:   V(0.15, 0.18, 0.26),
+		Floor:        true,
+		FloorY:       0,
+		FloorA:       V(0.85, 0.85, 0.85),
+		FloorB:       V(0.18, 0.18, 0.18),
+		FloorReflect: 0.08,
+		Eye:          V(0, 1.6, -6),
+		LookAt:       V(0, 0.8, 0),
+		FOV:          math.Pi / 3,
+		MaxDepth:     3,
+	}
+}
+
+// ringScene is a heavier scene: a ring of mirrored spheres.
+func ringScene() *Scene {
+	s := &Scene{
+		Name: "ring",
+		Lights: []Light{
+			{Pos: V(0, 10, -6), Intensity: V(0.85, 0.85, 0.8)},
+			{Pos: V(8, 5, 2), Intensity: V(0.25, 0.2, 0.2)},
+		},
+		Ambient:      V(0.06, 0.06, 0.08),
+		Background:   V(0.10, 0.12, 0.18),
+		Floor:        true,
+		FloorY:       0,
+		FloorA:       V(0.75, 0.72, 0.65),
+		FloorB:       V(0.22, 0.2, 0.2),
+		FloorReflect: 0.15,
+		Eye:          V(0, 3.2, -8),
+		LookAt:       V(0, 0.8, 0),
+		FOV:          math.Pi / 3,
+		MaxDepth:     4,
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / n
+		hue := float64(i) / n
+		s.Spheres = append(s.Spheres, Sphere{
+			Center: V(3*math.Cos(a), 0.8, 3*math.Sin(a)),
+			Radius: 0.8,
+			Mat: Material{
+				Color:      V(0.3+0.6*hue, 0.4, 1.0-0.7*hue),
+				Specular:   0.7,
+				Shininess:  64,
+				Reflective: 0.35,
+			},
+		})
+	}
+	s.Spheres = append(s.Spheres, Sphere{
+		Center: V(0, 1.6, 0), Radius: 1.6,
+		Mat: Material{Color: V(0.9, 0.9, 0.9), Specular: 0.9, Shininess: 128, Reflective: 0.7},
+	})
+	return s
+}

@@ -1,0 +1,164 @@
+package ray
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// hit describes the nearest intersection along a ray.
+type hit struct {
+	t       float64
+	point   Vec
+	normal  Vec
+	mat     Material
+	isFloor bool
+}
+
+// nearest finds the closest intersection of the ray (o, d) with the scene.
+func (s *Scene) nearest(o, d Vec) (hit, bool) {
+	best := hit{t: math.Inf(1)}
+	found := false
+	for i := range s.Spheres {
+		sp := &s.Spheres[i]
+		if t, ok := sp.intersect(o, d); ok && t < best.t {
+			p := o.Add(d.Scale(t))
+			best = hit{t: t, point: p, normal: p.Sub(sp.Center).Norm(), mat: sp.Mat}
+			found = true
+		}
+	}
+	if s.Floor && d.Y != 0 {
+		t := (s.FloorY - o.Y) / d.Y
+		if t > 1e-6 && t < best.t {
+			p := o.Add(d.Scale(t))
+			mat := Material{Specular: 0.1, Shininess: 16, Reflective: s.FloorReflect}
+			// Checkerboard in x/z.
+			cx := int(math.Floor(p.X))
+			cz := int(math.Floor(p.Z))
+			if (cx+cz)%2 == 0 {
+				mat.Color = s.FloorA
+			} else {
+				mat.Color = s.FloorB
+			}
+			best = hit{t: t, point: p, normal: V(0, 1, 0), mat: mat, isFloor: true}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// occluded reports whether anything blocks the segment from p toward the
+// light at distance maxT.
+func (s *Scene) occluded(p, toLight Vec, maxT float64) bool {
+	for i := range s.Spheres {
+		if t, ok := s.Spheres[i].intersect(p, toLight); ok && t < maxT {
+			return true
+		}
+	}
+	// The floor cannot shadow anything above it from lights above it;
+	// skip it for speed (all registered scenes keep lights above the
+	// floor).
+	return false
+}
+
+// shade computes the color at a hit with Phong lighting, shadows, and
+// recursive reflection.
+func (s *Scene) shade(d Vec, h hit, depth int) Vec {
+	col := s.Ambient.Mul(h.mat.Color)
+	for _, l := range s.Lights {
+		toL := l.Pos.Sub(h.point)
+		dist := toL.Len()
+		toL = toL.Norm()
+		if s.occluded(h.point.Add(h.normal.Scale(1e-6)), toL, dist) {
+			continue
+		}
+		diff := h.normal.Dot(toL)
+		if diff > 0 {
+			col = col.Add(l.Intensity.Mul(h.mat.Color).Scale(diff))
+		}
+		if h.mat.Specular > 0 {
+			r := toL.Scale(-1).Reflect(h.normal)
+			spec := r.Dot(d.Scale(-1))
+			if spec > 0 {
+				col = col.Add(l.Intensity.Scale(h.mat.Specular * math.Pow(spec, h.mat.Shininess)))
+			}
+		}
+	}
+	if h.mat.Reflective > 0 && depth > 0 {
+		rd := d.Reflect(h.normal).Norm()
+		rc := s.trace(h.point.Add(h.normal.Scale(1e-6)), rd, depth-1)
+		col = col.Add(rc.Scale(h.mat.Reflective))
+	}
+	return col
+}
+
+// trace returns the color seen along the ray (o, d).
+func (s *Scene) trace(o, d Vec, depth int) Vec {
+	h, ok := s.nearest(o, d)
+	if !ok {
+		return s.Background
+	}
+	return s.shade(d, h, depth)
+}
+
+// camera precomputes the pixel-to-ray mapping.
+type camera struct {
+	eye           Vec
+	right, up, fw Vec
+	halfH, halfW  float64
+	w, h          int
+}
+
+func (s *Scene) camera(w, h int) camera {
+	fw := s.LookAt.Sub(s.Eye).Norm()
+	right := fw.Cross(V(0, 1, 0)).Norm()
+	up := right.Cross(fw)
+	halfH := math.Tan(s.FOV / 2)
+	halfW := halfH * float64(w) / float64(h)
+	return camera{eye: s.Eye, right: right, up: up, fw: fw, halfH: halfH, halfW: halfW, w: w, h: h}
+}
+
+func (c camera) ray(x, y int) (Vec, Vec) {
+	u := (2*(float64(x)+0.5)/float64(c.w) - 1) * c.halfW
+	v := (1 - 2*(float64(y)+0.5)/float64(c.h)) * c.halfH
+	d := c.fw.Add(c.right.Scale(u)).Add(c.up.Scale(v)).Norm()
+	return c.eye, d
+}
+
+// RenderRows renders pixel rows [y0, y1) of a w×h image and returns them
+// as packed RGB bytes (3 bytes per pixel, row-major). This is the unit of
+// serial work shared by the serial renderer and the parallel leaf tasks,
+// so the parallel image is byte-identical to the serial one.
+func (s *Scene) RenderRows(w, h, y0, y1 int) []byte {
+	cam := s.camera(w, h)
+	out := make([]byte, 0, (y1-y0)*w*3)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			o, d := cam.ray(x, y)
+			col := s.trace(o, d, s.MaxDepth)
+			out = append(out,
+				byte(255*clamp01(col.X)),
+				byte(255*clamp01(col.Y)),
+				byte(255*clamp01(col.Z)))
+		}
+	}
+	return out
+}
+
+// Serial is the best serial implementation: render the whole image with
+// plain loops.
+func Serial(s *Scene, w, h int) []byte {
+	return s.RenderRows(w, h, 0, h)
+}
+
+// WritePPM writes a rendered RGB image as a binary PPM (P6).
+func WritePPM(out io.Writer, img []byte, w, h int) error {
+	if len(img) != w*h*3 {
+		return fmt.Errorf("ray: image is %d bytes, want %d", len(img), w*h*3)
+	}
+	if _, err := fmt.Fprintf(out, "P6\n%d %d\n255\n", w, h); err != nil {
+		return err
+	}
+	_, err := out.Write(img)
+	return err
+}

@@ -1,0 +1,62 @@
+package ray
+
+import "math"
+
+// Vec is a 3-vector of float64, the workhorse of the tracer.
+type Vec struct{ X, Y, Z float64 }
+
+// V builds a vector.
+func V(x, y, z float64) Vec { return Vec{x, y, z} }
+
+// Add returns a + b.
+func (a Vec) Add(b Vec) Vec { return Vec{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec) Sub(b Vec) Vec { return Vec{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a * s.
+func (a Vec) Scale(s float64) Vec { return Vec{a.X * s, a.Y * s, a.Z * s} }
+
+// Mul returns the component-wise product (color filtering).
+func (a Vec) Mul(b Vec) Vec { return Vec{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Dot returns a · b.
+func (a Vec) Dot(b Vec) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns a × b.
+func (a Vec) Cross(b Vec) Vec {
+	return Vec{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Len returns |a|.
+func (a Vec) Len() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Norm returns a scaled to unit length (the zero vector is returned
+// unchanged).
+func (a Vec) Norm() Vec {
+	l := a.Len()
+	if l == 0 {
+		return a
+	}
+	return a.Scale(1 / l)
+}
+
+// Reflect returns the reflection of direction d about unit normal n.
+func (d Vec) Reflect(n Vec) Vec {
+	return d.Sub(n.Scale(2 * d.Dot(n)))
+}
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,211 @@
+package clearinghouse
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/model"
+	"phish/internal/phishnet"
+	"phish/internal/stats"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// ckptProg is a slowed fib so checkpoints land mid-run: every leaf spins.
+func ckptProg() *core.Program {
+	p := core.NewProgram("ckpt-fib")
+	p.Register("fib", func(c model.Ctx) {
+		n := c.Int(0)
+		if n < 2 {
+			x := uint64(n) | 1
+			for i := 0; i < 2000; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			if x == 0 {
+				c.Return(int64(-1))
+				return
+			}
+			c.Return(n)
+			return
+		}
+		s := c.Successor("sum", 2)
+		c.Spawn("fib", s.Cont(0), n-1)
+		c.Spawn("fib", s.Cont(1), n-2)
+	})
+	p.Register("sum", func(c model.Ctx) { c.Return(c.Int(0) + c.Int(1)) })
+	return p
+}
+
+func ckptFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return ckptFib(n-1) + ckptFib(n-2)
+}
+
+// startWorkers wires count workers onto fab against prog.
+func startWorkers(t *testing.T, fab *phishnet.Fabric, prog *core.Program, ids []types.WorkerID) ([]*core.Worker, *sync.WaitGroup) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.StealTimeout = 50 * time.Millisecond
+	var wg sync.WaitGroup
+	workers := make([]*core.Worker, 0, len(ids))
+	for _, id := range ids {
+		w := core.NewWorker(1, id, prog, fab.Attach(id), cfg, clock.System)
+		workers = append(workers, w)
+		wg.Add(1)
+		go func(w *core.Worker) {
+			defer wg.Done()
+			_ = w.Run()
+		}(w)
+	}
+	return workers, &wg
+}
+
+func TestCheckpointAndRestore(t *testing.T) {
+	prog := ckptProg()
+	spec := wire.JobSpec{ID: 1, Name: "ckpt-fib", Program: "ckpt-fib",
+		RootFn: "fib", RootArgs: []types.Value{int64(22)}}
+
+	// Phase A: start the job, checkpoint it mid-flight, kill everything.
+	fabA := phishnet.NewFabric()
+	cfgA := DefaultConfig()
+	cfgA.UpdateEvery = 20 * time.Millisecond
+	chA := New(spec, fabA.Attach(types.ClearinghouseID), cfgA)
+	go chA.Run()
+	workersA, wgA := startWorkers(t, fabA, prog, []types.WorkerID{1, 2, 3})
+
+	time.Sleep(40 * time.Millisecond) // let it get going
+	cp, err := chA.Checkpoint(10 * time.Second)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if chA.Done() {
+		t.Skip("job finished before the checkpoint; nothing to restore")
+	}
+	var executedA int64
+	for _, w := range workersA {
+		executedA += w.Stats().TasksExecuted
+	}
+	if executedA == 0 {
+		t.Fatal("checkpoint taken before any execution; timing is off")
+	}
+	// The whole site burns down.
+	for _, w := range workersA {
+		w.Crash()
+	}
+	wgA.Wait()
+	chA.Stop()
+	fabA.Close()
+
+	// Serialize and reload, as a file would.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp2.States) != 3 {
+		t.Fatalf("checkpoint has %d states, want 3", len(cp2.States))
+	}
+
+	// Phase B: restore on a fresh fabric with fresh workers.
+	fabB := phishnet.NewFabric()
+	cfgB := DefaultConfig()
+	cfgB.UpdateEvery = 20 * time.Millisecond
+	chB := NewFromCheckpoint(cp2, fabB.Attach(types.ClearinghouseID), cfgB)
+	go chB.Run()
+	defer chB.Stop()
+	defer fabB.Close()
+	workersB, wgB := startWorkers(t, fabB, prog, []types.WorkerID{11, 12, 13})
+
+	v, err := chB.WaitResult(60 * time.Second)
+	if err != nil {
+		t.Fatalf("restored job never finished: %v", err)
+	}
+	wgB.Wait()
+	if got, want := v.(int64), ckptFib(22); got != want {
+		t.Errorf("restored result = %d, want %d", got, want)
+	}
+
+	// Proof it RESUMED rather than restarted: the second phase executed
+	// fewer tasks than the whole job.
+	var snaps []stats.Snapshot
+	for _, w := range workersB {
+		snaps = append(snaps, w.Stats())
+	}
+	executedB := stats.JobTotals(snaps).TasksExecuted
+	total := fibTaskCount(22)
+	if executedB >= total {
+		t.Errorf("restored phase executed %d >= %d tasks; it restarted instead of resuming", executedB, total)
+	}
+	if executedA+executedB < total {
+		t.Errorf("phases executed %d+%d < %d tasks; work was lost", executedA, executedB, total)
+	}
+}
+
+func fibTaskCount(n int64) int64 {
+	if n < 2 {
+		return 1
+	}
+	return fibTaskCount(n-1) + fibTaskCount(n-2) + 2
+}
+
+func TestCheckpointRefusesWhenDone(t *testing.T) {
+	prog := ckptProg()
+	spec := wire.JobSpec{ID: 1, Name: "ckpt-fib", Program: "ckpt-fib",
+		RootFn: "fib", RootArgs: []types.Value{int64(5)}}
+	fab := phishnet.NewFabric()
+	defer fab.Close()
+	ch := New(spec, fab.Attach(types.ClearinghouseID), DefaultConfig())
+	go ch.Run()
+	defer ch.Stop()
+	_, wg := startWorkers(t, fab, prog, []types.WorkerID{1})
+	if _, err := ch.WaitResult(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := ch.Checkpoint(time.Second); err == nil {
+		t.Error("checkpointing a finished job should fail")
+	}
+}
+
+func TestCheckpointRoundTripSerialization(t *testing.T) {
+	cp := &JobCheckpoint{
+		Spec:     wire.JobSpec{ID: 9, Name: "x", RootFn: "fib", RootArgs: []types.Value{int64(3)}},
+		RootHost: 4,
+		States: []wire.SnapshotReply{{
+			Worker: 4,
+			Closures: []wire.Closure{{
+				ID: types.TaskID{Worker: 4, Seq: 2}, Fn: "sum",
+				Args: []types.Value{int64(1), nil}, Missing: 1,
+				Cont: types.Continuation{Task: types.TaskID{Worker: types.ClearinghouseID, Seq: 1}},
+			}},
+			Records: []wire.Record{{
+				ID: types.TaskID{Worker: 4, Seq: 3}, Thief: 5, Confirmed: true,
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RootHost != 4 || len(got.States) != 1 || len(got.States[0].Closures) != 1 {
+		t.Errorf("round trip mangled the checkpoint: %+v", got)
+	}
+	if got.States[0].Closures[0].Args[0].(int64) != 1 {
+		t.Error("argument value lost")
+	}
+}

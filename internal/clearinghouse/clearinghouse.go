@@ -1,0 +1,516 @@
+// Package clearinghouse implements the per-job Clearinghouse of the paper
+// (Section 3, Figure 3): an application-independent process that keeps
+// track of the workers participating in one parallel job, pushes periodic
+// membership updates, funnels application I/O so "a user need only watch
+// the Clearinghouse to see job output", arbitrates worker retirement when
+// parallelism shrinks, and holds the redundant state needed to restart a
+// job whose root lineage is lost to a crash.
+package clearinghouse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"phish/internal/clock"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Config tunes a clearinghouse.
+type Config struct {
+	// UpdateEvery is the interval between unsolicited membership pushes
+	// (the paper's workers obtain an update "once every 2 minutes";
+	// membership changes are pushed immediately regardless).
+	UpdateEvery time.Duration
+	// HeartbeatTimeout declares a worker crashed when nothing is heard
+	// from it for this long. Zero disables heartbeat-based detection
+	// (explicit crash notifications still work).
+	HeartbeatTimeout time.Duration
+	// Clock drives the periodic behavior; nil means the system clock.
+	Clock clock.Clock
+}
+
+// DefaultConfig mirrors the paper's coarse communication granularity,
+// scaled from minutes to seconds so laptop runs exercise the same paths.
+func DefaultConfig() Config {
+	return Config{
+		UpdateEvery:      2 * time.Second,
+		HeartbeatTimeout: 0,
+		Clock:            clock.System,
+	}
+}
+
+// member is the clearinghouse's record of a (possibly departed)
+// participant.
+type member struct {
+	info      wire.MemberInfo
+	lastHeard time.Time
+	departed  bool
+}
+
+// Clearinghouse tracks one job. Create with New, then Run (usually in a
+// goroutine); WaitResult blocks until the job's root result arrives.
+type Clearinghouse struct {
+	job  types.JobID
+	spec wire.JobSpec
+	conn phishnet.Conn
+	cfg  Config
+	clk  clock.Clock
+
+	mu       sync.Mutex
+	members  map[types.WorkerID]*member
+	epoch    uint64
+	rootHost types.WorkerID
+	armRoot  bool // spawn the root at the next registration
+	done     bool
+	result   types.Value
+	output   strings.Builder
+	ioLines  int64
+	msgsSent int64
+	msgsRecv int64
+	synchs   int64
+
+	// Checkpoint coordination (see checkpoint.go).
+	ckpt        *ckptState
+	ckptSeq     uint64
+	restore     []wire.SnapshotReply
+	restoreRoot types.WorkerID
+
+	doneCh chan struct{}
+	stopCh chan struct{}
+	ranCh  chan struct{} // closed when Run exits
+}
+
+// New builds a clearinghouse for spec, speaking on conn (which must be
+// attached as types.ClearinghouseID).
+func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Clearinghouse{
+		job:      spec.ID,
+		spec:     spec,
+		conn:     conn,
+		cfg:      cfg,
+		clk:      clk,
+		members:  make(map[types.WorkerID]*member),
+		rootHost: types.NoWorker,
+		armRoot:  true,
+		doneCh:   make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		ranCh:    make(chan struct{}),
+	}
+}
+
+// Run services the job until Stop is called or the job completes and all
+// workers have unregistered.
+func (c *Clearinghouse) Run() {
+	defer close(c.ranCh)
+	var tick <-chan time.Time
+	if c.cfg.UpdateEvery > 0 {
+		tick = c.clk.After(c.cfg.UpdateEvery)
+	}
+	var hbTick <-chan time.Time
+	if c.cfg.HeartbeatTimeout > 0 {
+		hbTick = c.clk.After(c.cfg.HeartbeatTimeout / 2)
+	}
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case env, ok := <-c.conn.Recv():
+			if !ok {
+				return
+			}
+			c.handle(env)
+		case <-tick:
+			c.broadcastUpdate()
+			tick = c.clk.After(c.cfg.UpdateEvery)
+		case <-hbTick:
+			c.checkHeartbeats()
+			hbTick = c.clk.After(c.cfg.HeartbeatTimeout / 2)
+		}
+	}
+}
+
+// Stop shuts the clearinghouse down.
+func (c *Clearinghouse) Stop() {
+	select {
+	case <-c.stopCh:
+	default:
+		close(c.stopCh)
+	}
+	<-c.ranCh
+}
+
+// WaitResult blocks until the root result arrives or the timeout elapses.
+func (c *Clearinghouse) WaitResult(timeout time.Duration) (types.Value, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case <-c.doneCh:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.result, nil
+	case <-tc:
+		return nil, fmt.Errorf("clearinghouse: job %d: no result after %v", c.job, timeout)
+	}
+}
+
+// Done reports whether the root result has arrived.
+func (c *Clearinghouse) Done() bool {
+	select {
+	case <-c.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Output returns everything workers printed through the clearinghouse.
+func (c *Clearinghouse) Output() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.output.String()
+}
+
+// LiveWorkers returns the ids of currently participating workers.
+func (c *Clearinghouse) LiveWorkers() []types.WorkerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]types.WorkerID, 0, len(c.members))
+	for id, m := range c.members {
+		if !m.departed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Messages returns (sent, received) message counts for Table 2 totals.
+func (c *Clearinghouse) Messages() (sent, recv int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgsSent, c.msgsRecv
+}
+
+func (c *Clearinghouse) handle(env *wire.Envelope) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsRecv++
+	switch p := env.Payload.(type) {
+	case wire.Register:
+		c.onRegister(p)
+	case wire.Unregister:
+		c.onUnregister(p)
+	case wire.Heartbeat:
+		if m, ok := c.members[p.Worker]; ok {
+			m.lastHeard = c.clk.Now()
+		}
+	case wire.Arg:
+		c.onArg(p)
+	case wire.IO:
+		c.ioLines++
+		c.output.WriteString(p.Text)
+		if !strings.HasSuffix(p.Text, "\n") {
+			c.output.WriteByte('\n')
+		}
+	case wire.StayRequest:
+		c.onStayRequest(p)
+	case wire.PauseAck:
+		if c.ckpt != nil && p.Seq == c.ckpt.seq && c.ckpt.workers[p.Worker] {
+			c.ckpt.acks[p.Worker] = p
+		}
+	case wire.SnapshotReply:
+		if c.ckpt != nil && p.Seq == c.ckpt.seq && c.ckpt.workers[p.Worker] {
+			c.ckpt.snaps[p.Worker] = p
+		}
+	default:
+		// Workers talk to each other directly; anything else is stray.
+	}
+}
+
+func (c *Clearinghouse) onRegister(p wire.Register) {
+	if c.ckpt != nil {
+		if _, already := c.members[p.Worker]; !already {
+			c.ckpt.aborted = true // a joiner mid-checkpoint invalidates the matrix
+		}
+	}
+	m, exists := c.members[p.Worker]
+	switch {
+	case !exists:
+		c.members[p.Worker] = &member{
+			info:      wire.MemberInfo{Worker: p.Worker, Addr: p.Addr, HostedBy: p.Worker, Site: p.Site},
+			lastHeard: c.clk.Now(),
+		}
+		c.epoch++
+	case m.departed:
+		// Worker ids are incarnation-unique (the JobManager mints a fresh
+		// one per start), so a departed id re-registering is a protocol
+		// violation; keep the tombstone and just answer.
+	default:
+		m.lastHeard = c.clk.Now() // duplicate Register retry
+	}
+	c.conn.SetPeer(p.Worker, p.Addr)
+	c.send(p.Worker, wire.RegisterReply{Assigned: p.Worker, View: c.viewLocked()})
+	if c.done {
+		// The job finished while this worker was still joining (easy on a
+		// fast job: the shutdown broadcast predates its membership). Tell
+		// it directly or it will thieve forever.
+		c.send(p.Worker, wire.Shutdown{Reason: "job complete"})
+	}
+	if c.armRoot && !c.done {
+		c.armRoot = false
+		c.rootHost = p.Worker
+		c.send(p.Worker, wire.SpawnRoot{Fn: c.spec.RootFn, Args: c.spec.RootArgs})
+	}
+	// Restoring from a checkpoint: hand the new worker a departed
+	// participant's bundle as an ordinary migration, and tombstone the
+	// old id so everything routes to the adopter. Bundle ids must not
+	// collide with live members (a registrant may reuse an old id, in
+	// which case it adopts its own former state and needs no tombstone).
+	if !c.done {
+		if idx := c.pickBundleLocked(p.Worker); idx >= 0 {
+			bundle := c.restore[idx]
+			c.restore = append(c.restore[:idx], c.restore[idx+1:]...)
+			if bundle.Worker != p.Worker {
+				c.members[bundle.Worker] = &member{
+					info:     wire.MemberInfo{Worker: bundle.Worker, HostedBy: p.Worker},
+					departed: true,
+				}
+			}
+			c.epoch++
+			if bundle.Worker == c.restoreRoot {
+				c.rootHost = p.Worker
+			}
+			c.send(p.Worker, wire.Migrate{
+				From:     bundle.Worker,
+				Closures: bundle.Closures,
+				Records:  bundle.Records,
+			})
+		}
+	}
+	c.broadcastUpdateLocked(types.NoWorker)
+}
+
+func (c *Clearinghouse) onUnregister(p wire.Unregister) {
+	m, ok := c.members[p.Worker]
+	if !ok || m.departed {
+		return
+	}
+	if c.ckpt != nil && c.ckpt.workers[p.Worker] {
+		c.ckpt.aborted = true
+	}
+	switch {
+	case p.Reason == wire.LeaveCrash:
+		c.crashLocked(p.Worker)
+		return
+	case p.MigratedTo != types.NoWorker:
+		// Tombstone: the adopter now hosts the departed worker's tasks.
+		m.departed = true
+		m.info.HostedBy = p.MigratedTo
+		// Flatten chains: anything previously hosted by the leaver moves
+		// to the adopter too.
+		for _, other := range c.members {
+			if other.info.HostedBy == p.Worker {
+				other.info.HostedBy = p.MigratedTo
+			}
+		}
+		if c.rootHost == p.Worker {
+			c.rootHost = p.MigratedTo
+		}
+	default:
+		// Clean exit with no state. Keep a tombstone (HostedBy=NoWorker)
+		// rather than deleting: a worker that simply vanishes from the
+		// view is indistinguishable from one not yet announced, and the
+		// steal-record recovery sweep must be able to tell "departed"
+		// from "not seen yet".
+		m.departed = true
+		m.info.HostedBy = types.NoWorker
+		if c.rootHost == p.Worker && !c.done {
+			// It left holding nothing while the job is unfinished; if the
+			// root's lineage really is gone (e.g., the root spawn was
+			// still in flight), the next registrant restarts it. A root
+			// result already in flight wins harmlessly: duplicate
+			// completions are deduplicated here.
+			c.rootHost = types.NoWorker
+			c.armRoot = true
+		}
+	}
+	c.epoch++
+	c.broadcastUpdateLocked(types.NoWorker)
+}
+
+// crashLocked handles the definitive loss of a worker and its state.
+func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
+	m, ok := c.members[dead]
+	if !ok || m.departed {
+		return
+	}
+	delete(c.members, dead)
+	// Anything hosted by the dead worker is gone with it.
+	for id, other := range c.members {
+		if other.info.HostedBy == dead {
+			delete(c.members, id)
+		}
+	}
+	c.epoch++
+	c.conn.DropPeer(dead)
+	for id, other := range c.members {
+		if other.departed {
+			continue
+		}
+		c.send(id, wire.WorkerDown{Worker: dead})
+	}
+	c.broadcastUpdateLocked(types.NoWorker)
+	if c.rootHost == dead && !c.done {
+		// The root lineage died. Respawn on any live worker, or arm the
+		// respawn for the next registrant.
+		c.rootHost = types.NoWorker
+		for id, other := range c.members {
+			if !other.departed {
+				c.rootHost = id
+				c.send(id, wire.SpawnRoot{Fn: c.spec.RootFn, Args: c.spec.RootArgs})
+				break
+			}
+		}
+		if c.rootHost == types.NoWorker {
+			c.armRoot = true
+		}
+	}
+}
+
+func (c *Clearinghouse) onArg(p wire.Arg) {
+	if p.Cont.Task.Worker != types.ClearinghouseID {
+		return // misrouted
+	}
+	c.synchs++
+	if c.done {
+		return // duplicate root result after a redo; first one won
+	}
+	c.done = true
+	c.result = p.Val
+	close(c.doneCh)
+	for id, m := range c.members {
+		if !m.departed {
+			c.send(id, wire.Shutdown{Reason: "job complete"})
+		}
+	}
+}
+
+func (c *Clearinghouse) onStayRequest(p wire.StayRequest) {
+	live := 0
+	for _, m := range c.members {
+		if !m.departed {
+			live++
+		}
+	}
+	// Keep the last participant, and keep the root's host (its lineage
+	// base may still be in flight to it).
+	stay := !c.done && (live <= 1 || p.Worker == c.rootHost)
+	c.send(p.Worker, wire.StayReply{Stay: stay})
+}
+
+// pickBundleLocked selects which restore bundle to hand the registrant:
+// its own former id if present, else any bundle whose old id does not
+// collide with a live member; -1 when none is safe to hand out yet.
+func (c *Clearinghouse) pickBundleLocked(registrant types.WorkerID) int {
+	if len(c.restore) == 0 {
+		return -1
+	}
+	fallback := -1
+	for i, b := range c.restore {
+		if b.Worker == registrant {
+			return i
+		}
+		if fallback == -1 {
+			if m, ok := c.members[b.Worker]; !ok || m.departed {
+				fallback = i
+			}
+		}
+	}
+	return fallback
+}
+
+func (c *Clearinghouse) viewLocked() wire.MembershipView {
+	v := wire.MembershipView{Epoch: c.epoch}
+	ids := make([]types.WorkerID, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		v.Members = append(v.Members, c.members[id].info)
+	}
+	return v
+}
+
+// broadcastUpdate pushes the current view to every live member.
+func (c *Clearinghouse) broadcastUpdate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broadcastUpdateLocked(types.NoWorker)
+}
+
+// broadcastUpdateLocked pushes the view to all live members except skip
+// (a registrant that just got the same view in its RegisterReply).
+func (c *Clearinghouse) broadcastUpdateLocked(skip types.WorkerID) {
+	view := c.viewLocked()
+	for id, m := range c.members {
+		if m.departed || id == skip {
+			continue
+		}
+		c.send(id, wire.Update{View: view})
+	}
+}
+
+func (c *Clearinghouse) checkHeartbeats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := c.clk.Now().Add(-c.cfg.HeartbeatTimeout)
+	var deadList []types.WorkerID
+	for id, m := range c.members {
+		if !m.departed && m.lastHeard.Before(cutoff) {
+			deadList = append(deadList, id)
+		}
+	}
+	for _, id := range deadList {
+		c.crashLocked(id)
+	}
+}
+
+func (c *Clearinghouse) send(to types.WorkerID, payload any) {
+	env := &wire.Envelope{Job: c.job, From: types.ClearinghouseID, To: to, Payload: payload}
+	if err := c.conn.Send(env); err == nil {
+		c.msgsSent++
+	}
+}
+
+// DebugMembers renders the membership table for post-mortem inspection.
+func (c *Clearinghouse) DebugMembers() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := fmt.Sprintf("clearinghouse: done=%v rootHost=%d epoch=%d armRoot=%v\n",
+		c.done, c.rootHost, c.epoch, c.armRoot)
+	ids := make([]types.WorkerID, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := c.members[id]
+		out += fmt.Sprintf("  member %d hostedBy=%d site=%d departed=%v\n",
+			id, m.info.HostedBy, m.info.Site, m.departed)
+	}
+	return out
+}

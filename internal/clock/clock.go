@@ -1,0 +1,141 @@
+// Package clock abstracts time so the macro-level scheduler's long polling
+// intervals — the paper's 5-minute owner check, 30-second job-request
+// retry, 2-second reclaim check, and 2-minute clearinghouse update — can be
+// driven in microseconds by tests and by the simulated cluster.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the subset of the time package the runtime depends on.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// System is a shared Real clock.
+var System Clock = Real{}
+
+// Fake is a manually advanced clock. Goroutines blocked in After/Sleep are
+// released when Advance moves the clock past their deadlines. The zero
+// value is not usable; call NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a Fake clock starting at a fixed, arbitrary epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(1994, time.August, 2, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since implements Clock.
+func (f *Fake) Since(t time.Time) time.Duration {
+	return f.Now().Sub(t)
+}
+
+// After implements Clock. The returned channel has capacity 1, so Advance
+// never blocks delivering to an abandoned timer.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &waiter{deadline: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- f.now
+		return w.ch
+	}
+	f.waiters = append(f.waiters, w)
+	return w.ch
+}
+
+// Sleep implements Clock.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	// Fire in deadline order so that cascaded timers behave sensibly.
+	sort.Slice(f.waiters, func(i, j int) bool {
+		return f.waiters[i].deadline.Before(f.waiters[j].deadline)
+	})
+	remaining := f.waiters[:0]
+	fired := make([]*waiter, 0)
+	for _, w := range f.waiters {
+		if !w.deadline.After(target) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.now = target
+	f.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- w.deadline
+	}
+}
+
+// Waiters returns the number of goroutines currently blocked on this clock.
+// Tests use it to know when the system under test has reached its next
+// poll before advancing time.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// BlockUntilWaiters spins until at least n timers are pending or the
+// (real-time) timeout elapses; it reports whether the condition was met.
+func (f *Fake) BlockUntilWaiters(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if f.Waiters() >= n {
+			return true
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return f.Waiters() >= n
+}
+
+var _ Clock = (*Fake)(nil)
+var _ Clock = Real{}

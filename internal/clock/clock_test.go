@@ -1,0 +1,115 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(a) <= 0 {
+		t.Error("time did not advance")
+	}
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Error("After(0) never fired")
+	}
+}
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	f := NewFake()
+	a := f.After(10 * time.Second)
+	b := f.After(5 * time.Second)
+	f.Advance(7 * time.Second)
+	select {
+	case <-b:
+	default:
+		t.Fatal("5s timer did not fire after 7s advance")
+	}
+	select {
+	case <-a:
+		t.Fatal("10s timer fired after only 7s")
+	default:
+	}
+	f.Advance(4 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("10s timer did not fire after 11s total")
+	}
+}
+
+func TestFakeNowAndSince(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	f.Advance(90 * time.Second)
+	if got := f.Since(start); got != 90*time.Second {
+		t.Errorf("Since = %v, want 90s", got)
+	}
+}
+
+func TestFakeNonPositiveAfterFiresImmediately(t *testing.T) {
+	f := NewFake()
+	select {
+	case <-f.After(0):
+	default:
+		t.Error("After(0) should fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Error("After(<0) should fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Minute)
+		close(done)
+	}()
+	if !f.BlockUntilWaiters(1, time.Second) {
+		t.Fatal("sleeper never registered")
+	}
+	f.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}
+
+func TestFakeWaiters(t *testing.T) {
+	f := NewFake()
+	if f.Waiters() != 0 {
+		t.Fatal("fresh clock has waiters")
+	}
+	_ = f.After(time.Hour)
+	_ = f.After(time.Hour)
+	if got := f.Waiters(); got != 2 {
+		t.Fatalf("waiters = %d, want 2", got)
+	}
+	f.Advance(2 * time.Hour)
+	if got := f.Waiters(); got != 0 {
+		t.Fatalf("waiters after fire = %d, want 0", got)
+	}
+}
+
+func TestFakeAbandonedTimerDoesNotBlockAdvance(t *testing.T) {
+	f := NewFake()
+	_ = f.After(time.Second) // never read
+	done := make(chan struct{})
+	go func() {
+		f.Advance(time.Minute)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Advance blocked on an abandoned timer")
+	}
+}

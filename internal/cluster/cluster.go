@@ -1,0 +1,302 @@
+// Package cluster simulates a network of workstations running the full
+// Phish stack inside one process: a PhishJobQ pool, a PhishJobManager per
+// workstation driven by a (usually synthetic) owner-idleness policy, and,
+// per submitted job, a clearinghouse plus the workers that idle
+// workstations start and reclaim. Workers exchange real protocol messages
+// over an in-memory fabric; only the wire and the CPUs differ from the
+// paper's SparcStation network (see DESIGN.md, substitutions).
+//
+// The cluster is the testbed for the macro-level scheduler: workstations
+// joining an ongoing computation when their owner leaves, being reclaimed
+// when the owner returns (with task migration), retiring when a job's
+// parallelism shrinks, and crash/redo fault injection.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/jobmanager"
+	"phish/internal/jobq"
+	"phish/internal/phishnet"
+	"phish/internal/stats"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Clock drives the macro-level polling (JobManagers, clearinghouse
+	// periodic updates). Workers always run in real time — they do real
+	// work. Nil means the system clock.
+	Clock clock.Clock
+	// Worker tunes every worker's micro scheduler. The zero value takes
+	// core.DefaultConfig with MaxStealFailures=25 so workers retire when
+	// parallelism shrinks, as the paper's do.
+	Worker core.Config
+	// CH tunes every job's clearinghouse.
+	CH clearinghouse.Config
+	// JM tunes every workstation's job manager.
+	JM jobmanager.Config
+	// Latency injects one-way message latency on each job's fabric.
+	Latency time.Duration
+}
+
+// Cluster is the simulated NOW.
+type Cluster struct {
+	opts Options
+	clk  clock.Clock
+	pool *jobq.Pool
+
+	mu       sync.Mutex
+	jobs     map[types.JobID]*Job
+	stations []*Workstation
+	closed   bool
+}
+
+// Job is one submitted parallel job and its per-job infrastructure.
+type Job struct {
+	ID   types.JobID
+	Spec wire.JobSpec
+
+	cluster *Cluster
+	prog    *core.Program
+	fabric  *phishnet.Fabric
+	ch      *clearinghouse.Clearinghouse
+
+	mu      sync.Mutex
+	workers map[types.WorkerID]*core.Worker // every participant ever
+	started time.Time
+}
+
+// Workstation is one simulated machine: a job manager plus its owner's
+// policy.
+type Workstation struct {
+	ID  types.WorkstationID
+	mgr *jobmanager.Manager
+}
+
+// New builds an empty cluster.
+func New(opts Options) *Cluster {
+	if opts.Clock == nil {
+		opts.Clock = clock.System
+	}
+	if opts.Worker == (core.Config{}) {
+		opts.Worker = core.DefaultConfig()
+		opts.Worker.MaxStealFailures = 25
+	}
+	if opts.CH == (clearinghouse.Config{}) {
+		opts.CH = clearinghouse.DefaultConfig()
+	}
+	if opts.CH.Clock == nil {
+		opts.CH.Clock = opts.Clock
+	}
+	if opts.JM.Clock == nil {
+		opts.JM.Clock = opts.Clock
+	}
+	return &Cluster{
+		opts: opts,
+		clk:  opts.Clock,
+		pool: jobq.NewPool(),
+		jobs: make(map[types.JobID]*Job),
+	}
+}
+
+// Pool exposes the PhishJobQ pool (diagnostics and tests).
+func (c *Cluster) Pool() *jobq.Pool { return c.pool }
+
+// Submit places a job in the PhishJobQ. Idle workstations will pick it up;
+// nothing runs until one does (start a workstation with an always-idle
+// owner to mimic the paper's "the first worker starts on the submitting
+// user's own workstation").
+func (c *Cluster) Submit(prog *core.Program, rootFn string, rootArgs []types.Value) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec := wire.JobSpec{
+		Name:     prog.Name,
+		Program:  prog.Name,
+		RootFn:   rootFn,
+		RootArgs: rootArgs,
+	}
+	id := c.pool.Submit(spec)
+	spec.ID = id
+
+	fab := phishnet.NewFabric()
+	if c.opts.Latency > 0 {
+		fab.SetLatency(c.opts.Latency)
+	}
+	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), c.opts.CH)
+	go ch.Run()
+
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		cluster: c,
+		prog:    prog,
+		fabric:  fab,
+		ch:      ch,
+		workers: make(map[types.WorkerID]*core.Worker),
+		started: time.Now(),
+	}
+	c.jobs[id] = j
+	// Retire the job from the pool the moment its result is in.
+	go func() {
+		if _, err := ch.WaitResult(0); err == nil {
+			c.pool.Done(id)
+		}
+	}()
+	return j
+}
+
+// AddWorkstation adds a machine whose owner follows policy and starts its
+// PhishJobManager.
+func (c *Cluster) AddWorkstation(policy jobmanager.Policy) *Workstation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := types.WorkstationID(len(c.stations) + 1)
+	mgr := jobmanager.New(id, policy, poolSource{c.pool}, &runner{c: c}, c.opts.JM)
+	ws := &Workstation{ID: id, mgr: mgr}
+	c.stations = append(c.stations, ws)
+	go mgr.Run()
+	return ws
+}
+
+// Stats exposes the workstation's macro-level counters.
+func (w *Workstation) Stats() *jobmanager.Stats { return w.mgr.Stats() }
+
+// Stop halts the workstation's job manager (reclaiming any worker).
+func (w *Workstation) Stop() { w.mgr.Stop() }
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	stations := append([]*Workstation(nil), c.stations...)
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, ws := range stations {
+		ws.Stop()
+	}
+	for _, j := range jobs {
+		j.ch.Stop()
+		j.fabric.Close()
+	}
+}
+
+// Wait blocks until the job's result arrives.
+func (j *Job) Wait(timeout time.Duration) (types.Value, error) {
+	return j.ch.WaitResult(timeout)
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.ch.Done() }
+
+// Output returns the job's clearinghouse-buffered output.
+func (j *Job) Output() string { return j.ch.Output() }
+
+// LiveWorkers lists currently participating worker ids.
+func (j *Job) LiveWorkers() []types.WorkerID { return j.ch.LiveWorkers() }
+
+// WorkerStats snapshots every participant the job ever had.
+func (j *Job) WorkerStats() []stats.Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]stats.Snapshot, 0, len(j.workers))
+	for _, w := range j.workers {
+		out = append(out, w.Stats())
+	}
+	return out
+}
+
+// Totals aggregates WorkerStats the way the paper's Table 2 does.
+func (j *Job) Totals() stats.Snapshot { return stats.JobTotals(j.WorkerStats()) }
+
+// Crash abruptly kills one live worker (fault injection): no migration,
+// no unregister. Returns false if the worker is not currently alive.
+func (j *Job) Crash(id types.WorkerID) bool {
+	j.mu.Lock()
+	w, ok := j.workers[id]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	w.Crash()
+	return true
+}
+
+// poolSource adapts the in-process pool to the manager's JobSource.
+type poolSource struct{ pool *jobq.Pool }
+
+func (s poolSource) Request(types.WorkstationID) (wire.JobSpec, bool, error) {
+	spec, ok := s.pool.Request()
+	return spec, ok, nil
+}
+
+// runner starts simulated worker processes.
+type runner struct{ c *Cluster }
+
+// workerProc adapts a core.Worker to the manager's WorkerProc.
+type workerProc struct {
+	w    *core.Worker
+	done chan struct{}
+}
+
+func (p *workerProc) Reclaim()                      { p.w.Reclaim() }
+func (p *workerProc) Done() <-chan struct{}         { return p.done }
+func (p *workerProc) LeaveReason() wire.LeaveReason { return p.w.LeaveReason() }
+
+func (r *runner) Start(spec wire.JobSpec, id types.WorkerID) (jobmanager.WorkerProc, error) {
+	r.c.mu.Lock()
+	j, ok := r.c.jobs[spec.ID]
+	closed := r.c.closed
+	r.c.mu.Unlock()
+	if !ok || closed {
+		return nil, fmt.Errorf("cluster: job %d is gone", spec.ID)
+	}
+	if j.Done() {
+		return nil, fmt.Errorf("cluster: job %d already complete", spec.ID)
+	}
+	port := j.fabric.Attach(id)
+	w := core.NewWorker(spec.ID, id, j.prog, port, r.c.opts.Worker, clock.System)
+	j.mu.Lock()
+	j.workers[id] = w
+	j.mu.Unlock()
+	proc := &workerProc{w: w, done: make(chan struct{})}
+	go func() {
+		defer close(proc.done)
+		_ = w.Run()
+	}()
+	return proc, nil
+}
+
+// DebugDump renders every participant's scheduler state; for tests only,
+// after the workers have been stopped.
+func (j *Job) DebugDump() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out string
+	for _, w := range j.workers {
+		out += w.DebugDump()
+	}
+	return out
+}
+
+// CrashAll kills every worker the job ever had (post-mortem freezing).
+func (j *Job) CrashAll() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, w := range j.workers {
+		w.Crash()
+	}
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/apps/nqueens"
+	"phish/internal/clearinghouse"
+	"phish/internal/core"
+	"phish/internal/idlesim"
+	"phish/internal/jobmanager"
+)
+
+// fastOpts compresses the paper's minutes-scale polling to milliseconds so
+// the whole macro-level lifecycle runs inside a unit test.
+func fastOpts() Options {
+	w := core.DefaultConfig()
+	w.MaxStealFailures = 8
+	w.StealTimeout = 20 * time.Millisecond
+	w.HeartbeatEvery = 10 * time.Millisecond
+	return Options{
+		Worker: w,
+		CH: clearinghouse.Config{
+			UpdateEvery:      25 * time.Millisecond,
+			HeartbeatTimeout: 250 * time.Millisecond,
+		},
+		JM: jobmanager.Config{
+			BusyPoll:  20 * time.Millisecond,
+			IdleRetry: 15 * time.Millisecond,
+			WorkPoll:  10 * time.Millisecond,
+		},
+	}
+}
+
+func TestJobRunsOnIdleWorkstations(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(20))
+	v, err := j.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(20); got != want {
+		t.Errorf("fib(20) = %d, want %d", got, want)
+	}
+	if got, want := j.Totals().TasksExecuted, fib.TaskCount(20); got != want {
+		t.Errorf("tasks executed = %d, want %d", got, want)
+	}
+	if len(j.WorkerStats()) < 2 {
+		t.Errorf("only %d workstations ever joined; expected the idle ones to pile on", len(j.WorkerStats()))
+	}
+}
+
+func TestBusyWorkstationsStayOut(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+	busy := c.AddWorkstation(idlesim.Never{})
+	c.AddWorkstation(idlesim.Always{})
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(15))
+	if _, err := j.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := busy.Stats().JobsStarted.Load(); n != 0 {
+		t.Errorf("busy workstation started %d jobs; owner sovereignty violated", n)
+	}
+}
+
+func TestOwnerReclaimMigratesWork(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+
+	var ownerBack atomic.Bool
+	reclaimable := c.AddWorkstation(jobmanager.PolicyFunc(func(time.Time) bool {
+		return !ownerBack.Load()
+	}))
+	c.AddWorkstation(idlesim.Always{})
+	c.AddWorkstation(idlesim.Always{})
+
+	const fibN = 29
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(fibN))
+	// Wait until workstation 1 actually has a live worker in the job,
+	// then its owner returns.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !j.Done() {
+		found := false
+		for _, id := range j.LiveWorkers() {
+			if int32(id)>>20 == 1 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ownerBack.Store(true)
+
+	v, err := j.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(fibN); got != want {
+		t.Errorf("fib(%d) = %d, want %d", fibN, got, want)
+	}
+	if n := reclaimable.Stats().Reclaims.Load(); n == 0 {
+		t.Error("owner returned but no worker was reclaimed")
+	}
+	// Work may be duplicated by recovery races (a crash-path fallback, or
+	// a defensive root respawn while the real result was in flight) but
+	// may never be lost.
+	tot := j.Totals()
+	if got, want := tot.TasksExecuted, fib.TaskCount(fibN); got < want {
+		t.Errorf("tasks executed = %d < %d; work was lost", got, want)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	// A job long enough that the crash lands mid-flight.
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(27))
+
+	// Wait until at least two workers are in, then kill one abruptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(j.LiveWorkers()) < 2 && !j.Done() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	live := j.LiveWorkers()
+	if len(live) >= 2 {
+		if !j.Crash(live[len(live)-1]) {
+			t.Fatalf("could not crash worker %v", live[len(live)-1])
+		}
+	} else if !j.Done() {
+		t.Fatalf("never saw 2 live workers (have %v)", live)
+	}
+
+	v, err := j.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(27); got != want {
+		t.Errorf("fib(27) = %d, want %d (crash corrupted the result)", got, want)
+	}
+	// The work lost in the crash was redone, so the executed-task total is
+	// at least the fault-free count (strictly more when the crash landed
+	// mid-run).
+	if got, want := j.Totals().TasksExecuted, fib.TaskCount(27); got < want {
+		t.Errorf("tasks executed = %d < %d; lost work was never redone", got, want)
+	}
+}
+
+func TestWorkersRetireWhenParallelismShrinks(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+	stations := make([]*Workstation, 6)
+	for i := range stations {
+		stations[i] = c.AddWorkstation(idlesim.Always{})
+	}
+	// A long tail: nqueens spends its last stretch in few tasks, so extra
+	// workers should give up and retire (or the job ends first; either
+	// way nothing may hang).
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(24))
+	if _, err := j.Wait(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// After completion every workstation is free again; submitting a new
+	// job must work (pool round-robin hands it out).
+	j2 := c.Submit(fib.Program(), fib.Root, fib.RootArgs(12))
+	v, err := j2.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(12); got != want {
+		t.Errorf("second job: fib(12) = %d, want %d", got, want)
+	}
+}
+
+func TestTwoJobsSpaceShare(t *testing.T) {
+	c := New(fastOpts())
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	j1 := c.Submit(fib.Program(), fib.Root, fib.RootArgs(22))
+	j2 := c.Submit(nqueens.Program(), nqueens.Root, nqueens.RootArgs(9))
+	v2, err := j2.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := j1.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v1.(int64), fib.Serial(22); got != want {
+		t.Errorf("fib job = %d, want %d", got, want)
+	}
+	if got := v2.(int64); got != 352 {
+		t.Errorf("nqueens job = %d, want 352", got)
+	}
+}

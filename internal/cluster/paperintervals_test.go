@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/idlesim"
+	"phish/internal/jobmanager"
+)
+
+// TestPaperIntervalsVirtualTime drives the macro-level scheduler with the
+// paper's literal constants — check every 5 minutes while users are
+// logged in, retry the job request every 30 seconds when the pool is
+// empty, watch for the owner every 2 seconds while working, push
+// clearinghouse updates every 2 minutes — compressed to wall-seconds by a
+// virtual clock. Only the macro level runs on the fake clock; the workers
+// do real work in real time.
+func TestPaperIntervalsVirtualTime(t *testing.T) {
+	fake := clock.NewFake()
+	w := core.DefaultConfig()
+	w.MaxStealFailures = 10
+	w.StealTimeout = 20 * time.Millisecond
+	opts := Options{
+		Clock:  fake,
+		Worker: w,
+		CH: clearinghouse.Config{
+			UpdateEvery: 2 * time.Minute, // the paper's update period
+			Clock:       fake,
+		},
+		JM: jobmanager.Config{
+			BusyPoll:  5 * time.Minute,  // the paper's login re-check
+			IdleRetry: 30 * time.Second, // the paper's empty-pool retry
+			WorkPoll:  2 * time.Second,  // the paper's owner watch
+			Clock:     fake,
+		},
+	}
+	c := New(opts)
+	defer c.Close()
+
+	// One always-idle workstation... but the pool is empty, so its
+	// manager must be parked on the 30-second retry.
+	ws := c.AddWorkstation(idlesim.Always{})
+	if !fake.BlockUntilWaiters(1, 5*time.Second) {
+		t.Fatal("manager never armed its first poll")
+	}
+
+	// Submit a job; nothing may happen until the 30-second retry fires.
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(22))
+	time.Sleep(20 * time.Millisecond)
+	if n := ws.Stats().JobsStarted.Load(); n != 0 {
+		t.Fatalf("worker started before the 30s retry fired (%d)", n)
+	}
+	fake.Advance(30 * time.Second)
+
+	// Now the worker starts and the job completes in real time while the
+	// virtual clock stands still (the micro level is clock-free).
+	v, err := j.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(22); got != want {
+		t.Errorf("fib(22) = %d, want %d", got, want)
+	}
+	if n := ws.Stats().JobsStarted.Load(); n != 1 {
+		t.Errorf("jobs started = %d, want 1", n)
+	}
+
+	// After completion the manager goes back to polling the (again empty)
+	// pool every 30 virtual seconds; give the exit a moment to land, then
+	// check the manager re-armed.
+	deadline := time.Now().Add(5 * time.Second)
+	for fake.Waiters() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fake.Waiters() == 0 {
+		t.Error("manager did not return to its polling loop after the job")
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/apps/nqueens"
+	"phish/internal/apps/pfold"
+	"phish/internal/idlesim"
+	"phish/internal/types"
+)
+
+// TestChurnSoak floods a simulated NOW with jobs while owners wander on
+// and off their machines and random workers are crashed outright. Every
+// job must finish with the right answer, no matter the interleaving of
+// joins, reclaims (migration), retirements, and crash redos. This is the
+// whole paper in one test.
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	c := New(fastOpts())
+	defer c.Close()
+
+	// Half the machines have restless owners, half are dedicated.
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			c.AddWorkstation(idlesim.Always{})
+		} else {
+			c.AddWorkstation(idlesim.NewActivity(int64(i), time.Now(),
+				30*time.Millisecond, 150*time.Millisecond, // busy
+				50*time.Millisecond, 250*time.Millisecond, // idle
+				true))
+		}
+	}
+
+	type want struct {
+		job   *Job
+		check func(v types.Value) bool
+		name  string
+	}
+	jobs := []want{
+		{c.Submit(fib.Program(), fib.Root, fib.RootArgs(26)),
+			func(v types.Value) bool { return v.(int64) == fib.Serial(26) }, "fib(26)"},
+		{c.Submit(nqueens.Program(), nqueens.Root, nqueens.RootArgs(11)),
+			func(v types.Value) bool { return v.(int64) == 2680 }, "nqueens(11)"},
+		{c.Submit(pfold.Program(), pfold.Root, pfold.RootArgs(13, 5)),
+			func(v types.Value) bool {
+				return pfold.Foldings(v.([]int64)) == 324932 // SAW(12)
+			}, "pfold(13)"},
+		{c.Submit(fib.Program(), fib.Root, fib.RootArgs(25)),
+			func(v types.Value) bool { return v.(int64) == fib.Serial(25) }, "fib(25)"},
+	}
+
+	// A gremlin crashes random live workers while the jobs run.
+	stopGremlin := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopGremlin:
+				return
+			case <-time.After(time.Duration(50+rng.Intn(150)) * time.Millisecond):
+				j := jobs[rng.Intn(len(jobs))].job
+				live := j.LiveWorkers()
+				if len(live) > 1 {
+					j.Crash(live[rng.Intn(len(live))])
+				}
+			}
+		}
+	}()
+
+	for _, w := range jobs {
+		v, err := w.job.Wait(120 * time.Second)
+		if err != nil {
+			close(stopGremlin)
+			t.Fatalf("%s never finished: %v", w.name, err)
+		}
+		if !w.check(v) {
+			t.Errorf("%s: wrong answer %v", w.name, v)
+		}
+	}
+	close(stopGremlin)
+
+	// Post-mortem sanity: nothing negative, no lost work (crashes can
+	// only add redo duplicates).
+	for _, w := range jobs {
+		tot := w.job.Totals()
+		if tot.TasksExecuted <= 0 {
+			t.Errorf("%s: nonsense totals %+v", w.name, tot)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Closure is one task instance: a function name, argument slots, a join
+// counter of still-missing arguments, and the continuation its result
+// feeds. A closure is *ready* when Missing == 0; ready closures live in
+// the worker's deque, waiting ones in its waiting table.
+type Closure struct {
+	ID      types.TaskID
+	Fn      string
+	Args    []types.Value
+	Missing int32
+	Cont    types.Continuation
+	// NoSteal pins the closure to its worker (set on the root task).
+	NoSteal bool
+}
+
+// ready reports whether all argument slots are filled.
+func (c *Closure) ready() bool { return c.Missing == 0 }
+
+// toWire converts for transmission (steal, migration, redo copies).
+func (c *Closure) toWire() wire.Closure {
+	args := make([]types.Value, len(c.Args))
+	copy(args, c.Args)
+	return wire.Closure{
+		ID:      c.ID,
+		Fn:      c.Fn,
+		Args:    args,
+		Missing: c.Missing,
+		Cont:    c.Cont,
+		NoSteal: c.NoSteal,
+	}
+}
+
+// closureFromWire converts an inbound wire closure.
+func closureFromWire(w wire.Closure) *Closure {
+	args := make([]types.Value, len(w.Args))
+	copy(args, w.Args)
+	return &Closure{
+		ID:      w.ID,
+		Fn:      w.Fn,
+		Args:    args,
+		Missing: w.Missing,
+		Cont:    w.Cont,
+		NoSteal: w.NoSteal,
+	}
+}
+
+// stealRecord is the redundant state a victim keeps when it hands a task
+// to a thief: the task's real continuation and a copy of the task itself.
+// The thief's eventual result is addressed to the record (the victim
+// rewrote the stolen closure's continuation), so the victim can forward it
+// to the real continuation and discard the record — or, if the thief
+// crashes first, re-enqueue the copy locally and redo the work. Because
+// the record is consumed by the first result that reaches it, a result
+// that arrives twice (in-flight original plus redo) is delivered exactly
+// once.
+type stealRecord struct {
+	id       types.TaskID
+	realCont types.Continuation
+	task     wire.Closure // stolen copy; its Cont already targets the record
+	thief    types.WorkerID
+	// confirmed is set when the thief acknowledges receipt; an
+	// unconfirmed record whose thief departs means the reply was lost in
+	// flight, so the task is redone locally.
+	confirmed bool
+}
+
+func (r *stealRecord) toWire() wire.Record {
+	return wire.Record{ID: r.id, RealCont: r.realCont, Task: r.task, Thief: r.thief, Confirmed: r.confirmed}
+}
+
+func recordFromWire(w wire.Record) *stealRecord {
+	return &stealRecord{id: w.ID, realCont: w.RealCont, task: w.Task, thief: w.Thief, confirmed: w.Confirmed}
+}

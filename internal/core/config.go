@@ -1,0 +1,152 @@
+// Package core implements Phish's micro-level, idle-initiated scheduler:
+// the per-worker ready deque with LIFO execution and FIFO stealing, the
+// continuation-passing task model with join counters, randomized work
+// stealing between the participants of a job, thief retirement when a
+// job's parallelism shrinks, task migration when a workstation's owner
+// returns, and the steal-record machinery that lets lost work be redone
+// after a crash.
+//
+// This is the paper's primary contribution (Section 2, micro level, and
+// the worker side of Section 3).
+package core
+
+import (
+	"time"
+
+	"phish/internal/trace"
+)
+
+// Order selects the execution order of a worker's own ready tasks.
+type Order int
+
+const (
+	// LIFO executes the most recently spawned ready task first (the
+	// paper's choice: it keeps the working set small).
+	LIFO Order = iota
+	// FIFO executes the oldest ready task first (ablation only).
+	FIFO
+)
+
+func (o Order) String() string {
+	if o == LIFO {
+		return "LIFO"
+	}
+	return "FIFO"
+}
+
+// StealEnd selects which end of the victim's deque a thief takes from.
+type StealEnd int
+
+const (
+	// StealTail takes the oldest ready task (the paper's choice: for
+	// tree-shaped computations it is a task near the base of the tree
+	// that will spawn many descendants).
+	StealTail StealEnd = iota
+	// StealHead takes the newest ready task (ablation only).
+	StealHead
+)
+
+func (e StealEnd) String() string {
+	if e == StealTail {
+		return "tail"
+	}
+	return "head"
+}
+
+// VictimPolicy selects how a thief chooses its victim.
+type VictimPolicy int
+
+const (
+	// RandomVictim picks uniformly at random among the other live
+	// participants (the paper's choice, backed by the Blumofe–Leiserson
+	// analysis).
+	RandomVictim VictimPolicy = iota
+	// RoundRobinVictim cycles deterministically (ablation only).
+	RoundRobinVictim
+	// SiteAwareVictim prefers victims at the worker's own Site and only
+	// crosses a network cut after repeated local failures — the paper's
+	// planned heterogeneous-network extension ("preserve locality with
+	// respect to those network cuts that have the least bandwidth").
+	SiteAwareVictim
+)
+
+func (v VictimPolicy) String() string {
+	switch v {
+	case RandomVictim:
+		return "random"
+	case RoundRobinVictim:
+		return "round-robin"
+	default:
+		return "site-aware"
+	}
+}
+
+// Config tunes one worker. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// Seed seeds the worker's private random number generator (victim
+	// selection). Workers of one job should use distinct seeds; the
+	// runtime adds the worker ID.
+	Seed int64
+
+	// MaxStealFailures is the number of consecutive failed steal attempts
+	// after which a worker concludes the job's parallelism has shrunk and
+	// asks the clearinghouse for permission to retire. Zero means never
+	// retire (used when measuring fixed-P speedup, where the paper also
+	// pins the participant set).
+	MaxStealFailures int
+
+	// StealTimeout bounds how long a thief waits for a steal reply before
+	// treating the attempt as failed (the victim may have departed).
+	StealTimeout time.Duration
+
+	// StealBackoff paces consecutive failed steal attempts: a thief whose
+	// last attempt failed waits this long (scaled by the failure streak,
+	// capped at 8x) before choosing the next victim. On the paper's
+	// network the round-trip time provided this pacing for free; an
+	// in-process fabric needs it to be explicit.
+	StealBackoff time.Duration
+
+	// RetryUnsent is how often the worker retries messages whose
+	// destination was temporarily unknown (e.g., mid-migration).
+	RetryUnsent time.Duration
+
+	// HeartbeatEvery is the interval between heartbeats to the
+	// clearinghouse. Zero disables heartbeats (no crash detection).
+	HeartbeatEvery time.Duration
+
+	// LocalOrder, StealFrom, and Victim select the scheduling discipline.
+	// The defaults are the paper's; the alternatives exist for the
+	// ablation benchmarks and the heterogeneous-network extension.
+	LocalOrder Order
+	StealFrom  StealEnd
+	Victim     VictimPolicy
+
+	// Trace, when non-nil and enabled, records the worker's scheduling
+	// events (steals, migrations, redos — not per-task hot-path events)
+	// for post-mortem timelines.
+	Trace *trace.Buffer
+
+	// Site is the worker's network neighborhood, used by SiteAwareVictim.
+	Site int32
+	// LocalStealTries is how many consecutive same-site failures a
+	// site-aware thief tolerates before it tries the whole network
+	// (default 4 when zero).
+	LocalStealTries int
+}
+
+// DefaultConfig is the paper's discipline with timeouts suitable for a LAN
+// or an in-process fabric.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		MaxStealFailures: 0,
+		StealTimeout:     200 * time.Millisecond,
+		StealBackoff:     250 * time.Microsecond,
+		RetryUnsent:      20 * time.Millisecond,
+		HeartbeatEvery:   0,
+		LocalOrder:       LIFO,
+		StealFrom:        StealTail,
+		Victim:           RandomVictim,
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"phish/internal/model"
+	"phish/internal/types"
+)
+
+// TaskCtx implements model.Ctx, the programming interface shared with the
+// Strata baseline runtime.
+var _ model.Ctx = (*TaskCtx)(nil)
+
+// TaskCtx is a task's window onto the runtime while its body executes. It
+// exposes the task's arguments and the three scheduling primitives of the
+// continuation-passing model: Return a result, Spawn a ready child, and
+// create a Successor whose join counter waits for results.
+//
+// A TaskCtx is only valid during the TaskFunc call it was passed to.
+type TaskCtx struct {
+	w *Worker
+	c *Closure
+}
+
+// NArgs returns the number of argument slots.
+func (t *TaskCtx) NArgs() int { return len(t.c.Args) }
+
+// Arg returns argument i.
+func (t *TaskCtx) Arg(i int) types.Value { return t.c.Args[i] }
+
+// Int returns argument i as an int64, accepting the int forms that survive
+// gob round trips. It panics on other types: a task disagreeing with its
+// spawner about argument types is a programming error.
+func (t *TaskCtx) Int(i int) int64 {
+	switch v := t.c.Args[i].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case int32:
+		return int64(v)
+	case uint64:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("core: task %s arg %d is %T, not an integer", t.c.Fn, i, v))
+	}
+}
+
+// Float returns argument i as a float64.
+func (t *TaskCtx) Float(i int) float64 {
+	switch v := t.c.Args[i].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("core: task %s arg %d is %T, not a float", t.c.Fn, i, v))
+	}
+}
+
+// String returns argument i as a string.
+func (t *TaskCtx) String(i int) string {
+	s, ok := t.c.Args[i].(string)
+	if !ok {
+		panic(fmt.Sprintf("core: task %s arg %d is %T, not a string", t.c.Fn, i, t.c.Args[i]))
+	}
+	return s
+}
+
+// Worker returns the executing worker's identity.
+func (t *TaskCtx) Worker() types.WorkerID { return t.w.id }
+
+// Return sends v to the task's continuation — the task's one result. A
+// task body calls Return or builds a successor; doing both sends two
+// values into the same slot and corrupts the consumer's join counter, so
+// don't.
+func (t *TaskCtx) Return(v types.Value) {
+	t.w.deliver(t.c.Cont, v, false)
+}
+
+// Send delivers v to an explicit continuation (a successor slot obtained
+// from SuccRef.Cont, or a continuation the application threaded through
+// task arguments). Each slot must receive exactly one value.
+func (t *TaskCtx) Send(cont types.Continuation, v types.Value) {
+	t.w.deliver(cont, v, false)
+}
+
+// SuccRef names a successor task created by this task body, so that the
+// body can mint continuations into the successor's slots and preset
+// constant slots. It implements model.Succ.
+type SuccRef struct {
+	id types.TaskID
+	w  *Worker
+}
+
+var _ model.Succ = SuccRef{}
+
+// Cont returns the continuation that fills the successor's slot i.
+func (s SuccRef) Cont(slot int) types.Continuation {
+	return types.Continuation{Task: s.id, Slot: int32(slot)}
+}
+
+// Task returns the successor's task id (diagnostics).
+func (s SuccRef) Task() types.TaskID { return s.id }
+
+// Successor creates a waiting task of fn with nslots empty argument slots
+// that inherits the calling task's continuation: when all slots are
+// filled, the successor runs, and whatever it Returns flows to wherever
+// this task's result was headed. This is the join of the model — "spawn
+// children, then have a successor combine them".
+func (t *TaskCtx) Successor(fn string, nslots int) model.Succ {
+	return t.SuccessorCont(fn, nslots, t.c.Cont)
+}
+
+// SuccessorCont is Successor with an explicit continuation (used when a
+// task fans out several joins).
+func (t *TaskCtx) SuccessorCont(fn string, nslots int, cont types.Continuation) model.Succ {
+	if nslots <= 0 {
+		panic("core: successor needs at least one slot")
+	}
+	cl := &Closure{
+		ID:      t.w.nextTaskID(),
+		Fn:      fn,
+		Args:    make([]types.Value, nslots),
+		Missing: int32(nslots),
+		Cont:    cont,
+	}
+	t.w.addWaiting(cl)
+	return SuccRef{id: cl.ID, w: t.w}
+}
+
+// Preset fills slot i of a successor with a constant known at spawn time.
+// Presets are plumbing, not results, so they are not counted as
+// synchronizations. Presetting every slot makes the successor ready
+// immediately.
+func (t *TaskCtx) Preset(s model.Succ, slot int, v types.Value) {
+	if v == nil {
+		panic("core: nil task argument")
+	}
+	t.w.fillSlot(types.Continuation{Task: s.Task(), Slot: int32(slot)}, v, false, false)
+}
+
+// Spawn creates a ready child task of fn with the given arguments, whose
+// result will be delivered to cont. The child goes to the head of the
+// ready deque (the paper's LIFO discipline), so with the default
+// configuration it runs next unless a thief takes older work first.
+func (t *TaskCtx) Spawn(fn string, cont types.Continuation, args ...types.Value) {
+	t.w.spawn(fn, cont, args, false)
+}
+
+// Print emits output through the job's clearinghouse ("a user need only
+// watch the Clearinghouse to see job output"). Output is buffered and sent
+// asynchronously.
+func (t *TaskCtx) Print(format string, args ...any) {
+	t.w.print(fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/model"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// ctxProg exercises every TaskCtx primitive: typed argument accessors,
+// Preset (including presetting every slot so the successor is immediately
+// ready), SuccessorCont with an explicit continuation, Send, and Print.
+func ctxProg() *core.Program {
+	p := core.NewProgram("ctxtest")
+	p.Register("root", func(c model.Ctx) {
+		// Typed accessors.
+		f := c.Float(0)
+		s := c.String(1)
+		n := c.Int(2)
+		if f != 2.5 || s != "hello" || n != 7 {
+			panic("argument accessors broken")
+		}
+		c.Print("root on worker %d: %s", c.Worker(), s)
+
+		// A fan of two joins: the final combiner inherits the root's
+		// continuation, and a side join feeds it through an explicit
+		// continuation.
+		final := c.Successor("final", 2)
+		side := c.SuccessorCont("side", 3, final.Cont(0))
+		c.Preset(side, 0, int64(100))
+		c.Spawn("leaf", side.Cont(1), int64(1))
+		c.Spawn("leaf", side.Cont(2), int64(2))
+		// Preset the final's other slot with a constant.
+		c.Preset(final, 1, int64(1000))
+
+		// A successor whose every slot is preset runs immediately and
+		// Sends to a discard continuation, exercising Send + nil cont.
+		all := c.SuccessorCont("allpreset", 2, types.NilContinuation)
+		c.Preset(all, 0, int64(1))
+		c.Preset(all, 1, int64(2))
+	})
+	p.Register("leaf", func(c model.Ctx) { c.Return(c.Int(0) * 10) })
+	p.Register("side", func(c model.Ctx) {
+		// 100 + 10 + 20
+		c.Return(c.Int(0) + c.Int(1) + c.Int(2))
+	})
+	p.Register("final", func(c model.Ctx) {
+		// 130 + 1000
+		c.Return(c.Int(0) + c.Int(1))
+	})
+	p.Register("allpreset", func(c model.Ctx) {
+		if c.NArgs() != 2 {
+			panic("wrong arity")
+		}
+		c.Send(types.NilContinuation, c.Int(0)+c.Int(1)) // discarded
+		c.Return(int64(0))                               // also discarded (nil cont)
+	})
+	return p
+}
+
+func TestTaskCtxSurface(t *testing.T) {
+	fab := phishnet.NewFabric()
+	defer fab.Close()
+	spec := wire.JobSpec{ID: 1, Name: "ctxtest", Program: "ctxtest",
+		RootFn: "root", RootArgs: []types.Value{2.5, "hello", int64(7)}}
+	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), clearinghouse.DefaultConfig())
+	go ch.Run()
+	defer ch.Stop()
+
+	w := core.NewWorker(1, 0, ctxProg(), fab.Attach(0), core.DefaultConfig(), clock.System)
+	go func() { _ = w.Run() }()
+
+	v, err := ch.WaitResult(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(int64); got != 1130 {
+		t.Errorf("result = %d, want 1130", got)
+	}
+	// Print went through the clearinghouse.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(ch.Output(), "root on worker 0: hello") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if out := ch.Output(); !strings.Contains(out, "root on worker 0: hello") {
+		t.Errorf("clearinghouse output = %q", out)
+	}
+}
+
+func TestIntAcceptsGobWidths(t *testing.T) {
+	p := core.NewProgram("widths")
+	p.Register("root", func(c model.Ctx) {
+		// int, int32, int64, uint64 all flow through Int.
+		total := c.Int(0) + c.Int(1) + c.Int(2) + c.Int(3)
+		c.Return(total)
+	})
+	fab := phishnet.NewFabric()
+	defer fab.Close()
+	spec := wire.JobSpec{ID: 1, Name: "widths", Program: "widths",
+		RootFn: "root", RootArgs: []types.Value{int(1), int32(2), int64(3), uint64(4)}}
+	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), clearinghouse.DefaultConfig())
+	go ch.Run()
+	defer ch.Stop()
+	w := core.NewWorker(1, 0, p, fab.Attach(0), core.DefaultConfig(), clock.System)
+	go func() { _ = w.Run() }()
+	v, err := ch.WaitResult(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 10 {
+		t.Errorf("sum = %v", v)
+	}
+}
+
+func TestNilSpawnArgPanics(t *testing.T) {
+	p := core.NewProgram("nilarg")
+	p.Register("root", func(c model.Ctx) {
+		defer func() {
+			if recover() == nil {
+				panic("spawn with nil arg must panic")
+			}
+			c.Return(int64(1)) // panic observed, job still completes
+		}()
+		c.Spawn("root", types.NilContinuation, nil)
+	})
+	fab := phishnet.NewFabric()
+	defer fab.Close()
+	spec := wire.JobSpec{ID: 1, Name: "nilarg", Program: "nilarg",
+		RootFn: "root", RootArgs: []types.Value{}}
+	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), clearinghouse.DefaultConfig())
+	go ch.Run()
+	defer ch.Stop()
+	w := core.NewWorker(1, 0, p, fab.Attach(0), core.DefaultConfig(), clock.System)
+	go func() { _ = w.Run() }()
+	if v, err := ch.WaitResult(10 * time.Second); err != nil || v.(int64) != 1 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"phish/internal/model"
+	"phish/internal/registry"
+)
+
+// TaskFunc is the body of a task. It runs to completion without blocking:
+// it reads its arguments from the context and either returns a value to
+// its continuation (ctx.Return) or spawns children plus a successor task
+// that will combine their results (the continuation-passing-threads style
+// of the paper's programming model). It is an alias for model.Func so the
+// same program runs on both the Phish and Strata runtimes.
+type TaskFunc = model.Func
+
+// Program is a named parallel application: its set of task functions. All
+// worker processes of a job run the same program, so a task can be shipped
+// between workers as a function name plus arguments.
+type Program struct {
+	// Name identifies the program in JobSpecs.
+	Name string
+	// Funcs maps task-function names to implementations.
+	Funcs *registry.Registry[TaskFunc]
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Funcs: registry.New[TaskFunc]()}
+}
+
+// Register binds a task function name within the program.
+func (p *Program) Register(name string, fn TaskFunc) { p.Funcs.Register(name, fn) }
+
+// programs is the process-global program registry; worker processes look
+// up the program named in a JobSpec here.
+var (
+	programsMu sync.RWMutex
+	programs   = make(map[string]*Program)
+)
+
+// RegisterProgram makes p joinable by name in this process. Registering
+// the same name twice panics unless it is the identical *Program (apps
+// register from init-like helpers that may run more than once in tests).
+func RegisterProgram(p *Program) {
+	programsMu.Lock()
+	defer programsMu.Unlock()
+	if prev, ok := programs[p.Name]; ok {
+		if prev == p {
+			return
+		}
+		panic(fmt.Sprintf("core: conflicting registration of program %q", p.Name))
+	}
+	programs[p.Name] = p
+}
+
+// LookupProgram finds a registered program.
+func LookupProgram(name string) (*Program, error) {
+	programsMu.RLock()
+	defer programsMu.RUnlock()
+	p, ok := programs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: program %q not registered in this process", name)
+	}
+	return p, nil
+}

@@ -1,0 +1,1216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"phish/internal/clock"
+	"phish/internal/cputime"
+	"phish/internal/deque"
+	"phish/internal/phishnet"
+	"phish/internal/stats"
+	"phish/internal/trace"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Worker is one participating process of a parallel job: the paper's
+// "worker", an instance of the application program run under the
+// micro-level scheduler. Its Run loop executes ready tasks in LIFO order,
+// steals from random victims when idle, answers other thieves' steal
+// requests from the tail of its deque, migrates its state when the
+// workstation's owner returns, and keeps steal records so work lost to a
+// crashed thief can be redone.
+//
+// All scheduler state is owned by the Run goroutine; external control
+// (Reclaim, Crash) is delivered through atomics plus a wake channel.
+type Worker struct {
+	id   types.WorkerID
+	job  types.JobID
+	prog *Program
+	conn phishnet.Conn
+	cfg  Config
+	clk  clock.Clock
+
+	// Counters is exported via Stats(); the stats package uses atomics.
+	counters stats.Counters
+
+	dq      deque.Deque[*Closure]
+	waiting map[types.TaskID]*Closure
+	records map[types.TaskID]*stealRecord
+	seq     uint64
+	rng     *rand.Rand
+	// fnCache memoizes registry lookups (lock-free: only the scheduler
+	// goroutine touches it), and ctx is the one TaskCtx reused across
+	// executions — valid because task bodies run to completion and must
+	// not retain their context.
+	fnCache map[string]TaskFunc
+	ctx     TaskCtx
+
+	view          wire.MembershipView
+	hostOf        map[types.WorkerID]types.WorkerID
+	victims       []types.WorkerID
+	localVictims  []types.WorkerID // same-site subset (site-aware policy)
+	siteOf        map[types.WorkerID]int32
+	dead          map[types.WorkerID]bool
+	rrNext        int
+	localFailures int // consecutive same-site failures (site-aware policy)
+
+	stealPending  bool
+	stealDeadline time.Time
+	consecFails   int
+	stayAsked     bool
+	stayAskedAt   time.Time
+	retired       bool
+
+	unsent    []wire.Arg
+	lastRetry time.Time
+
+	registered  bool
+	shutdownMsg bool
+	paused      bool
+	msgSentTo   map[types.WorkerID]int64
+	msgRecvFr   map[types.WorkerID]int64
+	migrateAck  bool
+	migrating   bool
+	forwardTo   types.WorkerID
+	leaveReason wire.LeaveReason
+
+	stopReq  atomic.Bool
+	crashReq atomic.Bool
+	wakeCh   chan struct{}
+
+	hbStop chan struct{}
+
+	startT time.Time
+	execT  atomic.Int64 // wall nanoseconds, set at exit
+	cpuT   atomic.Int64 // thread CPU nanoseconds, set at exit (0 if unknown)
+
+	orphanDrops atomic.Int64
+	heartbeats  atomic.Int64
+
+	// debug counters for the steal protocol (DebugDump only)
+	dbgGrants, dbgRepliesOK, dbgRepliesFail, dbgAdopts atomic.Int64
+}
+
+// NewWorker builds a worker for job job with the caller-allocated unique
+// id, speaking over conn. The caller retains responsibility for id
+// uniqueness across the job's lifetime (the PhishJobManager derives it
+// from its workstation id and a per-job incarnation counter).
+func NewWorker(job types.JobID, id types.WorkerID, prog *Program, conn phishnet.Conn, cfg Config, clk clock.Clock) *Worker {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Worker{
+		id:        id,
+		job:       job,
+		prog:      prog,
+		conn:      conn,
+		cfg:       cfg,
+		clk:       clk,
+		waiting:   make(map[types.TaskID]*Closure),
+		records:   make(map[types.TaskID]*stealRecord),
+		fnCache:   make(map[string]TaskFunc),
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b9)),
+		hostOf:    make(map[types.WorkerID]types.WorkerID),
+		siteOf:    make(map[types.WorkerID]int32),
+		msgSentTo: make(map[types.WorkerID]int64),
+		msgRecvFr: make(map[types.WorkerID]int64),
+		dead:      make(map[types.WorkerID]bool),
+		forwardTo: types.NoWorker,
+		wakeCh:    make(chan struct{}, 1),
+		hbStop:    make(chan struct{}),
+	}
+}
+
+// ID returns the worker's identity within its job.
+func (w *Worker) ID() types.WorkerID { return w.id }
+
+// LeaveReason reports why the worker left (valid after Run returns).
+func (w *Worker) LeaveReason() wire.LeaveReason { return w.leaveReason }
+
+// Stats snapshots the worker's counters, including its execution time
+// (time in Run so far, frozen at exit).
+func (w *Worker) Stats() stats.Snapshot {
+	s := w.counters.Snapshot()
+	s.Worker = int(w.id)
+	s.Orphans = w.orphanDrops.Load()
+	if ns := w.execT.Load(); ns > 0 {
+		s.WallTime = time.Duration(ns)
+	} else if !w.startT.IsZero() {
+		s.WallTime = time.Since(w.startT)
+	}
+	// Execution time in the paper's sense: CPU time of the worker's
+	// thread when available (see internal/cputime), wall time otherwise.
+	if ns := w.cpuT.Load(); ns > 0 {
+		s.ExecTime = time.Duration(ns)
+	} else {
+		s.ExecTime = s.WallTime
+	}
+	return s
+}
+
+// OrphanDrops reports results that arrived for tasks no longer present
+// (expected after crash recovery; always zero in fault-free runs).
+func (w *Worker) OrphanDrops() int64 { return w.orphanDrops.Load() }
+
+// Heartbeats reports heartbeat messages sent (tracked apart from
+// MessagesSent so Table 2 comparisons are not polluted by a mechanism the
+// paper's measurements predate).
+func (w *Worker) Heartbeats() int64 { return w.heartbeats.Load() }
+
+// Reclaim asks the worker to leave because the workstation's owner
+// returned: it migrates its tasks to another participant and unregisters.
+// Safe to call from any goroutine; returns immediately.
+func (w *Worker) Reclaim() {
+	w.stopReq.Store(true)
+	w.wake()
+}
+
+// Crash makes the worker die abruptly without migrating or unregistering —
+// fault injection for the recovery machinery. Safe from any goroutine.
+func (w *Worker) Crash() {
+	w.crashReq.Store(true)
+	w.wake()
+}
+
+// tr records a scheduling event when tracing is enabled.
+func (w *Worker) tr(kind trace.Kind, task types.TaskID, peer types.WorkerID, note string) {
+	if w.cfg.Trace.Enabled() {
+		w.cfg.Trace.Add(trace.Event{Worker: w.id, Kind: kind, Task: task, Peer: peer, Note: note})
+	}
+}
+
+func (w *Worker) wake() {
+	select {
+	case w.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// Run registers with the clearinghouse, participates until the job ends
+// (or the worker retires, is reclaimed, or crashes), and returns the
+// reason for leaving. It blocks for the worker's whole life.
+func (w *Worker) Run() error {
+	// The worker owns an OS thread so its CPU time can be accounted as
+	// the participant's execution time (internal/cputime).
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	cpu0, cpuOK := cputime.Thread()
+	w.startT = time.Now()
+	defer func() {
+		w.execT.Store(int64(time.Since(w.startT)))
+		if cpuOK {
+			if cpu1, ok := cputime.Thread(); ok {
+				w.cpuT.Store(int64(cpu1 - cpu0))
+			}
+		}
+		_ = w.conn.Close()
+	}()
+
+	if err := w.register(); err != nil {
+		w.leaveReason = wire.LeaveCrash
+		return err
+	}
+	if w.cfg.HeartbeatEvery > 0 {
+		go w.heartbeatLoop()
+		defer close(w.hbStop)
+	}
+	w.loop()
+
+	switch {
+	case w.crashReq.Load():
+		w.leaveReason = wire.LeaveCrash // die silently
+	case w.shutdownMsg:
+		w.leaveReason = wire.LeaveJobDone
+		w.unregister(wire.LeaveJobDone, types.NoWorker)
+	}
+	return nil
+}
+
+// register announces the worker and waits for the clearinghouse's reply,
+// retrying a few times (the clearinghouse may still be starting).
+func (w *Worker) register() error {
+	for attempt := 0; attempt < 50; attempt++ {
+		if w.crashReq.Load() || w.stopReq.Load() {
+			return errors.New("core: worker stopped before registration")
+		}
+		w.sendTo(types.ClearinghouseID, wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site})
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(deadline) && !w.registered {
+			w.drainOne(time.Until(deadline))
+		}
+		if w.registered {
+			w.tr(trace.EvRegister, types.TaskID{}, types.ClearinghouseID, "")
+			return nil
+		}
+	}
+	return fmt.Errorf("core: worker %d could not register with clearinghouse", w.id)
+}
+
+func (w *Worker) heartbeatLoop() {
+	for {
+		select {
+		case <-w.hbStop:
+			return
+		case <-w.clk.After(w.cfg.HeartbeatEvery):
+			env := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+				Payload: wire.Heartbeat{Worker: w.id}}
+			if err := w.conn.Send(env); err == nil {
+				w.heartbeats.Add(1)
+			}
+		}
+	}
+}
+
+// loop is the scheduler: drain messages, run ready work, thieve when idle.
+func (w *Worker) loop() {
+	for {
+		if w.crashReq.Load() {
+			return
+		}
+		w.drainAll()
+		w.retryUnsent(false)
+		if w.shutdownMsg || w.crashReq.Load() {
+			return
+		}
+		if w.stopReq.Load() {
+			w.migrateAndLeave(wire.LeaveReclaimed)
+			return
+		}
+		if w.paused {
+			// Checkpoint in progress: keep draining messages, run and
+			// steal nothing.
+			w.drainOne(5 * time.Millisecond)
+			continue
+		}
+		if cl, ok := w.popNext(); ok {
+			w.execute(cl)
+			continue
+		}
+		// No ready work: steal (the idle-initiated step).
+		if w.thieveStep() {
+			return // retired for lack of work
+		}
+	}
+}
+
+// popNext takes the next local task per the configured execution order.
+func (w *Worker) popNext() (*Closure, bool) {
+	if w.cfg.LocalOrder == LIFO {
+		return w.dq.PopHead()
+	}
+	return w.dq.PopTail()
+}
+
+func (w *Worker) execute(cl *Closure) {
+	w.counters.TasksExecuted.Add(1)
+	fn, ok := w.fnCache[cl.Fn]
+	if !ok {
+		fn = w.prog.Funcs.MustLookup(cl.Fn)
+		w.fnCache[cl.Fn] = fn
+	}
+	func() {
+		// A panicking task is an application bug; contain it to this
+		// worker (which then counts as crashed, so the job's other
+		// participants redo the lost work) instead of killing the whole
+		// process. A deterministic panic will of course recur on the
+		// worker that redoes it — that is the application's bug to fix.
+		defer func() {
+			if r := recover(); r != nil {
+				w.crashReq.Store(true)
+				w.leaveReason = wire.LeaveCrash
+				fmt.Printf("phish: worker %d: task %s panicked: %v\n", w.id, cl.Fn, r)
+			}
+		}()
+		w.ctx.w = w
+		w.ctx.c = cl
+		fn(&w.ctx)
+		w.ctx.c = nil
+	}()
+	w.counters.TaskRetired()
+}
+
+// thieveStep performs one increment of thieving: ensure a steal request is
+// outstanding, then wait for traffic. It returns true if the worker
+// retired (parallelism shrank).
+func (w *Worker) thieveStep() bool {
+	now := time.Now()
+	if w.stealPending && now.After(w.stealDeadline) {
+		// The victim never answered; count a failure and move on.
+		w.stealPending = false
+		w.consecFails++
+		w.counters.FailedSteals.Add(1)
+	}
+	if !w.stealPending {
+		if w.shouldAskRetire() {
+			if !w.stayAsked || time.Since(w.stayAskedAt) > 4*w.cfg.StealTimeout {
+				w.sendTo(types.ClearinghouseID, wire.StayRequest{Worker: w.id})
+				w.stayAsked = true
+				w.stayAskedAt = time.Now()
+			}
+			// Wait for the verdict (or for work to show up).
+			w.drainOne(w.cfg.StealTimeout)
+			if w.retired && !w.shutdownMsg {
+				// Approved: hand off any steal records and go.
+				w.migrateAndLeave(wire.LeaveNoWork)
+				return true
+			}
+			return false
+		}
+		victim, ok := w.pickVictim()
+		if !ok {
+			// Nobody to steal from; wait for membership or work.
+			w.drainOne(10 * time.Millisecond)
+			return false
+		}
+		if w.consecFails > 0 && w.cfg.StealBackoff > 0 {
+			streak := w.consecFails
+			if streak > 8 {
+				streak = 8
+			}
+			w.drainOne(time.Duration(streak) * w.cfg.StealBackoff)
+			if !w.dq.Empty() {
+				return false // work arrived while pacing
+			}
+		}
+		if w.sendTo(victim, wire.StealRequest{Thief: w.id}) == nil {
+			w.tr(trace.EvStealRequest, types.TaskID{}, victim, "")
+			w.counters.StealAttempts.Add(1)
+			w.stealPending = true
+			w.stealDeadline = time.Now().Add(w.cfg.StealTimeout)
+		} else {
+			// Victim vanished between view updates.
+			w.removeVictim(victim)
+			return false
+		}
+	}
+	w.drainOne(time.Until(w.stealDeadline))
+	return false
+}
+
+// shouldAskRetire reports whether the worker has failed enough consecutive
+// steals, holds no work of its own, and so should ask the clearinghouse to
+// retire. Steal records do not pin the worker — they migrate on the way
+// out.
+func (w *Worker) shouldAskRetire() bool {
+	return w.cfg.MaxStealFailures > 0 &&
+		w.consecFails >= w.cfg.MaxStealFailures &&
+		w.counters.TasksInUse.Load() == 0 &&
+		w.dq.Empty() && len(w.waiting) == 0
+}
+
+// pickVictim chooses a steal victim among the live peers.
+func (w *Worker) pickVictim() (types.WorkerID, bool) {
+	if len(w.victims) == 0 {
+		return 0, false
+	}
+	switch w.cfg.Victim {
+	case RoundRobinVictim:
+		v := w.victims[w.rrNext%len(w.victims)]
+		w.rrNext++
+		return v, true
+	case SiteAwareVictim:
+		// Steal near home first; only cross the slow network cut after
+		// repeated local failures (then reset and come home again).
+		tries := w.cfg.LocalStealTries
+		if tries <= 0 {
+			tries = 4
+		}
+		if len(w.localVictims) > 0 && w.localFailures < tries {
+			return w.localVictims[w.rng.Intn(len(w.localVictims))], true
+		}
+		w.localFailures = 0
+		return w.victims[w.rng.Intn(len(w.victims))], true
+	default:
+		return w.victims[w.rng.Intn(len(w.victims))], true
+	}
+}
+
+func (w *Worker) removeVictim(v types.WorkerID) {
+	for i, x := range w.victims {
+		if x == v {
+			w.victims = append(w.victims[:i], w.victims[i+1:]...)
+			break
+		}
+	}
+	for i, x := range w.localVictims {
+		if x == v {
+			w.localVictims = append(w.localVictims[:i], w.localVictims[i+1:]...)
+			return
+		}
+	}
+}
+
+// drainAll handles every queued message without blocking.
+func (w *Worker) drainAll() {
+	for {
+		select {
+		case env, ok := <-w.conn.Recv():
+			if !ok {
+				w.shutdownMsg = true
+				return
+			}
+			w.handle(env)
+		case <-w.wakeCh:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// drainOne blocks up to d for one message (then drains the rest without
+// blocking). A wake (Reclaim/Crash/retire verdict) also unblocks it.
+func (w *Worker) drainOne(d time.Duration) {
+	if d <= 0 {
+		w.drainAll()
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case env, ok := <-w.conn.Recv():
+		if !ok {
+			w.shutdownMsg = true
+			return
+		}
+		w.handle(env)
+		w.drainAll()
+	case <-w.wakeCh:
+	case <-t.C:
+	}
+}
+
+// handle dispatches one inbound message.
+func (w *Worker) handle(env *wire.Envelope) {
+	w.counters.MessagesReceived.Add(1)
+	if env.From != types.ClearinghouseID {
+		w.msgRecvFr[env.From]++
+	}
+	switch p := env.Payload.(type) {
+	case wire.RegisterReply:
+		w.registered = true
+		w.applyView(p.View)
+	case wire.Update:
+		w.applyView(p.View)
+	case wire.SpawnRoot:
+		w.spawnRoot(p)
+	case wire.StealRequest:
+		w.grantSteal(p.Thief)
+	case wire.StealReply:
+		w.stealPending = false
+		if p.OK {
+			w.dbgRepliesOK.Add(1)
+		} else {
+			w.dbgRepliesFail.Add(1)
+		}
+		if p.OK {
+			w.localFailures = 0
+		} else if w.siteOf[env.From] == w.cfg.Site {
+			w.localFailures++
+		}
+		if w.forwardTo != types.NoWorker {
+			// We already migrated away. Leave the task unconfirmed: the
+			// victim's steal record redoes it when our tombstone lands.
+			return
+		}
+		if p.OK {
+			w.adoptStolen(p.Task)
+		} else {
+			w.consecFails++
+			w.counters.FailedSteals.Add(1)
+		}
+	case wire.StealConfirm:
+		if rec, ok := w.records[p.Record]; ok {
+			rec.confirmed = true
+		}
+	case wire.Arg:
+		w.deliver(p.Cont, p.Val, p.Crossed)
+	case wire.Migrate:
+		w.adoptMigration(env.From, p)
+	case wire.MigrateAck:
+		w.migrateAck = true
+	case wire.WorkerDown:
+		w.onWorkerDown(p.Worker)
+	case wire.StayReply:
+		w.stayAsked = false
+		if p.Stay {
+			w.consecFails = 0
+		} else {
+			w.retired = true
+		}
+	case wire.Pause:
+		w.paused = true
+		w.sendTo(types.ClearinghouseID, wire.PauseAck{
+			Seq: p.Seq, Worker: w.id,
+			SentTo: copyCounts(w.msgSentTo), RecvFr: copyCounts(w.msgRecvFr),
+		})
+	case wire.SnapshotRequest:
+		w.sendTo(types.ClearinghouseID, w.snapshotReply(p.Seq))
+	case wire.Resume:
+		w.paused = false
+	case wire.Shutdown:
+		w.tr(trace.EvShutdown, types.TaskID{}, env.From, "")
+		w.shutdownMsg = true
+	default:
+		// Macro-level traffic never reaches workers; ignore stray types.
+	}
+}
+
+// applyView installs a fresh membership view: the host map for routing and
+// the victim list for stealing.
+func (w *Worker) applyView(v wire.MembershipView) {
+	if v.Epoch < w.view.Epoch {
+		return // stale
+	}
+	w.view = v
+	w.hostOf = make(map[types.WorkerID]types.WorkerID, len(v.Members)+1)
+	w.siteOf = make(map[types.WorkerID]int32, len(v.Members))
+	w.victims = w.victims[:0]
+	w.localVictims = w.localVictims[:0]
+	for _, m := range v.Members {
+		w.hostOf[m.Worker] = m.HostedBy
+		w.siteOf[m.Worker] = m.Site
+		if m.Worker == m.HostedBy && m.Worker != w.id && !w.dead[m.Worker] {
+			w.victims = append(w.victims, m.Worker)
+			if m.Site == w.cfg.Site {
+				w.localVictims = append(w.localVictims, m.Worker)
+			}
+		}
+		w.conn.SetPeer(m.Worker, m.Addr)
+	}
+	w.hostOf[w.id] = w.id
+	// Redo any unconfirmed steal whose thief is positively known to have
+	// departed (tombstoned in the view, or crashed): the reply carrying
+	// the task was lost in flight, so the work exists nowhere else. A
+	// thief merely absent from the view may simply not have been
+	// announced yet — redoing then would duplicate live work.
+	for _, rec := range w.records {
+		if rec.confirmed || rec.thief == w.id {
+			continue
+		}
+		h, known := w.hostOf[rec.thief]
+		departed := (known && h != rec.thief) || w.dead[rec.thief]
+		if !departed {
+			continue
+		}
+		w.redoRecord(rec)
+	}
+	// A fresh view may make unsent args routable.
+	w.retryUnsent(true)
+}
+
+// resolveHost maps the worker that minted a task id to the worker that
+// currently hosts that task's state.
+func (w *Worker) resolveHost(minter types.WorkerID) (types.WorkerID, bool) {
+	if minter == types.ClearinghouseID {
+		return types.ClearinghouseID, true
+	}
+	h, ok := w.hostOf[minter]
+	if !ok {
+		return types.NoWorker, false
+	}
+	// Flattened by the clearinghouse, but tolerate one level of lag.
+	if h != minter {
+		if h2, ok2 := w.hostOf[h]; ok2 && h2 != h {
+			h = h2
+		}
+	}
+	return h, true
+}
+
+// nextTaskID mints a task id unique across the job.
+func (w *Worker) nextTaskID() types.TaskID {
+	w.seq++
+	return types.TaskID{Worker: w.id, Seq: w.seq}
+}
+
+// spawn creates a ready closure and enqueues it at the head of the deque.
+func (w *Worker) spawn(fn string, cont types.Continuation, args []types.Value, noSteal bool) {
+	for i, a := range args {
+		if a == nil {
+			panic(fmt.Sprintf("core: spawn %s: nil argument %d", fn, i))
+		}
+	}
+	cl := &Closure{ID: w.nextTaskID(), Fn: fn, Args: args, Cont: cont, NoSteal: noSteal}
+	w.counters.TaskCreated()
+	w.dq.PushHead(cl)
+}
+
+// addWaiting installs a freshly created successor in the waiting table.
+func (w *Worker) addWaiting(cl *Closure) {
+	w.counters.TaskCreated()
+	w.waiting[cl.ID] = cl
+}
+
+func (w *Worker) spawnRoot(p wire.SpawnRoot) {
+	cont := types.Continuation{Task: types.TaskID{Worker: types.ClearinghouseID, Seq: 1}}
+	w.spawn(p.Fn, cont, p.Args, true)
+}
+
+// deliver routes a result value to a continuation: locally into a waiting
+// slot or steal record, or across the network as an Arg message.
+func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
+	if cont.None() {
+		return
+	}
+	// Local state first: after adopting migrated tasks we may host tasks
+	// the view does not map to us yet.
+	if rec, ok := w.records[cont.Task]; ok && cont.Slot == 0 {
+		delete(w.records, cont.Task)
+		w.deliver(rec.realCont, v, crossed)
+		return
+	}
+	if _, ok := w.waiting[cont.Task]; ok {
+		w.fillSlot(cont, v, crossed, true)
+		return
+	}
+	host, ok := w.resolveHost(cont.Task.Worker)
+	switch {
+	case !ok:
+		// Unknown minter: view lag or death. Park for retry; the retry
+		// path drops it once the minter is known dead.
+		w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed})
+	case host == w.id:
+		// Hosted here but not in any table. While we are migrating the
+		// task may be in the outbound payload; once we have migrated, it
+		// lives with the adopter. Otherwise it is gone (orphaned by crash
+		// recovery).
+		switch {
+		case w.migrating:
+			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed})
+		case w.forwardTo != types.NoWorker:
+			if err := w.sendTo(w.forwardTo, wire.Arg{Cont: cont, Val: v, Crossed: true}); err != nil {
+				w.orphanDrops.Add(1)
+			}
+		default:
+			w.orphanDrops.Add(1)
+		}
+	case host == types.NoWorker:
+		w.orphanDrops.Add(1)
+	default:
+		if err := w.sendTo(host, wire.Arg{Cont: cont, Val: v, Crossed: true}); err != nil {
+			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: true})
+		}
+	}
+}
+
+// fillSlot writes v into a waiting task's argument slot, maintains the
+// join counter, and enqueues the task when it becomes ready. countSynch
+// distinguishes real result deliveries (synchronizations, per the paper's
+// Table 2) from presets.
+func (w *Worker) fillSlot(cont types.Continuation, v types.Value, crossed, countSynch bool) {
+	cl, ok := w.waiting[cont.Task]
+	if !ok {
+		w.orphanDrops.Add(1)
+		return
+	}
+	if int(cont.Slot) >= len(cl.Args) || cl.Args[cont.Slot] != nil {
+		// Slot out of range (corrupt) or duplicate delivery (redo race):
+		// drop rather than corrupt the join counter.
+		w.orphanDrops.Add(1)
+		return
+	}
+	cl.Args[cont.Slot] = v
+	cl.Missing--
+	if countSynch {
+		w.counters.Synchronizations.Add(1)
+		if crossed {
+			w.counters.NonLocalSynchs.Add(1)
+		}
+	}
+	if cl.Missing == 0 {
+		delete(w.waiting, cl.ID)
+		w.dq.PushHead(cl)
+	}
+}
+
+// retryUnsent re-attempts parked args. force retries regardless of the
+// pacing interval (called when a new view arrives).
+func (w *Worker) retryUnsent(force bool) {
+	if len(w.unsent) == 0 || w.migrating {
+		return
+	}
+	if !force && time.Since(w.lastRetry) < w.cfg.RetryUnsent {
+		return
+	}
+	w.lastRetry = time.Now()
+	pending := w.unsent
+	w.unsent = nil
+	for _, a := range pending {
+		if w.dead[a.Cont.Task.Worker] {
+			w.orphanDrops.Add(1)
+			continue
+		}
+		w.deliver(a.Cont, a.Val, a.Crossed)
+	}
+}
+
+// grantSteal answers a thief: hand over the task at the configured steal
+// end of the deque, keeping a steal record for fault tolerance, or report
+// failure if there is nothing stealable.
+func (w *Worker) grantSteal(thief types.WorkerID) {
+	cl, ok := w.takeStealable()
+	if !ok {
+		w.sendTo(thief, wire.StealReply{OK: false})
+		return
+	}
+	rec := &stealRecord{id: w.nextTaskID(), realCont: cl.Cont, thief: thief}
+	stolen := *cl
+	stolen.Cont = types.Continuation{Task: rec.id}
+	rec.task = stolen.toWire()
+	w.records[rec.id] = rec
+	if err := w.sendTo(thief, wire.StealReply{OK: true, Task: rec.task}); err != nil {
+		// Thief unreachable: revert as if the steal never happened.
+		delete(w.records, rec.id)
+		w.putBackStealable(cl)
+		return
+	}
+	w.counters.TaskRetired() // the task left this worker
+	w.dbgGrants.Add(1)
+	w.tr(trace.EvStealGrant, rec.task.ID, thief, "")
+}
+
+// takeStealable pops from the steal end, skipping (and replacing) a pinned
+// closure.
+func (w *Worker) takeStealable() (*Closure, bool) {
+	pop := w.dq.PopTail
+	unpop := w.dq.PushTail
+	if w.cfg.StealFrom == StealHead {
+		pop = w.dq.PopHead
+		unpop = w.dq.PushHead
+	}
+	cl, ok := pop()
+	if !ok {
+		return nil, false
+	}
+	if cl.NoSteal {
+		unpop(cl)
+		return nil, false
+	}
+	return cl, true
+}
+
+func (w *Worker) putBackStealable(cl *Closure) {
+	if w.cfg.StealFrom == StealHead {
+		w.dq.PushHead(cl)
+		return
+	}
+	w.dq.PushTail(cl)
+}
+
+// adoptStolen installs a task won from a victim and confirms receipt (the
+// stolen task's continuation targets the victim's steal record, which is
+// how we know where to confirm).
+func (w *Worker) adoptStolen(wc wire.Closure) {
+	w.dbgAdopts.Add(1)
+	cl := closureFromWire(wc)
+	w.counters.TaskAdopted()
+	w.counters.TasksStolen.Add(1)
+	if victim := cl.Cont.Task.Worker; w.siteOf[victim] != w.cfg.Site {
+		w.counters.RemoteSteals.Add(1)
+	}
+	w.tr(trace.EvStealAdopt, cl.ID, cl.Cont.Task.Worker, "")
+	w.consecFails = 0
+	if cl.ready() {
+		w.dq.PushHead(cl)
+	} else {
+		// Only ready tasks are stealable; tolerate anyway.
+		w.waiting[cl.ID] = cl
+	}
+	if host, ok := w.resolveHost(cl.Cont.Task.Worker); ok && host != w.id {
+		w.sendTo(host, wire.StealConfirm{Record: cl.Cont.Task})
+	}
+}
+
+// adoptMigration takes over a departing worker's closures and records.
+func (w *Worker) adoptMigration(from types.WorkerID, m wire.Migrate) {
+	if w.forwardTo != types.NoWorker {
+		// We have already left; withholding the ack makes the sender try
+		// another adopter.
+		return
+	}
+	for _, wc := range m.Closures {
+		cl := closureFromWire(wc)
+		w.counters.TaskAdopted()
+		if cl.ready() {
+			// Behind local work: migrated tasks are old, and the paper's
+			// locality argument says fresh local work should run first.
+			w.dq.PushTail(cl)
+		} else {
+			w.waiting[cl.ID] = cl
+		}
+	}
+	w.tr(trace.EvMigrateIn, types.TaskID{}, from, fmt.Sprintf("%d closures", len(m.Closures)))
+	for _, wr := range m.Records {
+		rec := recordFromWire(wr)
+		if w.dead[rec.thief] {
+			// The thief crashed before the record reached us; the
+			// migrating worker may have packed the record before hearing
+			// about the crash. Redo immediately.
+			w.redoRecord(rec)
+		}
+		w.records[rec.id] = rec
+	}
+	w.sendTo(from, wire.MigrateAck{Count: len(m.Closures) + len(m.Records)})
+}
+
+// redoRecord re-enqueues the local copy of a stolen task whose thief will
+// never deliver; the record stays so the redone result still funnels
+// through it (and duplicates are dropped).
+func (w *Worker) redoRecord(rec *stealRecord) {
+	w.tr(trace.EvRedo, rec.task.ID, rec.thief, "")
+	rec.thief = w.id
+	rec.confirmed = true
+	cl := closureFromWire(rec.task)
+	w.counters.TaskAdopted()
+	w.counters.TasksRedone.Add(1)
+	if cl.ready() {
+		w.dq.PushTail(cl)
+	} else {
+		w.waiting[cl.ID] = cl
+	}
+}
+
+// onWorkerDown redoes work recorded against a crashed thief and drops
+// state whose consumers died with it.
+func (w *Worker) onWorkerDown(dead types.WorkerID) {
+	if dead == w.id {
+		return // a false positive about ourselves; the clearinghouse
+		// already dropped us, so we will fail to matter either way
+	}
+	w.dead[dead] = true
+	w.removeVictim(dead)
+	w.conn.DropPeer(dead)
+	// Redo: re-enqueue the copy of every task we lent that thief. The
+	// record stays; the redone task's result still funnels through it.
+	for _, rec := range w.records {
+		if rec.thief == dead {
+			w.redoRecord(rec)
+		}
+	}
+	w.purgeOrphans()
+}
+
+// purgeOrphans drops local tasks and records whose results have nowhere to
+// go because every route leads to a dead worker. Purely an optimization:
+// orphaned results are also dropped at delivery time.
+func (w *Worker) purgeOrphans() {
+	deadCont := func(c types.Continuation) bool {
+		if c.None() {
+			return false
+		}
+		minter := c.Task.Worker
+		if minter == types.ClearinghouseID || minter == w.id {
+			return false
+		}
+		if w.dead[minter] {
+			if h, ok := w.hostOf[minter]; !ok || h == minter || w.dead[h] {
+				return true
+			}
+		}
+		return false
+	}
+	for id, cl := range w.waiting {
+		if deadCont(cl.Cont) {
+			delete(w.waiting, id)
+			w.counters.TaskRetired()
+		}
+	}
+	if w.dq.Len() > 0 {
+		keep := w.dq.Drain()
+		for _, cl := range keep {
+			if deadCont(cl.Cont) {
+				w.counters.TaskRetired()
+				continue
+			}
+			w.dq.PushTail(cl)
+		}
+	}
+	for id, rec := range w.records {
+		if deadCont(rec.realCont) {
+			delete(w.records, id)
+		}
+	}
+}
+
+// migrateAndLeave ships every live closure and record to a peer, then
+// unregisters. With no live peer the state cannot be saved; the worker
+// reports itself crashed so the clearinghouse triggers the redo path.
+//
+// Results addressed to the departing tasks keep arriving throughout: they
+// are parked while the payload is in flight, flushed to the adopter once
+// it acknowledges, and forwarded directly during a short linger before the
+// endpoint finally closes.
+func (w *Worker) migrateAndLeave(reason wire.LeaveReason) {
+	w.leaveReason = reason
+	if w.counters.TasksInUse.Load() == 0 && len(w.waiting) == 0 && w.dq.Empty() && len(w.records) == 0 {
+		w.unregister(reason, types.NoWorker)
+		return
+	}
+	w.migrating = true
+	tried := make(map[types.WorkerID]bool)
+	for attempt := 0; attempt < 8; attempt++ {
+		target, ok := w.pickUntried(tried)
+		if !ok {
+			break
+		}
+		tried[target] = true
+		switch w.shipStateTo(target) {
+		case shipTargetGone:
+			continue // positively not delivered; safe to try another
+		case shipTimeout:
+			// The target may yet adopt the payload; shipping elsewhere
+			// would split the state across two adopters. Declare the
+			// state lost instead — the crash-recovery path redoes it.
+			w.unregister(wire.LeaveCrash, types.NoWorker)
+			w.leaveReason = wire.LeaveCrash
+			return
+		}
+		// Shipped. Stragglers can land between packing and the ack — a
+		// stolen task whose reply was in flight, a SpawnRoot, another
+		// worker's migration. Keep re-shipping to the SAME adopter until
+		// the tables stay empty.
+		settled := false
+		for round := 0; round < 16; round++ {
+			if w.shutdownMsg || (w.dq.Empty() && len(w.waiting) == 0 && len(w.records) == 0) {
+				settled = true
+				break
+			}
+			if w.shipStateTo(target) != shipOK {
+				break
+			}
+		}
+		if !settled {
+			// The adopter stopped acking mid-stream; the remainder of the
+			// state cannot be placed safely.
+			w.unregister(wire.LeaveCrash, types.NoWorker)
+			w.leaveReason = wire.LeaveCrash
+			return
+		}
+		w.unregister(reason, target)
+		w.lingerForward(target)
+		return
+	}
+	// No adopter: our state dies with us. Tell the clearinghouse the
+	// truth so recovery kicks in.
+	w.unregister(wire.LeaveCrash, types.NoWorker)
+	w.leaveReason = wire.LeaveCrash
+}
+
+// shipResult is the outcome of one migration shipment.
+type shipResult int
+
+const (
+	// shipOK: the adopter acknowledged; the state now lives there.
+	shipOK shipResult = iota
+	// shipTargetGone: the payload positively did not reach the target
+	// (send failed, or the target died/departed before acknowledging);
+	// the state was restored locally and another target may be tried.
+	shipTargetGone
+	// shipTimeout: no acknowledgment and no evidence of death — the
+	// payload may or may not be adopted later, so re-shipping elsewhere
+	// is unsafe.
+	shipTimeout
+)
+
+// migrateAckWait bounds how long a migrating worker waits for adoption; it
+// is deliberately generous, because switching adopters on a tight timeout
+// risks two workers adopting the same tasks.
+func (w *Worker) migrateAckWait() time.Duration {
+	d := 10 * w.cfg.StealTimeout
+	if d < 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// targetDeparted reports whether the migration target is positively known
+// dead or departed (so an unacknowledged payload died with it).
+func (w *Worker) targetDeparted(target types.WorkerID) bool {
+	if w.dead[target] {
+		return true
+	}
+	h, known := w.hostOf[target]
+	return known && h != target
+}
+
+// shipStateTo packs every live closure and record into one Migrate payload
+// and sends it to target, waiting for the acknowledgment.
+func (w *Worker) shipStateTo(target types.WorkerID) shipResult {
+	payload := wire.Migrate{From: w.id}
+	var packed []*Closure
+	for _, cl := range w.dq.Drain() {
+		packed = append(packed, cl)
+		payload.Closures = append(payload.Closures, cl.toWire())
+	}
+	for id, cl := range w.waiting {
+		packed = append(packed, cl)
+		payload.Closures = append(payload.Closures, cl.toWire())
+		delete(w.waiting, id)
+	}
+	var packedRecs []*stealRecord
+	for id, rec := range w.records {
+		packedRecs = append(packedRecs, rec)
+		payload.Records = append(payload.Records, rec.toWire())
+		delete(w.records, id)
+	}
+	restore := func() {
+		for _, cl := range packed {
+			if cl.ready() {
+				w.dq.PushTail(cl)
+			} else {
+				w.waiting[cl.ID] = cl
+			}
+		}
+		for _, rec := range packedRecs {
+			w.records[rec.id] = rec
+		}
+	}
+	if len(payload.Closures) == 0 && len(payload.Records) == 0 {
+		return shipOK
+	}
+	w.migrateAck = false
+	if w.sendTo(target, payload) != nil {
+		restore()
+		return shipTargetGone
+	}
+	deadline := time.Now().Add(w.migrateAckWait())
+	for time.Now().Before(deadline) && !w.migrateAck && !w.crashReq.Load() && !w.shutdownMsg {
+		if w.targetDeparted(target) {
+			restore()
+			return shipTargetGone
+		}
+		w.drainOne(time.Until(deadline))
+	}
+	if w.shutdownMsg && !w.migrateAck {
+		// The job completed while we were packing; the state no longer
+		// matters. Report success so the caller unwinds normally.
+		return shipOK
+	}
+	if !w.migrateAck {
+		if w.targetDeparted(target) {
+			restore()
+			return shipTargetGone
+		}
+		return shipTimeout
+	}
+	for range packed {
+		w.counters.TaskRetired()
+		w.counters.TasksMigrated.Add(1)
+	}
+	return shipOK
+}
+
+// lingerForward flushes parked results to the adopter and keeps relaying
+// late arrivals for a grace period, so results sent to this worker before
+// its departure propagated are not lost.
+func (w *Worker) lingerForward(adopter types.WorkerID) {
+	w.migrating = false
+	w.forwardTo = adopter
+	pending := w.unsent
+	w.unsent = nil
+	for _, a := range pending {
+		w.sendTo(adopter, wire.Arg{Cont: a.Cont, Val: a.Val, Crossed: true})
+	}
+	deadline := time.Now().Add(2*w.cfg.StealTimeout + 4*w.cfg.RetryUnsent)
+	for time.Now().Before(deadline) {
+		if w.crashReq.Load() {
+			return
+		}
+		w.drainOne(time.Until(deadline))
+	}
+}
+
+func (w *Worker) pickUntried(tried map[types.WorkerID]bool) (types.WorkerID, bool) {
+	cands := make([]types.WorkerID, 0, len(w.victims))
+	for _, v := range w.victims {
+		if !tried[v] && !w.dead[v] {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return cands[w.rng.Intn(len(cands))], true
+}
+
+func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) {
+	w.tr(trace.EvUnregister, types.TaskID{}, migratedTo, reason.String())
+	w.sendTo(types.ClearinghouseID, wire.Unregister{
+		Worker: w.id, Reason: reason, MigratedTo: migratedTo,
+	})
+}
+
+// sendTo wraps payload in an envelope and transmits it, counting the
+// message.
+func (w *Worker) sendTo(to types.WorkerID, payload any) error {
+	env := &wire.Envelope{Job: w.job, From: w.id, To: to, Payload: payload}
+	if err := w.conn.Send(env); err != nil {
+		return err
+	}
+	w.counters.MessagesSent.Add(1)
+	if to != types.ClearinghouseID {
+		w.msgSentTo[to]++
+	}
+	return nil
+}
+
+func (w *Worker) print(s string) {
+	w.sendTo(types.ClearinghouseID, wire.IO{Worker: w.id, Text: s})
+}
+
+// DebugDump renders the worker's scheduler state for post-mortem
+// inspection in tests. It reads the internal maps without synchronization,
+// so it must only be called after the worker has stopped.
+func (w *Worker) DebugDump() string {
+	var b []byte
+	add := func(s string) { b = append(b, s...) }
+	add(fmt.Sprintf("worker %d reason=%v consecFails=%d stealPending=%v migrating=%v forwardTo=%d grants=%d repOK=%d repFail=%d adopts=%d\n",
+		w.id, w.leaveReason, w.consecFails, w.stealPending, w.migrating, w.forwardTo,
+		w.dbgGrants.Load(), w.dbgRepliesOK.Load(), w.dbgRepliesFail.Load(), w.dbgAdopts.Load()))
+	add(fmt.Sprintf("  deque(%d):", w.dq.Len()))
+	for _, cl := range w.dq.Snapshot() {
+		add(fmt.Sprintf(" %v:%s", cl.ID, cl.Fn))
+	}
+	add("\n")
+	for id, cl := range w.waiting {
+		add(fmt.Sprintf("  waiting %v fn=%s missing=%d cont=%v\n", id, cl.Fn, cl.Missing, cl.Cont))
+	}
+	for id, rec := range w.records {
+		add(fmt.Sprintf("  record %v thief=%d confirmed=%v realCont=%v\n", id, rec.thief, rec.confirmed, rec.realCont))
+	}
+	for _, a := range w.unsent {
+		add(fmt.Sprintf("  unsent cont=%v\n", a.Cont))
+	}
+	return string(b)
+}
+
+func copyCounts(m map[types.WorkerID]int64) map[types.WorkerID]int64 {
+	out := make(map[types.WorkerID]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshotReply dumps the worker's full scheduler state without disturbing
+// it — the checkpoint counterpart of a migration payload.
+func (w *Worker) snapshotReply(seq uint64) wire.SnapshotReply {
+	rep := wire.SnapshotReply{Seq: seq, Worker: w.id}
+	for _, cl := range w.dq.Snapshot() {
+		rep.Closures = append(rep.Closures, cl.toWire())
+	}
+	for _, cl := range w.waiting {
+		rep.Closures = append(rep.Closures, cl.toWire())
+	}
+	for _, rec := range w.records {
+		rep.Records = append(rep.Records, rec.toWire())
+	}
+	return rep
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"testing"
+
+	"phish/internal/clock"
+	"phish/internal/model"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// newBenchWorker builds a worker with a live fabric port but without
+// running its loop, so internal routing logic can be driven directly.
+func newTestWorker(t testing.TB, id types.WorkerID) (*Worker, *phishnet.Fabric) {
+	t.Helper()
+	fab := phishnet.NewFabric()
+	t.Cleanup(fab.Close)
+	prog := NewProgram("internal")
+	prog.Register("noop", func(c model.Ctx) { c.Return(int64(0)) })
+	w := NewWorker(1, id, prog, fab.Attach(id), DefaultConfig(), clock.System)
+	return w, fab
+}
+
+func view(members ...wire.MemberInfo) wire.MembershipView {
+	return wire.MembershipView{Epoch: 1, Members: members}
+}
+
+func TestResolveHostIdentityAndTombstones(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	w.applyView(view(
+		wire.MemberInfo{Worker: 5, HostedBy: 5},
+		wire.MemberInfo{Worker: 7, HostedBy: 7},
+		wire.MemberInfo{Worker: 3, HostedBy: 7},              // migrated 3 -> 7
+		wire.MemberInfo{Worker: 2, HostedBy: types.NoWorker}, // left with nothing
+	))
+	cases := []struct {
+		minter types.WorkerID
+		host   types.WorkerID
+		ok     bool
+	}{
+		{5, 5, true},
+		{7, 7, true},
+		{3, 7, true},                // tombstone
+		{2, types.NoWorker, true},   // departed empty
+		{42, types.NoWorker, false}, // never seen
+	}
+	for _, c := range cases {
+		h, ok := w.resolveHost(c.minter)
+		if ok != c.ok || (ok && h != c.host) {
+			t.Errorf("resolveHost(%d) = (%d,%v), want (%d,%v)", c.minter, h, ok, c.host, c.ok)
+		}
+	}
+	// The clearinghouse is always routable.
+	if h, ok := w.resolveHost(types.ClearinghouseID); !ok || h != types.ClearinghouseID {
+		t.Errorf("resolveHost(CH) = (%d,%v)", h, ok)
+	}
+}
+
+func TestResolveHostFlattensOneChainLevel(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	// A stale view with an unflattened chain 3 -> 7 -> 9 (the
+	// clearinghouse normally flattens; the worker tolerates one level).
+	w.applyView(view(
+		wire.MemberInfo{Worker: 5, HostedBy: 5},
+		wire.MemberInfo{Worker: 9, HostedBy: 9},
+		wire.MemberInfo{Worker: 7, HostedBy: 9},
+		wire.MemberInfo{Worker: 3, HostedBy: 7},
+	))
+	if h, _ := w.resolveHost(3); h != 9 {
+		t.Errorf("chain not flattened: resolveHost(3) = %d, want 9", h)
+	}
+}
+
+func TestVictimListExcludesSelfAndDeparted(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	w.dead[8] = true
+	w.applyView(view(
+		wire.MemberInfo{Worker: 5, HostedBy: 5},
+		wire.MemberInfo{Worker: 6, HostedBy: 6},
+		wire.MemberInfo{Worker: 7, HostedBy: 9}, // migrated away
+		wire.MemberInfo{Worker: 8, HostedBy: 8}, // dead (stale view)
+		wire.MemberInfo{Worker: 9, HostedBy: 9},
+	))
+	if len(w.victims) != 2 {
+		t.Fatalf("victims = %v, want [6 9]", w.victims)
+	}
+	for _, v := range w.victims {
+		if v != 6 && v != 9 {
+			t.Errorf("bad victim %d", v)
+		}
+	}
+}
+
+func TestStaleViewIgnored(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	w.applyView(wire.MembershipView{Epoch: 5, Members: []wire.MemberInfo{
+		{Worker: 5, HostedBy: 5}, {Worker: 6, HostedBy: 6},
+	}})
+	// An older epoch must not clobber the newer view.
+	w.applyView(wire.MembershipView{Epoch: 3, Members: []wire.MemberInfo{
+		{Worker: 5, HostedBy: 5},
+	}})
+	if len(w.victims) != 1 || w.victims[0] != 6 {
+		t.Errorf("stale view applied: victims = %v", w.victims)
+	}
+}
+
+func TestFillSlotDeduplicatesAndBoundsChecks(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	cl := &Closure{
+		ID:      types.TaskID{Worker: 5, Seq: 1},
+		Fn:      "noop",
+		Args:    make([]types.Value, 2),
+		Missing: 2,
+	}
+	w.waiting[cl.ID] = cl
+	cont0 := types.Continuation{Task: cl.ID, Slot: 0}
+
+	w.fillSlot(cont0, int64(1), false, true)
+	if cl.Missing != 1 || cl.Args[0].(int64) != 1 {
+		t.Fatalf("first fill broken: %+v", cl)
+	}
+	// Duplicate delivery into the same slot is dropped, not double-counted.
+	w.fillSlot(cont0, int64(99), false, true)
+	if cl.Missing != 1 || cl.Args[0].(int64) != 1 {
+		t.Errorf("duplicate fill corrupted the closure: %+v", cl)
+	}
+	if w.orphanDrops.Load() != 1 {
+		t.Errorf("duplicate fill not counted as a drop: %d", w.orphanDrops.Load())
+	}
+	// Out-of-range slot is dropped.
+	w.fillSlot(types.Continuation{Task: cl.ID, Slot: 9}, int64(1), false, true)
+	if cl.Missing != 1 {
+		t.Errorf("out-of-range fill corrupted the join counter")
+	}
+	// The last fill readies the closure onto the deque.
+	w.fillSlot(types.Continuation{Task: cl.ID, Slot: 1}, int64(2), true, true)
+	if _, still := w.waiting[cl.ID]; still {
+		t.Error("ready closure still in the waiting table")
+	}
+	if w.dq.Len() != 1 {
+		t.Error("ready closure not enqueued")
+	}
+	if w.counters.Synchronizations.Load() != 2 {
+		t.Errorf("synchs = %d, want 2", w.counters.Synchronizations.Load())
+	}
+	if w.counters.NonLocalSynchs.Load() != 1 {
+		t.Errorf("non-local synchs = %d, want 1 (one crossed fill)", w.counters.NonLocalSynchs.Load())
+	}
+}
+
+func TestTakeStealableSkipsPinnedRoot(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	root := &Closure{ID: types.TaskID{Worker: 5, Seq: 1}, Fn: "noop", NoSteal: true}
+	w.dq.PushHead(root)
+	if _, ok := w.takeStealable(); ok {
+		t.Fatal("pinned root was stealable")
+	}
+	if w.dq.Len() != 1 {
+		t.Fatal("pinned root lost by the steal probe")
+	}
+	// With a normal task behind it, the tail (the normal task... order:
+	// push root first then task -> tail is root). Push the other way.
+	task := &Closure{ID: types.TaskID{Worker: 5, Seq: 2}, Fn: "noop"}
+	w.dq.PushTail(task)
+	got, ok := w.takeStealable()
+	if !ok || got.ID != task.ID {
+		t.Fatalf("stealable = %+v, %v", got, ok)
+	}
+}
+
+func TestGrantStealCreatesRecordAndRetiresTask(t *testing.T) {
+	w, fab := newTestWorker(t, 5)
+	thiefPort := fab.Attach(6)
+	w.applyView(view(
+		wire.MemberInfo{Worker: 5, HostedBy: 5},
+		wire.MemberInfo{Worker: 6, HostedBy: 6},
+	))
+	cl := &Closure{ID: types.TaskID{Worker: 5, Seq: 1}, Fn: "noop",
+		Cont: types.Continuation{Task: types.TaskID{Worker: 5, Seq: 99}}}
+	w.counters.TaskCreated()
+	w.dq.PushHead(cl)
+
+	w.grantSteal(6)
+	if w.dq.Len() != 0 {
+		t.Fatal("task not removed by grant")
+	}
+	if len(w.records) != 1 {
+		t.Fatal("no steal record created")
+	}
+	var rec *stealRecord
+	for _, r := range w.records {
+		rec = r
+	}
+	if rec.thief != 6 || rec.confirmed {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.realCont.Task.Seq != 99 {
+		t.Errorf("record kept wrong continuation: %v", rec.realCont)
+	}
+	// The shipped closure's continuation targets the record.
+	env := <-thiefPort.Recv()
+	rep := env.Payload.(wire.StealReply)
+	if !rep.OK || rep.Task.Cont.Task != rec.id {
+		t.Errorf("stolen task cont = %v, want record %v", rep.Task.Cont, rec.id)
+	}
+	if got := w.counters.TasksInUse.Load(); got != 0 {
+		t.Errorf("tasks in use after grant = %d, want 0", got)
+	}
+}
+
+func TestGrantStealRevertsWhenThiefUnreachable(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	cl := &Closure{ID: types.TaskID{Worker: 5, Seq: 1}, Fn: "noop"}
+	w.counters.TaskCreated()
+	w.dq.PushHead(cl)
+	w.grantSteal(99) // no such port
+	if w.dq.Len() != 1 {
+		t.Error("task lost on failed grant")
+	}
+	if len(w.records) != 0 {
+		t.Error("record leaked on failed grant")
+	}
+}
+
+func TestRedoRecordRequeuesCopy(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	rec := &stealRecord{
+		id:       types.TaskID{Worker: 5, Seq: 10},
+		realCont: types.Continuation{Task: types.TaskID{Worker: 5, Seq: 1}},
+		thief:    7,
+		task: wire.Closure{ID: types.TaskID{Worker: 5, Seq: 2}, Fn: "noop",
+			Cont: types.Continuation{Task: types.TaskID{Worker: 5, Seq: 10}}},
+	}
+	w.records[rec.id] = rec
+	w.redoRecord(rec)
+	if rec.thief != 5 || !rec.confirmed {
+		t.Errorf("record not localized: %+v", rec)
+	}
+	if w.dq.Len() != 1 {
+		t.Fatal("copy not requeued")
+	}
+	if w.counters.TasksRedone.Load() != 1 {
+		t.Error("redo not counted")
+	}
+}
+
+func TestPurgeOrphansDropsDeadConsumers(t *testing.T) {
+	w, _ := newTestWorker(t, 5)
+	w.applyView(view(
+		wire.MemberInfo{Worker: 5, HostedBy: 5},
+		wire.MemberInfo{Worker: 6, HostedBy: 6},
+	))
+	w.dead[9] = true // crashed, no tombstone
+	deadCont := types.Continuation{Task: types.TaskID{Worker: 9, Seq: 1}}
+	liveCont := types.Continuation{Task: types.TaskID{Worker: 6, Seq: 1}}
+
+	orphan := &Closure{ID: types.TaskID{Worker: 5, Seq: 1}, Fn: "noop", Args: make([]types.Value, 1), Missing: 1, Cont: deadCont}
+	keeper := &Closure{ID: types.TaskID{Worker: 5, Seq: 2}, Fn: "noop", Args: make([]types.Value, 1), Missing: 1, Cont: liveCont}
+	w.waiting[orphan.ID] = orphan
+	w.waiting[keeper.ID] = keeper
+	w.counters.TaskCreated()
+	w.counters.TaskCreated()
+	readyOrphan := &Closure{ID: types.TaskID{Worker: 5, Seq: 3}, Fn: "noop", Cont: deadCont}
+	w.dq.PushHead(readyOrphan)
+	w.counters.TaskCreated()
+
+	w.purgeOrphans()
+	if _, ok := w.waiting[orphan.ID]; ok {
+		t.Error("waiting orphan survived the purge")
+	}
+	if _, ok := w.waiting[keeper.ID]; !ok {
+		t.Error("live consumer was purged")
+	}
+	if w.dq.Len() != 0 {
+		t.Error("ready orphan survived the purge")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package cputime
+
+import "time"
+
+// Thread is unavailable on this platform; callers fall back to wall-clock
+// accounting.
+func Thread() (time.Duration, bool) { return 0, false }

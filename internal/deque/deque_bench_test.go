@@ -1,0 +1,55 @@
+package deque
+
+import "testing"
+
+// The deque is the hottest structure in the runtime: every spawn is a
+// PushHead, every execution a PopHead, every steal a PopTail.
+
+func BenchmarkPushPopHead(b *testing.B) {
+	var d Deque[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushHead(i)
+		d.PopHead()
+	}
+}
+
+func BenchmarkSpawnRunPattern(b *testing.B) {
+	// fib's pattern: push two children, pop one, repeat — the deque
+	// breathes around a small working set.
+	var d Deque[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushHead(i)
+		d.PushHead(i + 1)
+		d.PopHead()
+		if d.Len() > 64 {
+			d.PopTail() // a steal trims the tail
+		}
+	}
+}
+
+func BenchmarkStealTail(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < 1024; i++ {
+		d.PushHead(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _ := d.PopTail()
+		d.PushTail(v)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < 128; i++ {
+		d.PushHead(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Snapshot()
+	}
+}

@@ -1,0 +1,369 @@
+// Package harness drives the experiments that regenerate every table and
+// figure in the paper's evaluation (Section 4):
+//
+//   - Table 1: serial slowdown of fib, nqueens, and ray under the Strata
+//     baseline (static processor set, shared memory) and under Phish
+//     (dynamic processor set, messages) — parallel code on one processor
+//     versus the best serial implementation.
+//   - Figure 4: average execution time of pfold versus the number of
+//     participants.
+//   - Figure 5: parallel speedup of pfold versus the number of
+//     participants, S_P = P*T1 / sum_i T_P(i).
+//   - Table 2: message and scheduling statistics for 4- and 8-participant
+//     pfold executions.
+//
+// Absolute times belong to this machine, not to 1994 SparcStations; the
+// quantities that must reproduce are the shapes: which system wins, how
+// slowdowns order across applications, near-linear speedup, and steal,
+// synch, and message counts that are microscopic next to task counts.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"phish"
+	"phish/internal/apps/fib"
+	"phish/internal/apps/nqueens"
+	"phish/internal/apps/pfold"
+	"phish/internal/apps/ray"
+	"phish/internal/stats"
+	"phish/internal/strata"
+)
+
+// Options sizes the workloads. The defaults are chosen so every
+// experiment finishes in seconds on a laptop while still executing
+// hundreds of thousands to millions of tasks.
+type Options struct {
+	FibN           int64
+	NQueensN       int
+	RayScene       string
+	RayW, RayH     int
+	RayBand        int
+	PfoldN         int
+	PfoldThreshold int
+	Ps             []int // participant counts for Figures 4/5
+	Table2Ps       []int
+	Repeats        int // repetitions per timing (median is reported)
+	Workers        phish.WorkerConfig
+	StrataCfg      strata.Config
+	Timeout        time.Duration
+}
+
+// DefaultOptions returns laptop-scale workloads.
+func DefaultOptions() Options {
+	return Options{
+		FibN:           27,
+		NQueensN:       11,
+		RayScene:       "default",
+		RayW:           192,
+		RayH:           144,
+		RayBand:        4,
+		PfoldN:         17,
+		PfoldThreshold: 6,
+		Ps:             []int{1, 2, 4, 8, 16, 32},
+		Table2Ps:       []int{4, 8},
+		Repeats:        3,
+		Workers:        phish.DefaultWorkerConfig(),
+		StrataCfg:      strata.DefaultConfig(),
+		Timeout:        10 * time.Minute,
+	}
+}
+
+// median runs f Repeats times and returns the median duration.
+func median(repeats int, f func() time.Duration) time.Duration {
+	if repeats < 1 {
+		repeats = 1
+	}
+	times := make([]time.Duration, repeats)
+	for i := range times {
+		times[i] = f()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// Table1Row is one application's serial-slowdown measurements.
+type Table1Row struct {
+	App        string
+	SerialTime time.Duration
+	StrataT1   time.Duration
+	PhishT1    time.Duration
+	// Slowdowns are T1/SerialTime; the paper's reference numbers are in
+	// PaperStrata/PaperPhish for the printed comparison.
+	StrataSlowdown, PhishSlowdown float64
+	PaperStrata, PaperPhish       float64
+}
+
+// appSpec bundles what Table 1 needs to run one application.
+type appSpec struct {
+	name        string
+	prog        *phish.Program
+	rootFn      string
+	rootArgs    []phish.Value
+	serial      func()
+	paperStrata float64
+	paperPhish  float64
+}
+
+func (o Options) apps() []appSpec {
+	return []appSpec{
+		{
+			name: "fib", prog: fib.Program(), rootFn: fib.Root, rootArgs: fib.RootArgs(o.FibN),
+			serial:      func() { _ = fib.Serial(o.FibN) },
+			paperStrata: 4.44, paperPhish: 5.90,
+		},
+		{
+			name: "nqueens", prog: nqueens.Program(), rootFn: nqueens.Root, rootArgs: nqueens.RootArgs(o.NQueensN),
+			serial:      func() { _ = nqueens.Serial(o.NQueensN) },
+			paperStrata: 1.09, paperPhish: 1.12,
+		},
+		{
+			name: "ray", prog: ray.Program(), rootFn: ray.Root, rootArgs: ray.RootArgs(o.RayScene, o.RayW, o.RayH, o.RayBand),
+			serial: func() {
+				s, err := ray.SceneByName(o.RayScene)
+				if err != nil {
+					panic(err)
+				}
+				_ = ray.Serial(s, o.RayW, o.RayH)
+			},
+			paperStrata: 1.00, paperPhish: 1.04,
+		},
+	}
+}
+
+// Table1 measures the serial slowdown of the three Table 1 applications
+// on both runtimes.
+func (o Options) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, app := range o.apps() {
+		serialT := median(o.Repeats, func() time.Duration {
+			t0 := time.Now()
+			app.serial()
+			return time.Since(t0)
+		})
+		var strataErr error
+		strataT := median(o.Repeats, func() time.Duration {
+			res, err := strata.Run(app.prog, app.rootFn, app.rootArgs, 1, o.StrataCfg)
+			if err != nil {
+				strataErr = err
+				return 0
+			}
+			return res.Elapsed
+		})
+		if strataErr != nil {
+			return nil, fmt.Errorf("harness: %s on strata: %w", app.name, strataErr)
+		}
+		var phishErr error
+		phishT := median(o.Repeats, func() time.Duration {
+			res, err := phish.RunLocal(app.prog, app.rootFn, app.rootArgs,
+				phish.LocalOptions{Workers: 1, Config: o.Workers, Timeout: o.Timeout})
+			if err != nil {
+				phishErr = err
+				return 0
+			}
+			return res.Elapsed
+		})
+		if phishErr != nil {
+			return nil, fmt.Errorf("harness: %s on phish: %w", app.name, phishErr)
+		}
+		rows = append(rows, Table1Row{
+			App:            app.name,
+			SerialTime:     serialT,
+			StrataT1:       strataT,
+			PhishT1:        phishT,
+			StrataSlowdown: float64(strataT) / float64(serialT),
+			PhishSlowdown:  float64(phishT) / float64(serialT),
+			PaperStrata:    app.paperStrata,
+			PaperPhish:     app.paperPhish,
+		})
+	}
+	return rows, nil
+}
+
+// ScalingPoint is one P in the pfold scaling experiments (Figures 4 and 5,
+// and Table 2 at its chosen P values).
+type ScalingPoint struct {
+	P int
+	// AvgTime is the average per-participant execution time (Figure 4's
+	// y-axis).
+	AvgTime time.Duration
+	// Speedup is S_P = P*T1 / sum_i T_P(i) (Figure 5's y-axis).
+	Speedup float64
+	// Totals aggregates the Table 2 counters over participants.
+	Totals stats.Snapshot
+	// Workers holds the per-participant counters.
+	Workers []stats.Snapshot
+}
+
+// PfoldScaling runs pfold at every P in o.Ps and computes the Figure 4/5
+// series. T1 is taken from the P=1 run (which is added if absent).
+func (o Options) PfoldScaling() ([]ScalingPoint, error) {
+	return o.scale(pfold.Program(), pfold.Root, pfold.RootArgs(o.PfoldN, o.PfoldThreshold))
+}
+
+// AppScaling runs the named application's default-size workload at every
+// P in o.Ps — the paper's remark that "all 4 of our applications
+// demonstrate similar speedups", reproduced for each of them.
+func (o Options) AppScaling(name string) ([]ScalingPoint, error) {
+	for _, app := range o.apps() {
+		if app.name == name {
+			return o.scale(app.prog, app.rootFn, app.rootArgs)
+		}
+	}
+	if name == "pfold" {
+		return o.PfoldScaling()
+	}
+	return nil, fmt.Errorf("harness: unknown application %q", name)
+}
+
+// scale measures one workload at every participant count.
+func (o Options) scale(prog *phish.Program, rootFn string, args []phish.Value) ([]ScalingPoint, error) {
+	ps := append([]int(nil), o.Ps...)
+	sort.Ints(ps)
+	if len(ps) == 0 || ps[0] != 1 {
+		ps = append([]int{1}, ps...)
+	}
+
+	var out []ScalingPoint
+	var t1 time.Duration
+	for _, p := range ps {
+		res, err := phish.RunLocal(prog, rootFn, args,
+			phish.LocalOptions{Workers: p, Config: o.Workers, Timeout: o.Timeout})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s P=%d: %w", prog.Name, p, err)
+		}
+		var sum time.Duration
+		times := make([]time.Duration, 0, len(res.Workers))
+		for _, w := range res.Workers {
+			sum += w.ExecTime
+			times = append(times, w.ExecTime)
+		}
+		avg := sum / time.Duration(len(res.Workers))
+		if p == 1 {
+			t1 = res.Workers[0].ExecTime
+		}
+		out = append(out, ScalingPoint{
+			P:       p,
+			AvgTime: avg,
+			Speedup: phish.SpeedupFromTimes(t1, times),
+			Totals:  res.Totals,
+			Workers: res.Workers,
+		})
+	}
+	return out, nil
+}
+
+// Table2 runs pfold at the Table 2 participant counts and returns the
+// aggregate statistics per P.
+func (o Options) Table2() ([]ScalingPoint, error) {
+	saved := o.Ps
+	o.Ps = o.Table2Ps
+	pts, err := o.PfoldScaling()
+	o.Ps = saved
+	if err != nil {
+		return nil, err
+	}
+	// Drop the implicit P=1 warm-up point unless it was requested.
+	want := map[int]bool{}
+	for _, p := range o.Table2Ps {
+		want[p] = true
+	}
+	var out []ScalingPoint
+	for _, pt := range pts {
+		if want[pt.P] {
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// PrintTable1 renders Table 1 next to the paper's numbers.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1 — serial slowdown (parallel code on 1 processor / best serial code)\n")
+	fmt.Fprintf(w, "%-8s  %12s  %12s  |  %14s  %14s  |  %12s  %12s\n",
+		"app", "strata(meas)", "phish(meas)", "strata(paper)", "phish(paper)", "T_serial", "T_phish(1)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %12.2f  %12.2f  |  %14.2f  %14.2f  |  %12v  %12v\n",
+			r.App, r.StrataSlowdown, r.PhishSlowdown, r.PaperStrata, r.PaperPhish,
+			r.SerialTime.Round(time.Millisecond), r.PhishT1.Round(time.Millisecond))
+	}
+}
+
+// PrintFig4 renders the Figure 4 series (execution time vs P).
+func PrintFig4(w io.Writer, pts []ScalingPoint) {
+	fmt.Fprintf(w, "Figure 4 — pfold average execution time vs participants\n")
+	fmt.Fprintf(w, "%4s  %14s  %14s\n", "P", "avg time", "ideal T1/P")
+	var t1 time.Duration
+	for _, pt := range pts {
+		if pt.P == 1 {
+			t1 = pt.AvgTime
+		}
+	}
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%4d  %14v  %14v\n", pt.P,
+			pt.AvgTime.Round(time.Millisecond), (t1 / time.Duration(pt.P)).Round(time.Millisecond))
+	}
+}
+
+// PrintFig5 renders the Figure 5 series (speedup vs P).
+func PrintFig5(w io.Writer, pts []ScalingPoint) {
+	fmt.Fprintf(w, "Figure 5 — pfold speedup vs participants (dashed line in the paper = perfect linear)\n")
+	fmt.Fprintf(w, "%4s  %10s  %10s  %10s\n", "P", "speedup", "perfect", "efficiency")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%4d  %10.2f  %10d  %9.0f%%\n", pt.P, pt.Speedup, pt.P, 100*pt.Speedup/float64(pt.P))
+	}
+}
+
+// paperTable2 holds the published Table 2 for the printed comparison.
+var paperTable2 = map[int]stats.Snapshot{
+	4: {TasksExecuted: 10390216, MaxTasksInUse: 59, TasksStolen: 70, Synchronizations: 10390214,
+		NonLocalSynchs: 55, MessagesSent: 1598, ExecTime: 182 * time.Second},
+	8: {TasksExecuted: 10390216, MaxTasksInUse: 59, TasksStolen: 133, Synchronizations: 10390214,
+		NonLocalSynchs: 122, MessagesSent: 1998, ExecTime: 94 * time.Second},
+}
+
+// PrintTable2 renders the Table 2 counters next to the paper's.
+func PrintTable2(w io.Writer, pts []ScalingPoint) {
+	fmt.Fprintf(w, "Table 2 — pfold message and scheduling statistics\n")
+	fmt.Fprintf(w, "%-18s", "")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "  %14s  %14s", fmt.Sprintf("%d meas.", pt.P), fmt.Sprintf("%d paper", pt.P))
+	}
+	fmt.Fprintln(w)
+	row := func(name string, meas func(ScalingPoint) string, paper func(stats.Snapshot) string) {
+		fmt.Fprintf(w, "%-18s", name)
+		for _, pt := range pts {
+			pp, ok := paperTable2[pt.P]
+			ps := "-"
+			if ok {
+				ps = paper(pp)
+			}
+			fmt.Fprintf(w, "  %14s  %14s", meas(pt), ps)
+		}
+		fmt.Fprintln(w)
+	}
+	row("tasks executed",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.TasksExecuted) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.TasksExecuted) })
+	row("max tasks in use",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.MaxTasksInUse) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.MaxTasksInUse) })
+	row("tasks stolen",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.TasksStolen) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.TasksStolen) })
+	row("synchronizations",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.Synchronizations) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.Synchronizations) })
+	row("non-local synchs",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.NonLocalSynchs) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.NonLocalSynchs) })
+	row("messages sent",
+		func(p ScalingPoint) string { return fmt.Sprint(p.Totals.MessagesSent) },
+		func(s stats.Snapshot) string { return fmt.Sprint(s.MessagesSent) })
+	row("execution time",
+		func(p ScalingPoint) string { return p.AvgTime.Round(time.Millisecond).String() },
+		func(s stats.Snapshot) string { return s.ExecTime.String() })
+}

@@ -1,0 +1,143 @@
+// Package idlesim generates synthetic workstation-owner activity. The
+// paper's PhishJobManager decides idleness from Unix login sessions
+// ("a workstation is deemed idle only when no users are logged in"); this
+// repo has no owners logging in and out, so the simulated cluster drives
+// the very same policy code with a deterministic, seeded alternation of
+// busy and idle periods — the substitution recorded in DESIGN.md.
+package idlesim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Activity is a deterministic schedule of alternating busy/idle periods.
+// Idle(t) answers whether the owner is away at time t; the schedule is
+// generated lazily as queries advance, so it works with both real and
+// virtual clocks. Safe for concurrent use.
+type Activity struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	end  time.Time // schedule generated up to here
+	segs []segment
+
+	busyMin, busyMax time.Duration
+	idleMin, idleMax time.Duration
+	startIdle        bool
+}
+
+type segment struct {
+	until time.Time
+	idle  bool
+}
+
+// NewActivity builds a schedule starting at start. The owner alternates
+// busy periods of [busyMin, busyMax] and idle periods of [idleMin,
+// idleMax], starting busy (startIdle=false) or idle.
+func NewActivity(seed int64, start time.Time, busyMin, busyMax, idleMin, idleMax time.Duration, startIdle bool) *Activity {
+	if busyMax < busyMin || idleMax < idleMin {
+		panic("idlesim: max duration below min")
+	}
+	return &Activity{
+		rng:       rand.New(rand.NewSource(seed)),
+		end:       start,
+		busyMin:   busyMin,
+		busyMax:   busyMax,
+		idleMin:   idleMin,
+		idleMax:   idleMax,
+		startIdle: startIdle,
+	}
+}
+
+func (a *Activity) randDur(min, max time.Duration) time.Duration {
+	if max == min {
+		return min
+	}
+	return min + time.Duration(a.rng.Int63n(int64(max-min)))
+}
+
+// Idle reports whether the owner is away at time t (t at or after the
+// schedule start).
+func (a *Activity) Idle(t time.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for !a.end.After(t) {
+		idle := a.startIdle
+		if n := len(a.segs); n > 0 {
+			idle = !a.segs[n-1].idle
+		}
+		var d time.Duration
+		if idle {
+			d = a.randDur(a.idleMin, a.idleMax)
+		} else {
+			d = a.randDur(a.busyMin, a.busyMax)
+		}
+		a.end = a.end.Add(d)
+		a.segs = append(a.segs, segment{until: a.end, idle: idle})
+	}
+	for _, s := range a.segs {
+		if t.Before(s.until) {
+			return s.idle
+		}
+	}
+	return a.startIdle // unreachable; the loop above extends past t
+}
+
+// Always is an owner who never comes back: the workstation is always idle.
+type Always struct{}
+
+// Idle implements the policy query.
+func (Always) Idle(time.Time) bool { return true }
+
+// Never is an owner who never leaves: the workstation is never idle.
+type Never struct{}
+
+// Idle implements the policy query.
+func (Never) Idle(time.Time) bool { return false }
+
+// LoadTrace is a synthetic CPU-load signal for the load-threshold idleness
+// policy: a mean-reverting random walk in [0, 1], sampled on a fixed grid
+// so queries are deterministic in t. Safe for concurrent use.
+type LoadTrace struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	start   time.Time
+	step    time.Duration
+	samples []float64
+}
+
+// NewLoadTrace builds a load trace starting at start with the given
+// sampling step.
+func NewLoadTrace(seed int64, start time.Time, step time.Duration) *LoadTrace {
+	if step <= 0 {
+		panic("idlesim: non-positive load step")
+	}
+	return &LoadTrace{rng: rand.New(rand.NewSource(seed)), start: start, step: step}
+}
+
+// Load returns the simulated CPU load at time t in [0, 1].
+func (l *LoadTrace) Load(t time.Time) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := int(t.Sub(l.start) / l.step)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(l.samples) <= idx {
+		prev := 0.3
+		if n := len(l.samples); n > 0 {
+			prev = l.samples[n-1]
+		}
+		// Mean-revert toward 0.3 with noise.
+		next := prev + 0.25*(0.3-prev) + 0.3*(l.rng.Float64()-0.5)
+		if next < 0 {
+			next = 0
+		}
+		if next > 1 {
+			next = 1
+		}
+		l.samples = append(l.samples, next)
+	}
+	return l.samples[idx]
+}

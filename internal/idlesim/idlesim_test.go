@@ -1,0 +1,92 @@
+package idlesim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestActivityAlternates(t *testing.T) {
+	start := time.Date(1994, 8, 2, 9, 0, 0, 0, time.UTC)
+	a := NewActivity(1, start, time.Hour, time.Hour, 30*time.Minute, 30*time.Minute, false)
+	// Fixed durations: busy [0,1h), idle [1h,1h30), busy [1h30,2h30)...
+	cases := []struct {
+		at   time.Duration
+		idle bool
+	}{
+		{0, false},
+		{30 * time.Minute, false},
+		{61 * time.Minute, true},
+		{89 * time.Minute, true},
+		{91 * time.Minute, false},
+		{2*time.Hour + 31*time.Minute, true},
+	}
+	for _, c := range cases {
+		if got := a.Idle(start.Add(c.at)); got != c.idle {
+			t.Errorf("Idle(+%v) = %v, want %v", c.at, got, c.idle)
+		}
+	}
+}
+
+func TestActivityDeterministic(t *testing.T) {
+	start := time.Date(1994, 8, 2, 0, 0, 0, 0, time.UTC)
+	a := NewActivity(42, start, time.Minute, time.Hour, time.Minute, time.Hour, true)
+	b := NewActivity(42, start, time.Minute, time.Hour, time.Minute, time.Hour, true)
+	for i := 0; i < 500; i++ {
+		at := start.Add(time.Duration(i) * 7 * time.Minute)
+		if a.Idle(at) != b.Idle(at) {
+			t.Fatalf("same seed diverged at %v", at)
+		}
+	}
+}
+
+func TestActivityStartIdle(t *testing.T) {
+	start := time.Now()
+	a := NewActivity(7, start, time.Hour, time.Hour, time.Hour, time.Hour, true)
+	if !a.Idle(start) {
+		t.Error("startIdle activity not idle at start")
+	}
+}
+
+func TestActivityQueriesOutOfOrder(t *testing.T) {
+	start := time.Now()
+	a := NewActivity(3, start, time.Minute, 10*time.Minute, time.Minute, 10*time.Minute, false)
+	// Query far future first, then earlier times; answers must be
+	// consistent with a single fixed schedule.
+	far := a.Idle(start.Add(48 * time.Hour))
+	again := a.Idle(start.Add(48 * time.Hour))
+	if far != again {
+		t.Error("repeated query disagreed")
+	}
+	if a.Idle(start) != false {
+		t.Error("first segment must be busy (startIdle=false)")
+	}
+}
+
+func TestAlwaysNever(t *testing.T) {
+	if !(Always{}).Idle(time.Now()) {
+		t.Error("Always should be idle")
+	}
+	if (Never{}).Idle(time.Now()) {
+		t.Error("Never should be busy")
+	}
+}
+
+func TestLoadTraceBoundsAndDeterminism(t *testing.T) {
+	start := time.Now()
+	a := NewLoadTrace(5, start, time.Second)
+	b := NewLoadTrace(5, start, time.Second)
+	for i := 0; i < 1000; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		la, lb := a.Load(at), b.Load(at)
+		if la != lb {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if la < 0 || la > 1 {
+			t.Fatalf("load %f out of [0,1]", la)
+		}
+	}
+	// Same grid cell, same answer.
+	if a.Load(start.Add(time.Second)) != a.Load(start.Add(1500*time.Millisecond)) {
+		t.Error("same sample cell returned different loads")
+	}
+}

@@ -1,0 +1,279 @@
+package jobmanager
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phish/internal/clock"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// fakeSource hands out a fixed job while armed.
+type fakeSource struct {
+	mu    sync.Mutex
+	armed bool
+	spec  wire.JobSpec
+	asks  int
+}
+
+func (s *fakeSource) Request(types.WorkstationID) (wire.JobSpec, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.asks++
+	if !s.armed {
+		return wire.JobSpec{}, false, nil
+	}
+	return s.spec, true, nil
+}
+
+func (s *fakeSource) requests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asks
+}
+
+// fakeProc is a controllable worker process.
+type fakeProc struct {
+	done      chan struct{}
+	reclaimed atomic.Bool
+	reason    wire.LeaveReason
+}
+
+func (p *fakeProc) Reclaim() {
+	if p.reclaimed.CompareAndSwap(false, true) {
+		p.reason = wire.LeaveReclaimed
+		close(p.done)
+	}
+}
+func (p *fakeProc) Done() <-chan struct{}         { return p.done }
+func (p *fakeProc) LeaveReason() wire.LeaveReason { return p.reason }
+
+func (p *fakeProc) finish(reason wire.LeaveReason) {
+	if p.reclaimed.CompareAndSwap(false, true) {
+		p.reason = reason
+		close(p.done)
+	}
+}
+
+// fakeRunner records started procs.
+type fakeRunner struct {
+	mu    sync.Mutex
+	procs []*fakeProc
+	ids   []types.WorkerID
+}
+
+func (r *fakeRunner) Start(spec wire.JobSpec, id types.WorkerID) (WorkerProc, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &fakeProc{done: make(chan struct{})}
+	r.procs = append(r.procs, p)
+	r.ids = append(r.ids, id)
+	return p, nil
+}
+
+func (r *fakeRunner) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.procs)
+}
+
+func (r *fakeRunner) last() *fakeProc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.procs) == 0 {
+		return nil
+	}
+	return r.procs[len(r.procs)-1]
+}
+
+func testConfig(clk clock.Clock) Config {
+	return Config{
+		BusyPoll:  5 * time.Minute,
+		IdleRetry: 30 * time.Second,
+		WorkPoll:  2 * time.Second,
+		Clock:     clk,
+	}
+}
+
+// idleSwitch is a concurrency-safe policy toggle.
+type idleSwitch struct{ idle atomic.Bool }
+
+func (s *idleSwitch) Idle(time.Time) bool { return s.idle.Load() }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBusyOwnerPollsEveryFiveMinutes(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{armed: true, spec: wire.JobSpec{ID: 1}}
+	run := &fakeRunner{}
+	sw := &idleSwitch{} // busy
+	m := New(1, sw, src, run, testConfig(clk))
+	go m.Run()
+	defer m.Stop()
+
+	// Busy: the manager must be sleeping on BusyPoll, not requesting jobs.
+	waitFor(t, "busy sleep", func() bool { return clk.Waiters() >= 1 })
+	if src.requests() != 0 {
+		t.Fatal("requested a job while the owner was active")
+	}
+	// Owner logs out; the manager only notices at the next 5-minute poll.
+	sw.idle.Store(true)
+	clk.Advance(4 * time.Minute)
+	time.Sleep(5 * time.Millisecond)
+	if run.count() != 0 {
+		t.Fatal("noticed idleness before the poll interval elapsed")
+	}
+	clk.Advance(2 * time.Minute)
+	waitFor(t, "worker start", func() bool { return run.count() == 1 })
+}
+
+func TestEmptyPoolRetriesEveryThirtySeconds(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{} // pool empty
+	run := &fakeRunner{}
+	sw := &idleSwitch{}
+	sw.idle.Store(true)
+	m := New(1, sw, src, run, testConfig(clk))
+	go m.Run()
+	defer m.Stop()
+
+	waitFor(t, "first request", func() bool { return src.requests() == 1 })
+	for i := 2; i <= 4; i++ {
+		waitFor(t, "retry sleep", func() bool { return clk.Waiters() >= 1 })
+		clk.Advance(30 * time.Second)
+		want := i
+		waitFor(t, "another request", func() bool { return src.requests() >= want })
+	}
+	if run.count() != 0 {
+		t.Fatal("started a worker with an empty pool")
+	}
+	// A job appears; next retry picks it up.
+	src.mu.Lock()
+	src.armed = true
+	src.spec = wire.JobSpec{ID: 7}
+	src.mu.Unlock()
+	clk.Advance(30 * time.Second)
+	waitFor(t, "worker start", func() bool { return run.count() == 1 })
+	if st := m.Stats(); st.JobsStarted.Load() != 1 {
+		t.Errorf("jobs started = %d", st.JobsStarted.Load())
+	}
+}
+
+func TestOwnerReturnKillsWorkerWithinPoll(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{armed: true, spec: wire.JobSpec{ID: 1}}
+	run := &fakeRunner{}
+	sw := &idleSwitch{}
+	sw.idle.Store(true)
+	m := New(1, sw, src, run, testConfig(clk))
+	go m.Run()
+	defer m.Stop()
+
+	waitFor(t, "worker start", func() bool { return run.count() == 1 })
+	proc := run.last()
+	// Owner returns; the 2-second work poll must catch it.
+	sw.idle.Store(false)
+	waitFor(t, "work poll sleep", func() bool { return clk.Waiters() >= 1 })
+	clk.Advance(2 * time.Second)
+	waitFor(t, "reclaim", func() bool { return proc.reclaimed.Load() })
+	if got := m.Stats().Reclaims.Load(); got == 0 {
+		t.Error("reclaim not counted")
+	}
+}
+
+func TestWorkerExitRequestsNextJob(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{armed: true, spec: wire.JobSpec{ID: 1}}
+	run := &fakeRunner{}
+	sw := &idleSwitch{}
+	sw.idle.Store(true)
+	m := New(1, sw, src, run, testConfig(clk))
+	go m.Run()
+	defer m.Stop()
+
+	waitFor(t, "worker 1", func() bool { return run.count() == 1 })
+	run.last().finish(wire.LeaveJobDone)
+	// The manager asks again immediately (still idle, pool non-empty).
+	waitFor(t, "worker 2", func() bool { return run.count() == 2 })
+	if got := m.Stats().Finished.Load(); got != 1 {
+		t.Errorf("finished = %d, want 1", got)
+	}
+	run.last().finish(wire.LeaveNoWork)
+	waitFor(t, "retired count", func() bool { return m.Stats().Retired.Load() == 1 })
+}
+
+func TestWorkerIDsNeverRepeat(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{armed: true, spec: wire.JobSpec{ID: 1}}
+	run := &fakeRunner{}
+	sw := &idleSwitch{}
+	sw.idle.Store(true)
+	m := New(3, sw, src, run, testConfig(clk))
+	go m.Run()
+	defer m.Stop()
+
+	for i := 1; i <= 5; i++ {
+		n := i
+		waitFor(t, "worker start", func() bool { return run.count() == n })
+		run.last().finish(wire.LeaveNoWork)
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	seen := map[types.WorkerID]bool{}
+	for _, id := range run.ids {
+		if seen[id] {
+			t.Fatalf("worker id %d reused", id)
+		}
+		seen[id] = true
+		if int32(id)/workerIDStride != 3 {
+			t.Fatalf("worker id %d does not embed workstation 3", id)
+		}
+	}
+}
+
+func TestStopReclaimsRunningWorker(t *testing.T) {
+	clk := clock.NewFake()
+	src := &fakeSource{armed: true, spec: wire.JobSpec{ID: 1}}
+	run := &fakeRunner{}
+	sw := &idleSwitch{}
+	sw.idle.Store(true)
+	m := New(1, sw, src, run, testConfig(clk))
+	done := make(chan struct{})
+	go func() { m.Run(); close(done) }()
+
+	waitFor(t, "worker start", func() bool { return run.count() == 1 })
+	m.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if !run.last().reclaimed.Load() {
+		t.Error("Stop left the worker running")
+	}
+}
+
+func TestLoadThresholdPolicy(t *testing.T) {
+	load := 0.9
+	p := LoadThreshold(func(time.Time) float64 { return load }, 0.5)
+	if p.Idle(time.Now()) {
+		t.Error("high load should not be idle")
+	}
+	load = 0.1
+	if !p.Idle(time.Now()) {
+		t.Error("low load should be idle")
+	}
+}

@@ -1,0 +1,199 @@
+package jobq
+
+import (
+	"testing"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+func TestPoolRoundRobin(t *testing.T) {
+	p := NewPool()
+	idA := p.Submit(wire.JobSpec{Name: "a"})
+	idB := p.Submit(wire.JobSpec{Name: "b"})
+	idC := p.Submit(wire.JobSpec{Name: "c"})
+	var got []types.JobID
+	for i := 0; i < 6; i++ {
+		spec, ok := p.Request()
+		if !ok {
+			t.Fatal("pool unexpectedly empty")
+		}
+		got = append(got, spec.ID)
+	}
+	want := []types.JobID{idA, idB, idC, idA, idB, idC}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPoolAssignmentKeepsJob(t *testing.T) {
+	// The paper: "when it assigns a job to a workstation, the scheduler
+	// keeps that job in its pool so that the job can also be assigned to
+	// other idle workstations."
+	p := NewPool()
+	p.Submit(wire.JobSpec{Name: "only"})
+	for i := 0; i < 5; i++ {
+		if _, ok := p.Request(); !ok {
+			t.Fatal("job vanished from the pool after assignment")
+		}
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool len = %d, want 1", p.Len())
+	}
+}
+
+func TestPoolDone(t *testing.T) {
+	p := NewPool()
+	a := p.Submit(wire.JobSpec{Name: "a"})
+	b := p.Submit(wire.JobSpec{Name: "b"})
+	p.Done(a)
+	spec, ok := p.Request()
+	if !ok || spec.ID != b {
+		t.Fatalf("got %v,%v want job b", spec.ID, ok)
+	}
+	p.Done(b)
+	if _, ok := p.Request(); ok {
+		t.Fatal("empty pool handed out a job")
+	}
+	p.Done(b) // double-done is a no-op
+}
+
+func TestPoolDoneMidRotation(t *testing.T) {
+	p := NewPool()
+	a := p.Submit(wire.JobSpec{Name: "a"})
+	b := p.Submit(wire.JobSpec{Name: "b"})
+	c := p.Submit(wire.JobSpec{Name: "c"})
+	p.Request() // a
+	p.Request() // b; next=2 → c
+	p.Done(a)
+	spec, _ := p.Request()
+	if spec.ID != c {
+		t.Fatalf("after removing a, expected c next, got %d", spec.ID)
+	}
+	spec, _ = p.Request()
+	if spec.ID != b {
+		t.Fatalf("rotation broken after Done: got %d want %d", spec.ID, b)
+	}
+}
+
+func TestServerClient(t *testing.T) {
+	pool := NewPool()
+	srv, err := NewServer(pool, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewClient(srv.Addr())
+	defer cli.Close()
+
+	if _, ok, err := cli.Request(1); err != nil || ok {
+		t.Fatalf("empty pool: ok=%v err=%v", ok, err)
+	}
+	id, err := cli.Submit(wire.JobSpec{Name: "ray", Program: "ray", RootFn: "ray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok, err := cli.Request(1)
+	if err != nil || !ok || spec.ID != id || spec.Name != "ray" {
+		t.Fatalf("request: spec=%+v ok=%v err=%v", spec, ok, err)
+	}
+	jobs, err := cli.List()
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("list: %v %v", jobs, err)
+	}
+	if err := cli.Done(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cli.Request(1); ok {
+		t.Fatal("job still assigned after Done")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	pool := NewPool()
+	srv, err := NewServer(pool, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewClient(addr)
+	defer cli.Close()
+	if _, err := cli.Submit(wire.JobSpec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server; the next call must fail, not hang.
+	srv.Close()
+	if _, _, err := cli.Request(1); err == nil {
+		t.Fatal("request to dead server succeeded")
+	}
+	// Bring a new server up on the same pool at a new address; a fresh
+	// client works (managers would be re-pointed by configuration).
+	srv2, err := NewServer(pool, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cli2 := NewClient(srv2.Addr())
+	defer cli2.Close()
+	if _, ok, err := cli2.Request(1); err != nil || !ok {
+		t.Fatalf("request after restart: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPolicyFCFS(t *testing.T) {
+	p := NewPoolWithPolicy(FirstComeFirstServed)
+	a := p.Submit(wire.JobSpec{Name: "a"})
+	b := p.Submit(wire.JobSpec{Name: "b"})
+	for i := 0; i < 4; i++ {
+		spec, _ := p.Request()
+		if spec.ID != a {
+			t.Fatalf("FCFS handed out %d before job a finished", spec.ID)
+		}
+	}
+	p.Done(a)
+	spec, _ := p.Request()
+	if spec.ID != b {
+		t.Fatalf("after a is done, FCFS should hand out b, got %d", spec.ID)
+	}
+}
+
+func TestPolicyPriority(t *testing.T) {
+	p := NewPoolWithPolicy(PriorityFirst)
+	p.Submit(wire.JobSpec{Name: "low", Priority: 1})
+	hi := p.Submit(wire.JobSpec{Name: "high", Priority: 9})
+	p.Submit(wire.JobSpec{Name: "mid", Priority: 5})
+	for i := 0; i < 3; i++ {
+		spec, _ := p.Request()
+		if spec.ID != hi {
+			t.Fatalf("priority pool handed out %q", spec.Name)
+		}
+	}
+}
+
+func TestPolicyLeastServed(t *testing.T) {
+	p := NewPoolWithPolicy(LeastServed)
+	a := p.Submit(wire.JobSpec{Name: "a"})
+	b := p.Submit(wire.JobSpec{Name: "b"})
+	counts := map[types.JobID]int{}
+	for i := 0; i < 10; i++ {
+		spec, _ := p.Request()
+		counts[spec.ID]++
+	}
+	if counts[a] != 5 || counts[b] != 5 {
+		t.Fatalf("least-served is unfair: %v", counts)
+	}
+	if p.Grants(a) != 5 {
+		t.Fatalf("grants(a) = %d", p.Grants(a))
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, pol := range []Policy{RoundRobin, FirstComeFirstServed, PriorityFirst, LeastServed} {
+		if pol.String() == "" || pol.String()[0] == 'P' {
+			t.Errorf("policy %d has no name", pol)
+		}
+	}
+}

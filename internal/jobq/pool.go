@@ -1,0 +1,170 @@
+// Package jobq implements the PhishJobQ: the macro-level scheduler's job
+// pool (Section 3, Figure 2). Parallel jobs are submitted to the pool;
+// idle workstations request work from it; assignment is non-preemptive
+// round-robin over the pool, and — crucially — an assigned job STAYS in
+// the pool, so other idle workstations keep joining it until it finishes.
+// That is how the macro scheduler space-shares the network.
+//
+// Pool is the pure scheduling logic; Server/Client wrap it in a
+// frame-per-request RPC over TCP for the distributed binaries. The
+// simulated cluster calls Pool directly.
+package jobq
+
+import (
+	"fmt"
+	"sync"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Policy selects how the pool assigns jobs to requesting workstations.
+// The paper's implementation is round-robin; the others are the "more
+// sophisticated job assignment algorithms" its future work calls for.
+type Policy int
+
+const (
+	// RoundRobin cycles through the pool (the paper's policy).
+	RoundRobin Policy = iota
+	// FirstComeFirstServed keeps assigning the oldest job until it
+	// finishes — every idle workstation piles onto one job at a time.
+	FirstComeFirstServed
+	// PriorityFirst assigns the highest-priority job (ties: oldest);
+	// all idle workstations serve the most important job.
+	PriorityFirst
+	// LeastServed assigns the job that has received the fewest
+	// workstation grants so far — a fair-share policy.
+	LeastServed
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case FirstComeFirstServed:
+		return "fcfs"
+	case PriorityFirst:
+		return "priority"
+	case LeastServed:
+		return "least-served"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Pool is the job pool. Safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	jobs   []wire.JobSpec
+	grants map[types.JobID]int64
+	policy Policy
+	next   int
+	nextID types.JobID
+}
+
+// NewPool returns an empty round-robin pool.
+func NewPool() *Pool {
+	return &Pool{nextID: 1, grants: make(map[types.JobID]int64)}
+}
+
+// NewPoolWithPolicy returns an empty pool using the given policy.
+func NewPoolWithPolicy(p Policy) *Pool {
+	pool := NewPool()
+	pool.policy = p
+	return pool
+}
+
+// Policy returns the pool's assignment policy.
+func (p *Pool) Policy() Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy
+}
+
+// Grants reports how many times job id has been assigned.
+func (p *Pool) Grants(id types.JobID) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.grants[id]
+}
+
+// Submit adds a job and returns its assigned id (any id already present in
+// the spec is replaced).
+func (p *Pool) Submit(spec wire.JobSpec) types.JobID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	spec.ID = p.nextID
+	p.nextID++
+	p.jobs = append(p.jobs, spec)
+	return spec.ID
+}
+
+// Done removes a finished job from the pool. Unknown ids are ignored
+// (the job may have been removed by an earlier Done).
+func (p *Pool) Done(id types.JobID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, j := range p.jobs {
+		if j.ID == id {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			delete(p.grants, id)
+			if p.next > i {
+				p.next--
+			}
+			return
+		}
+	}
+}
+
+// Request hands out the next job per the pool's policy. ok is false when
+// the pool is empty (the workstation will retry, every 30 seconds in the
+// paper).
+func (p *Pool) Request() (spec wire.JobSpec, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.jobs) == 0 {
+		return wire.JobSpec{}, false
+	}
+	idx := 0
+	switch p.policy {
+	case RoundRobin:
+		if p.next >= len(p.jobs) {
+			p.next = 0
+		}
+		idx = p.next
+		p.next++
+	case FirstComeFirstServed:
+		idx = 0
+	case PriorityFirst:
+		for i, j := range p.jobs {
+			if j.Priority > p.jobs[idx].Priority {
+				idx = i
+			}
+		}
+	case LeastServed:
+		for i, j := range p.jobs {
+			if p.grants[j.ID] < p.grants[p.jobs[idx].ID] {
+				idx = i
+			}
+		}
+	}
+	spec = p.jobs[idx]
+	p.grants[spec.ID]++
+	return spec, true
+}
+
+// List returns a copy of the pool contents.
+func (p *Pool) List() []wire.JobSpec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]wire.JobSpec, len(p.jobs))
+	copy(out, p.jobs)
+	return out
+}
+
+// Len returns the number of jobs in the pool.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.jobs)
+}

@@ -1,0 +1,208 @@
+package jobq
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Server exposes a Pool over TCP: one length-prefixed request envelope in,
+// one reply envelope out, connection kept open for further requests. The
+// traffic is deliberately sparse — in the paper a workstation talks to the
+// PhishJobQ at most once every 30 seconds.
+type Server struct {
+	pool *Pool
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts serving pool on addr (":0" picks a port).
+func NewServer(pool *Pool, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("jobq: listen %q: %w", addr, err)
+	}
+	s := &Server{pool: pool, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply := s.dispatch(env)
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
+	var payload any
+	switch p := env.Payload.(type) {
+	case wire.JobRequest:
+		spec, ok := s.pool.Request()
+		payload = wire.JobReply{OK: ok, Job: spec}
+	case wire.JobSubmit:
+		id := s.pool.Submit(p.Job)
+		payload = wire.JobSubmitReply{ID: id}
+	case wire.JobDone:
+		s.pool.Done(p.ID)
+		payload = wire.JobListReply{Jobs: nil} // bare ack
+	case wire.JobList:
+		payload = wire.JobListReply{Jobs: s.pool.List()}
+	default:
+		payload = wire.JobReply{OK: false}
+	}
+	return &wire.Envelope{Payload: payload}
+}
+
+// Client talks to a jobq Server. Each call dials lazily and reuses the
+// connection; on error the connection is dropped and redialed next call.
+type Client struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient returns a client of the server at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) call(payload any) (*wire.Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+			if err != nil {
+				return nil, fmt.Errorf("jobq: dial %q: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		err := wire.WriteFrame(c.conn, &wire.Envelope{Payload: payload})
+		if err == nil {
+			var reply *wire.Envelope
+			reply, err = wire.ReadFrame(c.conn)
+			if err == nil {
+				return reply, nil
+			}
+		}
+		// Stale connection; retry once on a fresh one.
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	return nil, errors.New("jobq: request failed after reconnect")
+}
+
+// Request asks for a job assignment.
+func (c *Client) Request(ws types.WorkstationID) (wire.JobSpec, bool, error) {
+	reply, err := c.call(wire.JobRequest{Workstation: ws})
+	if err != nil {
+		return wire.JobSpec{}, false, err
+	}
+	r, ok := reply.Payload.(wire.JobReply)
+	if !ok {
+		return wire.JobSpec{}, false, fmt.Errorf("jobq: unexpected reply %T", reply.Payload)
+	}
+	return r.Job, r.OK, nil
+}
+
+// Submit places a job in the pool and returns its id.
+func (c *Client) Submit(spec wire.JobSpec) (types.JobID, error) {
+	reply, err := c.call(wire.JobSubmit{Job: spec})
+	if err != nil {
+		return 0, err
+	}
+	r, ok := reply.Payload.(wire.JobSubmitReply)
+	if !ok {
+		return 0, fmt.Errorf("jobq: unexpected reply %T", reply.Payload)
+	}
+	return r.ID, nil
+}
+
+// Done removes a finished job.
+func (c *Client) Done(id types.JobID) error {
+	_, err := c.call(wire.JobDone{ID: id})
+	return err
+}
+
+// List returns the pool contents.
+func (c *Client) List() ([]wire.JobSpec, error) {
+	reply, err := c.call(wire.JobList{})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := reply.Payload.(wire.JobListReply)
+	if !ok {
+		return nil, fmt.Errorf("jobq: unexpected reply %T", reply.Payload)
+	}
+	return r.Jobs, nil
+}

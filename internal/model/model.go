@@ -1,0 +1,59 @@
+// Package model defines the continuation-passing-threads programming
+// interface shared by Phish's distributed runtime (internal/core) and the
+// Strata baseline runtime (internal/strata). Applications are written once
+// against Ctx and run unchanged on either — exactly the property the paper
+// relies on ("We support this programming model on both the CM-5 with the
+// Strata scheduling library and on a network of workstations with Phish"),
+// and the property that makes the Table 1 comparison meaningful.
+package model
+
+import "phish/internal/types"
+
+// Func is the body of a task: it runs to completion without blocking,
+// reading arguments from the context and either returning a value to its
+// continuation or spawning children plus a successor to combine them.
+type Func func(Ctx)
+
+// Succ names a successor task created by a running task, minting
+// continuations into its argument slots.
+type Succ interface {
+	// Cont returns the continuation that fills the successor's slot i.
+	Cont(slot int) types.Continuation
+	// Task returns the successor's task id (diagnostics).
+	Task() types.TaskID
+}
+
+// Ctx is a task's window onto its runtime during execution. It is valid
+// only for the duration of the Func call it was passed to: runtimes reuse
+// context objects between tasks, so a body must not retain its Ctx.
+type Ctx interface {
+	// NArgs returns the number of argument slots.
+	NArgs() int
+	// Arg returns argument i.
+	Arg(i int) types.Value
+	// Int returns argument i as an int64 (panics on type mismatch).
+	Int(i int) int64
+	// Float returns argument i as a float64.
+	Float(i int) float64
+	// String returns argument i as a string.
+	String(i int) string
+	// Worker identifies the executing participant.
+	Worker() types.WorkerID
+
+	// Return sends v to the task's continuation (its one result).
+	Return(v types.Value)
+	// Send delivers v to an explicit continuation.
+	Send(cont types.Continuation, v types.Value)
+	// Successor creates a waiting task of fn with nslots empty slots
+	// inheriting this task's continuation.
+	Successor(fn string, nslots int) Succ
+	// SuccessorCont is Successor with an explicit continuation.
+	SuccessorCont(fn string, nslots int, cont types.Continuation) Succ
+	// Preset fills a successor slot with a spawn-time constant (not
+	// counted as a synchronization).
+	Preset(s Succ, slot int, v types.Value)
+	// Spawn creates a ready child task whose result goes to cont.
+	Spawn(fn string, cont types.Continuation, args ...types.Value)
+	// Print emits output through the job's I/O channel.
+	Print(format string, args ...any)
+}

@@ -1,0 +1,98 @@
+package phishnet
+
+import (
+	"sync"
+
+	"phish/internal/wire"
+)
+
+// mailbox is an unbounded FIFO of envelopes with a channel interface on
+// both ends. Unbounded buffering matters: a worker deep in a long task does
+// not drain its inbox, and a bounded channel would make senders block,
+// coupling the progress of independent workers (the paper avoids exactly
+// this with split-phase sends).
+type mailbox struct {
+	in   chan *wire.Envelope
+	out  chan *wire.Envelope
+	done chan struct{}
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		in:   make(chan *wire.Envelope, 64),
+		out:  make(chan *wire.Envelope),
+		done: make(chan struct{}),
+	}
+	go m.pump()
+	return m
+}
+
+func (m *mailbox) pump() {
+	defer close(m.out)
+	var q []*wire.Envelope
+	for {
+		if len(q) == 0 {
+			env, ok := <-m.in
+			if !ok {
+				return
+			}
+			q = append(q, env)
+			continue
+		}
+		select {
+		case env, ok := <-m.in:
+			if !ok {
+				// Drain the backlog to receivers, then exit.
+				for _, e := range q {
+					select {
+					case m.out <- e:
+					case <-m.done:
+						return
+					}
+				}
+				return
+			}
+			q = append(q, env)
+		case m.out <- q[0]:
+			q[0] = nil
+			q = q[1:]
+		}
+	}
+}
+
+// put enqueues env; it blocks only transiently (while the pump moves the
+// element into its private queue). It reports false once the mailbox has
+// closed. The read lock is held across the send so close cannot shut the
+// channel out from under an in-flight put.
+func (m *mailbox) put(env *wire.Envelope) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false
+	}
+	select {
+	case m.in <- env:
+		return true
+	case <-m.done:
+		return false
+	}
+}
+
+// close stops the mailbox (idempotent). Receivers see the out channel
+// close after any backlog is drained or abandoned.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	// No put can now be inside the send (they all check closed under the
+	// read lock, and we held the write lock), so closing is safe.
+	close(m.done)
+	close(m.in)
+}

@@ -1,0 +1,272 @@
+package phishnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// UDP transport parameters. The retransmit interval is deliberately long
+// relative to a LAN round trip: the runtime is split-phase and keeps
+// working while messages are in flight, so aggressive retransmission buys
+// nothing (the paper's protocols poll at 2 s and coarser).
+const (
+	udpRetransmitEvery = 50 * time.Millisecond
+	udpMaxRetransmits  = 100 // give up after ~5 s: the peer is gone
+	udpDedupWindow     = 8192
+)
+
+// UDP is a Conn over real UDP datagrams with per-peer acknowledgment,
+// retransmission, and duplicate suppression — the reliability layer the
+// paper builds above raw UDP/IP.
+type UDP struct {
+	local types.WorkerID
+	job   types.JobID
+	conn  *net.UDPConn
+	mbox  *mailbox
+
+	mu      sync.Mutex
+	peers   map[types.WorkerID]*net.UDPAddr
+	pending map[uint64]*pendingSend
+	seen    map[string]*dedupWindow
+	seq     uint64
+	closed  bool
+
+	stopRetx chan struct{}
+	wg       sync.WaitGroup
+}
+
+type pendingSend struct {
+	to    types.WorkerID
+	frame []byte
+	tries int
+	next  time.Time
+}
+
+// dedupWindow remembers recently seen sequence numbers from one remote
+// address.
+type dedupWindow struct {
+	seen map[uint64]struct{}
+	ring []uint64
+	pos  int
+}
+
+func newDedupWindow() *dedupWindow {
+	return &dedupWindow{
+		seen: make(map[uint64]struct{}, udpDedupWindow),
+		ring: make([]uint64, udpDedupWindow),
+	}
+}
+
+// add records seq; it reports true if seq was new.
+func (d *dedupWindow) add(seq uint64) bool {
+	if _, dup := d.seen[seq]; dup {
+		return false
+	}
+	old := d.ring[d.pos]
+	if _, ok := d.seen[old]; ok && len(d.seen) >= udpDedupWindow {
+		delete(d.seen, old)
+	}
+	d.ring[d.pos] = seq
+	d.pos = (d.pos + 1) % len(d.ring)
+	d.seen[seq] = struct{}{}
+	return true
+}
+
+// ListenUDP opens a UDP endpoint for worker local of job job on addr
+// (":0" picks a free port).
+func ListenUDP(job types.JobID, local types.WorkerID, addr string) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("phishnet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("phishnet: listen %q: %w", addr, err)
+	}
+	u := &UDP{
+		local:    local,
+		job:      job,
+		conn:     conn,
+		mbox:     newMailbox(),
+		peers:    make(map[types.WorkerID]*net.UDPAddr),
+		pending:  make(map[uint64]*pendingSend),
+		seen:     make(map[string]*dedupWindow),
+		stopRetx: make(chan struct{}),
+	}
+	u.wg.Add(2)
+	go u.readLoop()
+	go u.retransmitLoop()
+	return u, nil
+}
+
+// SetPeer implements Conn.
+func (u *UDP) SetPeer(id types.WorkerID, addr string) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return // an unresolvable peer simply stays unknown
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peers[id] = ua
+}
+
+// DropPeer implements Conn.
+func (u *UDP) DropPeer(id types.WorkerID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.peers, id)
+	for seq, p := range u.pending {
+		if p.to == id {
+			delete(u.pending, seq)
+		}
+	}
+}
+
+// LocalAddr implements Conn.
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// Send implements Conn: assign a sequence number, transmit, and keep the
+// frame for retransmission until acknowledged.
+func (u *UDP) Send(env *wire.Envelope) error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := u.peers[env.To]
+	if !ok {
+		u.mu.Unlock()
+		return ErrUnknownPeer
+	}
+	u.seq++
+	env.Seq = u.seq
+	env.From = u.local
+	env.Job = u.job
+	frame, err := wire.Encode(env)
+	if err != nil {
+		u.mu.Unlock()
+		return err
+	}
+	_, isAck := env.Payload.(wire.Ack)
+	if !isAck {
+		u.pending[env.Seq] = &pendingSend{
+			to:    env.To,
+			frame: frame,
+			next:  time.Now().Add(udpRetransmitEvery),
+		}
+	}
+	u.mu.Unlock()
+	_, err = u.conn.WriteToUDP(frame, dst)
+	return err
+}
+
+// Recv implements Conn.
+func (u *UDP) Recv() <-chan *wire.Envelope { return u.mbox.out }
+
+// Close implements Conn.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	close(u.stopRetx)
+	err := u.conn.Close()
+	u.wg.Wait()
+	u.mbox.close()
+	return err
+}
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		env, err := wire.Decode(frame)
+		if err != nil {
+			continue // garbage datagram; a real network drops these too
+		}
+		if ack, ok := env.Payload.(wire.Ack); ok {
+			u.mu.Lock()
+			delete(u.pending, ack.Seq)
+			u.mu.Unlock()
+			continue
+		}
+		// Acknowledge, learn the sender's address, and dedup.
+		u.mu.Lock()
+		if _, known := u.peers[env.From]; !known {
+			u.peers[env.From] = from
+		}
+		w := u.seen[from.String()]
+		if w == nil {
+			w = newDedupWindow()
+			u.seen[from.String()] = w
+		}
+		fresh := w.add(env.Seq)
+		u.mu.Unlock()
+		u.sendAck(env.Seq, from)
+		if fresh {
+			u.mbox.put(env)
+		}
+	}
+}
+
+func (u *UDP) sendAck(seq uint64, to *net.UDPAddr) {
+	ack := &wire.Envelope{Job: u.job, From: u.local, Payload: wire.Ack{Seq: seq}}
+	frame, err := wire.Encode(ack)
+	if err != nil {
+		return
+	}
+	_, _ = u.conn.WriteToUDP(frame, to)
+}
+
+func (u *UDP) retransmitLoop() {
+	defer u.wg.Done()
+	tick := time.NewTicker(udpRetransmitEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-u.stopRetx:
+			return
+		case now := <-tick.C:
+			u.mu.Lock()
+			type resend struct {
+				frame []byte
+				dst   *net.UDPAddr
+			}
+			var out []resend
+			for seq, p := range u.pending {
+				if now.Before(p.next) {
+					continue
+				}
+				p.tries++
+				if p.tries > udpMaxRetransmits {
+					delete(u.pending, seq)
+					continue
+				}
+				p.next = now.Add(udpRetransmitEvery)
+				if dst, ok := u.peers[p.to]; ok {
+					out = append(out, resend{p.frame, dst})
+				}
+			}
+			u.mu.Unlock()
+			for _, r := range out {
+				_, _ = u.conn.WriteToUDP(r.frame, r.dst)
+			}
+		}
+	}
+}
+
+var _ Conn = (*UDP)(nil)

@@ -1,0 +1,88 @@
+// Package registry maps task-function names to implementations.
+//
+// Tasks cross address spaces when they are stolen or migrated, so a task on
+// the wire carries the *name* of its function rather than a code pointer;
+// every worker process of a job registers the same set of functions at
+// startup (they all run the same application binary, as in the paper).
+//
+// The registry is generic over the function type so that both the Phish
+// runtime (internal/core) and the Strata baseline (internal/strata) can use
+// it with their respective task signatures.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps names to task functions of type F. It is safe for
+// concurrent use; registration typically happens at init time and lookups
+// happen on every task execution, so lookups take a read lock only.
+type Registry[F any] struct {
+	mu  sync.RWMutex
+	fns map[string]F
+}
+
+// New returns an empty registry.
+func New[F any]() *Registry[F] {
+	return &Registry[F]{fns: make(map[string]F)}
+}
+
+// Register binds name to fn. Registering the same name twice panics: it is
+// a programming error that would make task routing ambiguous between
+// workers, and it is always detectable at startup.
+func (r *Registry[F]) Register(name string, fn F) {
+	if name == "" {
+		panic("registry: empty task function name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fns[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate task function %q", name))
+	}
+	r.fns[name] = fn
+}
+
+// Lookup returns the function bound to name.
+func (r *Registry[F]) Lookup(name string) (F, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.fns[name]
+	if !ok {
+		var zero F
+		return zero, fmt.Errorf("registry: unknown task function %q", name)
+	}
+	return fn, nil
+}
+
+// MustLookup is Lookup but panics on unknown names. The scheduler uses it
+// on the hot path: an unknown name there means the job's workers are
+// running different binaries, which is unrecoverable.
+func (r *Registry[F]) MustLookup(name string) F {
+	fn, err := r.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+// Names returns the registered names in sorted order (for diagnostics and
+// the clearinghouse's job-compatibility check).
+func (r *Registry[F]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered functions.
+func (r *Registry[F]) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fns)
+}

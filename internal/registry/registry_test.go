@@ -1,0 +1,85 @@
+package registry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	r := New[func() int]()
+	r.Register("one", func() int { return 1 })
+	r.Register("two", func() int { return 2 })
+	fn, err := r.Lookup("two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn() != 2 {
+		t.Error("wrong function returned")
+	}
+	if _, err := r.Lookup("three"); err == nil {
+		t.Error("unknown name did not error")
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2", r.Len())
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := New[int]()
+	r.Register("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Register("x", 2)
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := New[int]()
+	defer func() {
+		if recover() == nil {
+			t.Error("empty name did not panic")
+		}
+	}()
+	r.Register("", 1)
+}
+
+func TestMustLookupPanicsOnUnknown(t *testing.T) {
+	r := New[int]()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on unknown name did not panic")
+		}
+	}()
+	r.MustLookup("nope")
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := New[int]()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, 0)
+	}
+	if got, want := r.Names(), []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("names = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	r := New[int]()
+	r.Register("k", 7)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if r.MustLookup("k") != 7 {
+					panic("bad value")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,174 @@
+// Package stats collects the per-worker scheduling and message counters
+// that the paper reports in Table 2: tasks executed, maximum tasks in use
+// (the working-set high-water mark), tasks stolen, synchronizations,
+// non-local synchronizations, and messages sent.
+//
+// Counters are updated with atomics: the hot-path updates come from the
+// worker's scheduler goroutine, but transports and the clearinghouse update
+// a few counters from their own goroutines.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is one worker's statistics. The zero value is ready for use.
+type Counters struct {
+	// TasksSpawned counts closures created by this worker.
+	TasksSpawned atomic.Int64
+	// TasksExecuted counts closures whose function body this worker ran.
+	TasksExecuted atomic.Int64
+	// TasksInUse is the current number of live closures on this worker:
+	// ready, waiting for arguments, or executing.
+	TasksInUse atomic.Int64
+	// MaxTasksInUse is the high-water mark of TasksInUse — the paper's
+	// measure of the working-set size that LIFO execution keeps small.
+	MaxTasksInUse atomic.Int64
+	// TasksStolen counts successful steals performed by this worker as
+	// the thief.
+	TasksStolen atomic.Int64
+	// RemoteSteals counts steals whose victim was at a different site
+	// (across a slow network cut; see the site-aware policy).
+	RemoteSteals atomic.Int64
+	// StealAttempts counts steal requests sent (successful or not).
+	StealAttempts atomic.Int64
+	// FailedSteals counts steal requests that found an empty victim.
+	FailedSteals atomic.Int64
+	// Synchronizations counts argument/result deliveries into join slots.
+	Synchronizations atomic.Int64
+	// NonLocalSynchs counts synchronizations whose producer and consumer
+	// were on different workers and therefore required a message.
+	NonLocalSynchs atomic.Int64
+	// MessagesSent counts application-level messages this worker sent on
+	// the network (steal traffic, non-local synchs, migrations,
+	// clearinghouse traffic).
+	MessagesSent atomic.Int64
+	// MessagesReceived counts messages delivered to this worker.
+	MessagesReceived atomic.Int64
+	// TasksMigrated counts closures shipped away when the worker's
+	// workstation was reclaimed by its owner.
+	TasksMigrated atomic.Int64
+	// TasksRedone counts closures re-executed by the fault-tolerance
+	// machinery after a crash.
+	TasksRedone atomic.Int64
+}
+
+// TaskCreated records a new live closure and maintains the high-water mark.
+func (c *Counters) TaskCreated() {
+	c.TasksSpawned.Add(1)
+	n := c.TasksInUse.Add(1)
+	for {
+		max := c.MaxTasksInUse.Load()
+		if n <= max || c.MaxTasksInUse.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+// TaskAdopted records a live closure that arrived from elsewhere (steal or
+// migration) rather than being spawned here.
+func (c *Counters) TaskAdopted() {
+	n := c.TasksInUse.Add(1)
+	for {
+		max := c.MaxTasksInUse.Load()
+		if n <= max || c.MaxTasksInUse.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+// TaskRetired records that a live closure finished or left this worker.
+func (c *Counters) TaskRetired() { c.TasksInUse.Add(-1) }
+
+// Snapshot is an immutable copy of a Counters, plus the execution time.
+type Snapshot struct {
+	Worker           int
+	TasksSpawned     int64
+	TasksExecuted    int64
+	MaxTasksInUse    int64
+	TasksStolen      int64
+	RemoteSteals     int64
+	StealAttempts    int64
+	FailedSteals     int64
+	Synchronizations int64
+	NonLocalSynchs   int64
+	MessagesSent     int64
+	MessagesReceived int64
+	TasksMigrated    int64
+	TasksRedone      int64
+	// Orphans counts results dropped because their consumer task no
+	// longer exists (expected after crash recovery, zero otherwise).
+	Orphans int64
+	// ExecTime is the participant's execution time in the paper's sense:
+	// how long its (possibly simulated) workstation was busy with the
+	// job. On Linux it is the worker thread's CPU time, so participants
+	// time-sharing one host core are still accounted as if each had its
+	// own processor; elsewhere it falls back to WallTime.
+	ExecTime time.Duration
+	// WallTime is the participant's wall-clock lifetime in the job.
+	WallTime time.Duration
+}
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		TasksSpawned:     c.TasksSpawned.Load(),
+		TasksExecuted:    c.TasksExecuted.Load(),
+		MaxTasksInUse:    c.MaxTasksInUse.Load(),
+		TasksStolen:      c.TasksStolen.Load(),
+		RemoteSteals:     c.RemoteSteals.Load(),
+		StealAttempts:    c.StealAttempts.Load(),
+		FailedSteals:     c.FailedSteals.Load(),
+		Synchronizations: c.Synchronizations.Load(),
+		NonLocalSynchs:   c.NonLocalSynchs.Load(),
+		MessagesSent:     c.MessagesSent.Load(),
+		MessagesReceived: c.MessagesReceived.Load(),
+		TasksMigrated:    c.TasksMigrated.Load(),
+		TasksRedone:      c.TasksRedone.Load(),
+	}
+}
+
+// JobTotals aggregates worker snapshots the way the paper's Table 2 does:
+// counts are summed, except MaxTasksInUse, which is the maximum over
+// workers ("the size of the largest working set of any participant"), and
+// ExecTime, which is the maximum (the job runs as long as its slowest
+// participant).
+func JobTotals(workers []Snapshot) Snapshot {
+	var t Snapshot
+	t.Worker = len(workers)
+	for _, w := range workers {
+		t.TasksSpawned += w.TasksSpawned
+		t.TasksExecuted += w.TasksExecuted
+		t.TasksStolen += w.TasksStolen
+		t.RemoteSteals += w.RemoteSteals
+		t.StealAttempts += w.StealAttempts
+		t.FailedSteals += w.FailedSteals
+		t.Synchronizations += w.Synchronizations
+		t.NonLocalSynchs += w.NonLocalSynchs
+		t.MessagesSent += w.MessagesSent
+		t.MessagesReceived += w.MessagesReceived
+		t.TasksMigrated += w.TasksMigrated
+		t.TasksRedone += w.TasksRedone
+		t.Orphans += w.Orphans
+		if w.MaxTasksInUse > t.MaxTasksInUse {
+			t.MaxTasksInUse = w.MaxTasksInUse
+		}
+		if w.ExecTime > t.ExecTime {
+			t.ExecTime = w.ExecTime
+		}
+		if w.WallTime > t.WallTime {
+			t.WallTime = w.WallTime
+		}
+	}
+	return t
+}
+
+// String renders the snapshot in the layout of the paper's Table 2.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"tasks executed %d | max tasks in use %d | tasks stolen %d | synchronizations %d | non-local synchs %d | messages sent %d | time %v",
+		s.TasksExecuted, s.MaxTasksInUse, s.TasksStolen,
+		s.Synchronizations, s.NonLocalSynchs, s.MessagesSent, s.ExecTime.Round(time.Millisecond))
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHighWaterMark(t *testing.T) {
+	var c Counters
+	for i := 0; i < 5; i++ {
+		c.TaskCreated()
+	}
+	for i := 0; i < 3; i++ {
+		c.TaskRetired()
+	}
+	for i := 0; i < 2; i++ {
+		c.TaskAdopted()
+	}
+	s := c.Snapshot()
+	if s.TasksSpawned != 5 {
+		t.Errorf("spawned = %d, want 5", s.TasksSpawned)
+	}
+	if got := c.TasksInUse.Load(); got != 4 {
+		t.Errorf("in use = %d, want 4", got)
+	}
+	if s.MaxTasksInUse != 5 {
+		t.Errorf("max in use = %d, want 5", s.MaxTasksInUse)
+	}
+}
+
+func TestHighWaterMarkConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const g, per = 8, 1000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.TaskCreated()
+				c.TaskRetired()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TasksSpawned != g*per {
+		t.Errorf("spawned = %d, want %d", s.TasksSpawned, g*per)
+	}
+	if c.TasksInUse.Load() != 0 {
+		t.Errorf("in use = %d, want 0", c.TasksInUse.Load())
+	}
+	if s.MaxTasksInUse < 1 || s.MaxTasksInUse > g {
+		t.Errorf("max in use = %d, want within [1,%d]", s.MaxTasksInUse, g)
+	}
+}
+
+func TestJobTotals(t *testing.T) {
+	a := Snapshot{TasksExecuted: 10, MaxTasksInUse: 3, TasksStolen: 1, Synchronizations: 9,
+		NonLocalSynchs: 1, MessagesSent: 5, ExecTime: 2 * time.Second}
+	b := Snapshot{TasksExecuted: 20, MaxTasksInUse: 7, TasksStolen: 2, Synchronizations: 19,
+		NonLocalSynchs: 2, MessagesSent: 6, ExecTime: time.Second}
+	tot := JobTotals([]Snapshot{a, b})
+	if tot.TasksExecuted != 30 || tot.TasksStolen != 3 || tot.Synchronizations != 28 ||
+		tot.NonLocalSynchs != 3 || tot.MessagesSent != 11 {
+		t.Errorf("bad sums: %+v", tot)
+	}
+	if tot.MaxTasksInUse != 7 {
+		t.Errorf("max in use should be the max over workers, got %d", tot.MaxTasksInUse)
+	}
+	if tot.ExecTime != 2*time.Second {
+		t.Errorf("exec time should be the max over workers, got %v", tot.ExecTime)
+	}
+	if tot.Worker != 2 {
+		t.Errorf("worker count = %d, want 2", tot.Worker)
+	}
+}
+
+func TestJobTotalsEmpty(t *testing.T) {
+	tot := JobTotals(nil)
+	if tot.TasksExecuted != 0 || tot.MaxTasksInUse != 0 {
+		t.Errorf("empty totals not zero: %+v", tot)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{TasksExecuted: 42, MaxTasksInUse: 7}
+	str := s.String()
+	for _, want := range []string{"tasks executed 42", "max tasks in use 7", "non-local synchs"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}

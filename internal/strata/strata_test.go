@@ -1,0 +1,88 @@
+package strata
+
+import (
+	"reflect"
+	"testing"
+
+	"phish/internal/apps/fib"
+	"phish/internal/apps/nqueens"
+	"phish/internal/apps/pfold"
+)
+
+func TestFibOnStrata(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := Run(fib.Program(), fib.Root, fib.RootArgs(18), p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got, want := res.Value.(int64), fib.Serial(18); got != want {
+			t.Errorf("P=%d: fib(18) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTaskConservation(t *testing.T) {
+	const n = 16
+	res, err := Run(fib.Program(), fib.Root, fib.RootArgs(n), 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Totals.TasksExecuted, fib.TaskCount(n); got != want {
+		t.Errorf("tasks executed = %d, want %d", got, want)
+	}
+	if got, want := res.Totals.Synchronizations, fib.SynchCount(n); got != want {
+		t.Errorf("synchronizations = %d, want %d", got, want)
+	}
+	if res.Totals.MessagesSent != 0 {
+		t.Errorf("strata sent %d messages; shared memory should send none", res.Totals.MessagesSent)
+	}
+}
+
+func TestNQueensOnStrata(t *testing.T) {
+	res, err := Run(nqueens.Program(), nqueens.Root, nqueens.RootArgs(8), 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Value.(int64); got != 92 {
+		t.Errorf("nqueens(8) = %d, want 92", got)
+	}
+}
+
+func TestPfoldOnStrata(t *testing.T) {
+	want := pfold.Serial(9)
+	res, err := Run(pfold.Program(), pfold.Root, pfold.RootArgs(9, 3), 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Value.([]int64); !reflect.DeepEqual(got, want) {
+		t.Errorf("pfold(9) histogram mismatch\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSingleProcNoSteals(t *testing.T) {
+	res, err := Run(fib.Program(), fib.Root, fib.RootArgs(12), 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.TasksStolen != 0 || res.Totals.NonLocalSynchs != 0 {
+		t.Errorf("single processor stole %d tasks, %d non-local synchs; want 0/0",
+			res.Totals.TasksStolen, res.Totals.NonLocalSynchs)
+	}
+}
+
+func TestAblationDisciplinesStillCorrect(t *testing.T) {
+	cfgs := map[string]Config{
+		"fifo-local":  {Seed: 1, LocalOrder: 1 /* FIFO */},
+		"steal-head":  {Seed: 1, StealFrom: 1 /* head */},
+		"round-robin": {Seed: 1, Victim: 1 /* round robin */},
+	}
+	for name, cfg := range cfgs {
+		res, err := Run(fib.Program(), fib.Root, fib.RootArgs(15), 4, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := res.Value.(int64), fib.Serial(15); got != want {
+			t.Errorf("%s: fib(15) = %d, want %d", name, got, want)
+		}
+	}
+}

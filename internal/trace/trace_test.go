@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/types"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	var b Buffer
+	b.Add(Event{Kind: EvSpawn})
+	if b.Total() != 0 {
+		t.Error("disabled buffer recorded an event")
+	}
+	if b.Enabled() {
+		t.Error("zero buffer claims enabled")
+	}
+	var nilBuf *Buffer
+	if nilBuf.Enabled() || nilBuf.Total() != 0 || nilBuf.Events() != nil {
+		t.Error("nil buffer must be inert")
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	b := NewBuffer(16)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		b.Add(Event{At: base.Add(time.Duration(i)), Worker: 1, Kind: EvExecute,
+			Task: types.TaskID{Worker: 1, Seq: uint64(i + 1)}})
+	}
+	evs := b.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Task.Seq != uint64(i+1) {
+			t.Errorf("event %d out of order: %v", i, e)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 1; i <= 10; i++ {
+		b.Add(Event{Worker: types.WorkerID(i), Kind: EvSpawn})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	if evs[0].Worker != 7 || evs[3].Worker != 10 {
+		t.Errorf("ring kept wrong window: %v..%v", evs[0].Worker, evs[3].Worker)
+	}
+	if b.Total() != 10 {
+		t.Errorf("total = %d, want 10", b.Total())
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a, b := NewBuffer(8), NewBuffer(8)
+	base := time.Now()
+	a.Add(Event{At: base.Add(2), Worker: 1, Kind: EvSpawn})
+	b.Add(Event{At: base.Add(1), Worker: 2, Kind: EvSpawn})
+	a.Add(Event{At: base.Add(4), Worker: 1, Kind: EvExecute})
+	b.Add(Event{At: base.Add(3), Worker: 2, Kind: EvExecute})
+	merged := Merge(a, b)
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At.Before(merged[i-1].At) {
+			t.Fatalf("merge out of order at %d", i)
+		}
+	}
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+}
+
+func TestRenderAndCounts(t *testing.T) {
+	b := NewBuffer(8)
+	b.Add(Event{Worker: 3, Kind: EvStealAdopt, Peer: 5, Note: "from tail"})
+	b.Add(Event{Worker: 3, Kind: EvStealAdopt, Peer: 5})
+	out := Render(b.Events())
+	if !strings.Contains(out, "steal-adopt") || !strings.Contains(out, "peer=w5") {
+		t.Errorf("render missing fields: %q", out)
+	}
+	if got := Counts(b.Events())[EvStealAdopt]; got != 2 {
+		t.Errorf("counts = %d, want 2", got)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	b := NewBuffer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add(Event{Worker: types.WorkerID(g), Kind: EvSynch})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Total() != 800 {
+		t.Errorf("total = %d, want 800", b.Total())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Error("unknown kind should fall back to numeric form")
+	}
+}

@@ -1,0 +1,82 @@
+// Package types defines the identifiers and small value types shared by
+// every layer of the Phish runtime: worker, job, and task identities, the
+// continuation type that links a task to the consumer of its result, and
+// the dynamically-typed Value carried between tasks.
+//
+// Everything here is deliberately tiny and wire-friendly: these types cross
+// address spaces when tasks are stolen or migrated.
+package types
+
+import "fmt"
+
+// WorkerID identifies one participating worker process within a job.
+// Worker 0 is by convention the first worker, started on the same
+// workstation as the clearinghouse. The clearinghouse itself uses
+// ClearinghouseID.
+type WorkerID int32
+
+// ClearinghouseID is the pseudo-worker identity of a job's clearinghouse.
+// It lets the clearinghouse act as the continuation target for a job's
+// root task so that the final result is delivered like any other
+// synchronization.
+const ClearinghouseID WorkerID = -1
+
+// NoWorker is the zero-ish sentinel for "no worker".
+const NoWorker WorkerID = -2
+
+// JobID identifies a parallel job registered with the PhishJobQ.
+type JobID int64
+
+// NoJob is the sentinel for "no job assigned".
+const NoJob JobID = 0
+
+// TaskID names one closure (task instance) uniquely within a job.
+// The pair (spawning worker, per-worker sequence number) is unique without
+// any global coordination, which matters because tasks are created millions
+// of times per second on every worker.
+type TaskID struct {
+	Worker WorkerID
+	Seq    uint64
+}
+
+// Zero reports whether t is the zero TaskID (no task).
+func (t TaskID) Zero() bool { return t.Worker == 0 && t.Seq == 0 }
+
+func (t TaskID) String() string { return fmt.Sprintf("t%d.%d", t.Worker, t.Seq) }
+
+// Continuation names the destination of a task's result: argument slot
+// Slot of task Task. A task "returns" by sending its result value to its
+// continuation; the runtime routes it locally (a local synchronization) or
+// over the network (a non-local synchronization).
+type Continuation struct {
+	Task TaskID
+	Slot int32
+}
+
+// None reports whether the continuation is the null continuation
+// (results sent to it are discarded).
+func (c Continuation) None() bool { return c.Task.Zero() && c.Slot == 0 }
+
+func (c Continuation) String() string {
+	if c.None() {
+		return "cont(nil)"
+	}
+	return fmt.Sprintf("cont(%v[%d])", c.Task, c.Slot)
+}
+
+// NilContinuation is the discard continuation.
+var NilContinuation = Continuation{}
+
+// Value is the dynamically-typed datum passed between tasks: task
+// arguments and task results. Values that cross the wire must be
+// gob-encodable; applications using custom types register them with
+// wire.RegisterValue.
+type Value any
+
+// WorkstationID identifies a workstation (a machine) in the Phish network,
+// as distinct from a WorkerID, which identifies a participant of one job.
+// One workstation runs at most one worker at a time in this implementation
+// (mirroring the paper's PhishJobManager).
+type WorkstationID int32
+
+func (w WorkstationID) String() string { return fmt.Sprintf("ws%d", w) }

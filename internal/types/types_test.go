@@ -1,0 +1,77 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskIDZero(t *testing.T) {
+	var z TaskID
+	if !z.Zero() {
+		t.Error("zero TaskID not Zero()")
+	}
+	if (TaskID{Worker: 1}).Zero() || (TaskID{Seq: 1}).Zero() {
+		t.Error("nonzero TaskID reported Zero()")
+	}
+	// The clearinghouse's pseudo-id is not the zero task.
+	if (TaskID{Worker: ClearinghouseID, Seq: 1}).Zero() {
+		t.Error("clearinghouse root task id must not be Zero()")
+	}
+}
+
+func TestContinuationNone(t *testing.T) {
+	if !NilContinuation.None() {
+		t.Error("NilContinuation is not None()")
+	}
+	c := Continuation{Task: TaskID{Worker: 1, Seq: 2}, Slot: 3}
+	if c.None() {
+		t.Error("real continuation reported None()")
+	}
+	// Slot alone distinguishes from nil (defensive).
+	if !(Continuation{Slot: 0}).None() {
+		t.Error("zero continuation must be None()")
+	}
+}
+
+func TestStringsAreInformative(t *testing.T) {
+	id := TaskID{Worker: 7, Seq: 42}
+	if s := id.String(); !strings.Contains(s, "7") || !strings.Contains(s, "42") {
+		t.Errorf("TaskID.String() = %q", s)
+	}
+	c := Continuation{Task: id, Slot: 3}
+	if s := c.String(); !strings.Contains(s, "7") || !strings.Contains(s, "3") {
+		t.Errorf("Continuation.String() = %q", s)
+	}
+	if s := NilContinuation.String(); !strings.Contains(s, "nil") {
+		t.Errorf("NilContinuation.String() = %q", s)
+	}
+	if s := WorkstationID(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("WorkstationID.String() = %q", s)
+	}
+}
+
+func TestTaskIDsAreMapKeys(t *testing.T) {
+	f := func(w1 int32, s1 uint64, w2 int32, s2 uint64) bool {
+		a := TaskID{Worker: WorkerID(w1), Seq: s1}
+		b := TaskID{Worker: WorkerID(w2), Seq: s2}
+		m := map[TaskID]int{a: 1}
+		m[b] = 2
+		if a == b {
+			return len(m) == 1
+		}
+		return len(m) == 2 && m[a] == 1 && m[b] == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	if ClearinghouseID == NoWorker {
+		t.Error("sentinel collision")
+	}
+	if ClearinghouseID >= 0 || NoWorker >= 0 {
+		t.Error("sentinels must be negative to stay clear of real worker ids")
+	}
+}

@@ -1,0 +1,428 @@
+// Package wire defines every message that crosses between Phish processes —
+// workers, clearinghouses, the PhishJobQ, and PhishJobManagers — together
+// with a length-prefixed gob codec for sending them over byte streams and
+// datagrams.
+//
+// The paper implements all communication as split-phase operations on top
+// of UDP/IP; the message vocabulary here mirrors the protocol the paper
+// describes: steal requests and replies (micro scheduler), argument/result
+// deliveries (synchronizations), worker register/unregister and periodic
+// membership updates (clearinghouse), buffered I/O, job requests and
+// assignments (macro scheduler), and migration/fault-recovery traffic.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"phish/internal/types"
+)
+
+// Envelope wraps one payload with routing and reliability metadata.
+type Envelope struct {
+	// Job is the parallel job this message belongs to.
+	Job types.JobID
+	// From and To are worker identities within the job. The
+	// clearinghouse is types.ClearinghouseID.
+	From, To types.WorkerID
+	// Seq is a per-sender sequence number used by unreliable transports
+	// for acknowledgment and duplicate suppression.
+	Seq uint64
+	// Payload is one of the message structs below.
+	Payload any
+}
+
+func (e *Envelope) String() string {
+	return fmt.Sprintf("[job %d %d->%d #%d %T]", e.Job, e.From, e.To, e.Seq, e.Payload)
+}
+
+// Closure is the wire representation of a task: the name of its function,
+// its (possibly partially filled) argument slots, the number of arguments
+// still missing, and the continuation its result feeds. It crosses the
+// wire when a task is stolen, migrated, or redone after a crash.
+//
+// A nil entry in Args is an unfilled slot; applications must not use nil
+// as an argument value.
+type Closure struct {
+	ID      types.TaskID
+	Fn      string
+	Args    []types.Value
+	Missing int32
+	Cont    types.Continuation
+	// NoSteal pins the closure to its current worker. The runtime sets it
+	// on a job's root task so the fault-tolerance machinery always knows
+	// where the root lives.
+	NoSteal bool
+}
+
+// Record is the wire form of a steal record — the redundant state a victim
+// keeps about a task it handed to a thief so that the work can be redone
+// if the thief crashes. Records migrate with their owner.
+type Record struct {
+	ID        types.TaskID
+	RealCont  types.Continuation
+	Task      Closure
+	Thief     types.WorkerID
+	Confirmed bool
+}
+
+// ---- Micro-level (intra-job) payloads ----
+
+// StealRequest asks the destination worker (the victim) for the task at
+// the tail of its ready deque.
+type StealRequest struct {
+	Thief types.WorkerID
+}
+
+// StealReply answers a StealRequest. OK is false when the victim's deque
+// was empty (a failed steal attempt).
+type StealReply struct {
+	OK   bool
+	Task Closure
+}
+
+// Arg delivers a value into argument slot Cont.Slot of task Cont.Task — a
+// synchronization. When it crosses workers it is a non-local
+// synchronization and costs a message. Crossed records that the value has
+// crossed a worker boundary somewhere en route (possibly via a steal-record
+// forward), so the final delivery is counted as non-local exactly once.
+type Arg struct {
+	Cont    types.Continuation
+	Val     types.Value
+	Crossed bool
+}
+
+// Migrate carries a terminating worker's live closures and steal records
+// to an adoptive worker (owner reclaimed the workstation, or the worker is
+// retiring for lack of work while still holding records).
+type Migrate struct {
+	From     types.WorkerID
+	Closures []Closure
+	Records  []Record
+}
+
+// MigrateAck confirms adoption of migrated closures so the source may exit.
+type MigrateAck struct {
+	Count int
+}
+
+// ---- Clearinghouse payloads ----
+
+// Register announces a new worker to the job's clearinghouse. Site names
+// the network neighborhood the worker lives in (machine room, building,
+// campus link...); the site-aware steal policy prefers victims on the same
+// side of slow network cuts.
+type Register struct {
+	Worker types.WorkerID
+	Addr   string // transport address, empty for in-memory fabrics
+	Site   int32
+}
+
+// RegisterReply assigns the worker its identity (when it asked with
+// NoWorker) and carries the initial membership view.
+type RegisterReply struct {
+	Assigned types.WorkerID
+	View     MembershipView
+}
+
+// Unregister announces that a worker is leaving the job. MigratedTo names
+// the adopter of its tasks (NoWorker when it had none); the clearinghouse
+// turns this into a tombstone so results still route to the adopter.
+type Unregister struct {
+	Worker     types.WorkerID
+	Reason     LeaveReason
+	MigratedTo types.WorkerID
+}
+
+// StealConfirm tells a victim that the thief received the stolen task, so
+// the victim's steal record is backed by a live copy. A record whose thief
+// departs before confirming is redone locally — the reply was lost in
+// flight.
+type StealConfirm struct {
+	Record types.TaskID
+}
+
+// LeaveReason says why a worker left; the macro scheduler reacts
+// differently to each.
+type LeaveReason int32
+
+const (
+	// LeaveJobDone: the job terminated.
+	LeaveJobDone LeaveReason = iota
+	// LeaveReclaimed: the workstation's owner returned.
+	LeaveReclaimed
+	// LeaveNoWork: parallelism shrank; steal attempts kept failing.
+	LeaveNoWork
+	// LeaveCrash: synthesized by the clearinghouse when heartbeats stop.
+	LeaveCrash
+)
+
+func (r LeaveReason) String() string {
+	switch r {
+	case LeaveJobDone:
+		return "job-done"
+	case LeaveReclaimed:
+		return "reclaimed"
+	case LeaveNoWork:
+		return "no-work"
+	case LeaveCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("LeaveReason(%d)", int32(r))
+	}
+}
+
+// MemberInfo describes one participant in membership updates.
+type MemberInfo struct {
+	Worker types.WorkerID
+	Addr   string
+	// HostedBy is the worker now hosting this worker's tasks; normally it
+	// equals Worker, but after a migration the departed worker's task IDs
+	// are served by the adopter.
+	HostedBy types.WorkerID
+	// Site is the worker's network neighborhood (see Register.Site).
+	Site int32
+}
+
+// MembershipView is the clearinghouse's view of a job's participants,
+// pushed periodically ("once every 2 minutes" in the paper) and on change.
+type MembershipView struct {
+	Epoch   uint64
+	Members []MemberInfo
+}
+
+// Update carries a fresh MembershipView to a worker.
+type Update struct {
+	View MembershipView
+}
+
+// Heartbeat tells the clearinghouse a worker is alive; missing heartbeats
+// trigger the fault-tolerance redo path.
+type Heartbeat struct {
+	Worker types.WorkerID
+}
+
+// WorkerDown notifies workers that a participant crashed so they can redo
+// work recorded in their steal logs and drop orphaned consumers.
+type WorkerDown struct {
+	Worker types.WorkerID
+}
+
+// IO carries buffered application output to the clearinghouse ("a user
+// need only watch the Clearinghouse to see job output").
+type IO struct {
+	Worker types.WorkerID
+	Text   string
+}
+
+// Shutdown tells workers the job is complete (the root result arrived at
+// the clearinghouse).
+type Shutdown struct {
+	Reason string
+}
+
+// SpawnRoot instructs a worker to spawn the job's root task. The
+// clearinghouse sends it to the first registrant — and again to a later
+// registrant if every worker hosting the root's lineage has crashed, which
+// is how a fully lost job restarts.
+type SpawnRoot struct {
+	Fn   string
+	Args []types.Value
+}
+
+// Pause asks a worker to stop executing and stealing (it keeps processing
+// messages) as the first phase of a checkpoint. Workers answer every Pause
+// with a PauseAck carrying their per-peer message counts; the checkpoint
+// coordinator compares the global send/receive matrix to know when no
+// messages are in flight.
+type Pause struct {
+	Seq uint64
+}
+
+// PauseAck reports a paused worker's per-peer message counts (worker-to-
+// worker traffic only; clearinghouse traffic does not carry task state).
+type PauseAck struct {
+	Seq    uint64
+	Worker types.WorkerID
+	SentTo map[types.WorkerID]int64
+	RecvFr map[types.WorkerID]int64
+}
+
+// SnapshotRequest asks a paused worker for a full, non-destructive dump of
+// its scheduler state.
+type SnapshotRequest struct {
+	Seq uint64
+}
+
+// SnapshotReply carries the dump: the same representation a migration
+// uses, but the worker keeps its state and stays paused.
+type SnapshotReply struct {
+	Seq      uint64
+	Worker   types.WorkerID
+	Closures []Closure
+	Records  []Record
+}
+
+// Resume ends a pause.
+type Resume struct {
+	Seq uint64
+}
+
+// StayRequest asks the clearinghouse for permission to retire for lack of
+// work; the clearinghouse refuses when the requester is the last worker of
+// an unfinished job.
+type StayRequest struct {
+	Worker types.WorkerID
+}
+
+// StayReply answers StayRequest. Stay=true means keep participating.
+type StayReply struct {
+	Stay bool
+}
+
+// ---- Macro-level (PhishJobQ) payloads ----
+
+// JobSpec describes a submitted parallel job.
+type JobSpec struct {
+	ID       types.JobID
+	Name     string
+	Program  string // registered program name all workers must know
+	RootFn   string // task function of the root task
+	RootArgs []types.Value
+	CHAddr   string // clearinghouse address
+	Priority int32
+}
+
+// JobRequest is an idle workstation's plea for work.
+type JobRequest struct {
+	Workstation types.WorkstationID
+}
+
+// JobReply answers JobRequest. OK is false when the job pool is empty.
+type JobReply struct {
+	OK  bool
+	Job JobSpec
+}
+
+// JobSubmit places a job in the PhishJobQ's pool.
+type JobSubmit struct {
+	Job JobSpec
+}
+
+// JobSubmitReply returns the assigned job ID.
+type JobSubmitReply struct {
+	ID types.JobID
+}
+
+// JobDone removes a finished job from the pool.
+type JobDone struct {
+	ID types.JobID
+}
+
+// JobList asks for the pool contents (diagnostics).
+type JobList struct{}
+
+// JobListReply carries the pool contents.
+type JobListReply struct {
+	Jobs []JobSpec
+}
+
+// Ack acknowledges receipt of sequence Seq from the peer; used only by
+// unreliable transports.
+type Ack struct {
+	Seq uint64
+}
+
+// registerPayloads registers every payload type and the common Value
+// concrete types with gob exactly once.
+var registerOnce sync.Once
+
+func registerPayloads() {
+	for _, v := range []any{
+		StealRequest{}, StealReply{}, StealConfirm{}, Arg{}, Migrate{}, MigrateAck{},
+		Register{}, RegisterReply{}, Unregister{}, Update{}, Heartbeat{},
+		WorkerDown{}, IO{}, Shutdown{}, SpawnRoot{}, StayRequest{}, StayReply{},
+		Pause{}, PauseAck{}, SnapshotRequest{}, SnapshotReply{}, Resume{},
+		JobRequest{}, JobReply{}, JobSubmit{}, JobSubmitReply{}, JobDone{},
+		JobList{}, JobListReply{}, Ack{},
+		// Common Value concrete types.
+		int64(0), int(0), int32(0), uint64(0), float64(0), "", true,
+		[]byte(nil), []int64(nil), []float64(nil), []types.Value(nil),
+	} {
+		gob.Register(v)
+	}
+}
+
+func init() { registerOnce.Do(registerPayloads) }
+
+// RegisterValue registers an application-defined concrete type that will
+// be carried as a task argument or result across the wire.
+func RegisterValue(v any) { gob.Register(v) }
+
+// maxFrame bounds a single encoded message; large application payloads
+// should be split by the application (the paper buffers and batches I/O).
+const maxFrame = 16 << 20
+
+// Encode serializes env as a length-prefixed gob frame.
+func Encode(env *Envelope) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", env.Payload, err)
+	}
+	if body.Len() > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", body.Len())
+	}
+	out := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(out[:4], uint32(body.Len()))
+	copy(out[4:], body.Bytes())
+	return out, nil
+}
+
+// Decode parses one frame produced by Encode.
+func Decode(frame []byte) (*Envelope, error) {
+	if len(frame) < 4 {
+		return nil, fmt.Errorf("wire: short frame (%d bytes)", len(frame))
+	}
+	n := binary.BigEndian.Uint32(frame[:4])
+	if int(n) != len(frame)-4 {
+		return nil, fmt.Errorf("wire: frame length mismatch: header %d, body %d", n, len(frame)-4)
+	}
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(frame[4:])).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// WriteFrame writes env to w as a length-prefixed frame (stream
+// transports: the JobQ's TCP RPC).
+func WriteFrame(w io.Writer, env *Envelope) error {
+	b, err := Encode(env)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	buf := make([]byte, 4+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}

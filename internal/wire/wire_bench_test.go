@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"testing"
+
+	"phish/internal/types"
+)
+
+// Wire costs matter only on steals, migrations, and synchs — the rare
+// events — but they bound how cheap those events can be.
+
+func benchEnvelope() *Envelope {
+	return &Envelope{
+		Job: 1, From: 2, To: 3, Seq: 99,
+		Payload: Arg{
+			Cont: types.Continuation{Task: types.TaskID{Worker: 1, Seq: 12345}, Slot: 1},
+			Val:  int64(42),
+		},
+	}
+}
+
+func BenchmarkEncodeArg(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeArg(b *testing.B) {
+	frame, err := Encode(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeStolenClosure(b *testing.B) {
+	env := &Envelope{
+		Job: 1, From: 2, To: 3,
+		Payload: StealReply{OK: true, Task: Closure{
+			ID:   types.TaskID{Worker: 2, Seq: 7},
+			Fn:   "pfold",
+			Args: []types.Value{int64(17), int64(6), int64(0), []int64{1, 2, 3, 4, 5, 6, 7, 8}},
+			Cont: types.Continuation{Task: types.TaskID{Worker: 2, Seq: 8}},
+		}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

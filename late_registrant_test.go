@@ -1,0 +1,78 @@
+package phish_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/clearinghouse"
+	"phish/internal/clock"
+	"phish/internal/core"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// TestLateRegistrantGetsShutdown is the regression test for a protocol
+// hole found during development: when a job completes before a slow
+// joiner's registration lands (easy on fast jobs — the shutdown broadcast
+// predates its membership), the clearinghouse must tell the late
+// registrant directly that the job is over, or it thieves forever. The
+// two-site latency wiring widens the race window enough to catch it.
+func TestLateRegistrantGetsShutdown(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		fab := phishnet.NewFabric()
+		fab.SetLatencyFunc(func(from, to types.WorkerID) time.Duration {
+			sf, st := int32(0), int32(0)
+			if from >= 0 {
+				sf = int32(int(from) / 3)
+			}
+			if to >= 0 {
+				st = int32(int(to) / 3)
+			}
+			if sf != st {
+				return 500 * time.Microsecond
+			}
+			return 0
+		})
+		spec := wire.JobSpec{ID: 1, Name: "fib", Program: "fib", RootFn: fib.Root, RootArgs: fib.RootArgs(22)}
+		chCfg := clearinghouse.DefaultConfig()
+		ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), chCfg)
+		go ch.Run()
+
+		cfg := core.DefaultConfig()
+		cfg.Victim = core.SiteAwareVictim
+		var wg sync.WaitGroup
+		workers := make([]*core.Worker, 6)
+		for i := range workers {
+			wcfg := cfg
+			wcfg.Site = int32(i / 3)
+			workers[i] = core.NewWorker(1, types.WorkerID(i), fib.Program(), fab.Attach(types.WorkerID(i)), wcfg, clock.System)
+			wg.Add(1)
+			go func(w *core.Worker) { defer wg.Done(); _ = w.Run() }(workers[i])
+		}
+		if _, err := ch.WaitResult(30 * time.Second); err != nil {
+			t.Fatalf("iter %d: job never finished: %v", iter, err)
+		}
+		// Workers must all exit promptly after completion.
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			fmt.Println(ch.DebugMembers())
+			for _, w := range workers {
+				w.Crash()
+			}
+			time.Sleep(200 * time.Millisecond)
+			for _, w := range workers {
+				fmt.Println(w.DebugDump())
+			}
+			t.Fatalf("iter %d: workers did not exit after job completion", iter)
+		}
+		ch.Stop()
+		fab.Close()
+	}
+}
