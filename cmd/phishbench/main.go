@@ -25,7 +25,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, all")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
 	fibN := flag.Int64("fib-n", 0, "fib input (0 = default)")
 	nqN := flag.Int("nqueens-n", 0, "nqueens input")
 	pfoldN := flag.Int("pfold-n", 0, "pfold polymer length")
@@ -124,7 +125,16 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if run("wirebench") {
+		did = true
+		rs := harness.WireBench()
+		harness.PrintWireBench(os.Stdout, rs)
+		if err := harness.WriteWireBenchJSON(*wireOut, rs); err != nil {
+			log.Fatalf("phishbench: write %s: %v", *wireOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *wireOut)
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, all)", *exp)
 	}
 }

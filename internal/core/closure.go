@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -22,6 +24,50 @@ type Closure struct {
 // ready reports whether all argument slots are filled.
 func (c *Closure) ready() bool { return c.Missing == 0 }
 
+// closurePool recycles Closure structs and their Args backing arrays. The
+// spawn→synch→execute cycle allocates one closure per task — by far the
+// scheduler's hottest allocation — so executed, stolen-and-shipped, and
+// purged closures go back to the pool instead of the garbage collector.
+var closurePool = sync.Pool{New: func() any { return new(Closure) }}
+
+// newClosure returns a zeroed closure from the pool. Its Args slice keeps
+// whatever capacity it had in its previous life.
+func newClosure() *Closure {
+	return closurePool.Get().(*Closure)
+}
+
+// setArgs fills the closure's argument slots with a copy of args, reusing
+// the existing backing array when it is large enough.
+func (c *Closure) setArgs(args []types.Value) {
+	c.Args = append(c.Args[:0], args...)
+}
+
+// growArgs sizes the closure for n empty (nil) argument slots. The nil
+// fill matters: fillSlot uses a non-nil slot to detect duplicate
+// deliveries, so recycled capacity must come back clean.
+func (c *Closure) growArgs(n int) {
+	if cap(c.Args) < n {
+		c.Args = make([]types.Value, n)
+		return
+	}
+	c.Args = c.Args[:n]
+	for i := range c.Args {
+		c.Args[i] = nil
+	}
+}
+
+// free returns the closure to the pool. The caller must be the closure's
+// only remaining referent. Argument slots are nilled so pooled closures
+// don't pin application data against the collector.
+func (c *Closure) free() {
+	args := c.Args[:cap(c.Args)]
+	for i := range args {
+		args[i] = nil
+	}
+	*c = Closure{Args: args[:0]}
+	closurePool.Put(c)
+}
+
 // toWire converts for transmission (steal, migration, redo copies).
 func (c *Closure) toWire() wire.Closure {
 	args := make([]types.Value, len(c.Args))
@@ -36,18 +82,16 @@ func (c *Closure) toWire() wire.Closure {
 	}
 }
 
-// closureFromWire converts an inbound wire closure.
+// closureFromWire converts an inbound wire closure into a pooled closure.
 func closureFromWire(w wire.Closure) *Closure {
-	args := make([]types.Value, len(w.Args))
-	copy(args, w.Args)
-	return &Closure{
-		ID:      w.ID,
-		Fn:      w.Fn,
-		Args:    args,
-		Missing: w.Missing,
-		Cont:    w.Cont,
-		NoSteal: w.NoSteal,
-	}
+	c := newClosure()
+	c.ID = w.ID
+	c.Fn = w.Fn
+	c.setArgs(w.Args)
+	c.Missing = w.Missing
+	c.Cont = w.Cont
+	c.NoSteal = w.NoSteal
+	return c
 }
 
 // stealRecord is the redundant state a victim keeps when it hands a task

@@ -56,62 +56,6 @@ func BenchmarkTaskThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkStealRoundTrip measures one steal request/grant/adopt/confirm
-// cycle over the in-memory fabric, the latency a thief pays per attempt.
-func BenchmarkStealRoundTrip(b *testing.B) {
-	// A two-worker rig where worker 0 has an endless supply of pinned...
-	// rather: feed worker 0 a wide flat fan so worker 1 steals b.N times.
-	prog := core.NewProgram("stealbench")
-	prog.Register("fan", func(c model.Ctx) {
-		n := c.Int(0)
-		if n == 0 {
-			c.Return(int64(1))
-			return
-		}
-		s := c.Successor("sum", int(n))
-		for i := int64(0); i < n; i++ {
-			c.Spawn("spin", s.Cont(int(i)), int64(2000))
-		}
-	})
-	prog.Register("spin", func(c model.Ctx) {
-		x := uint64(3)
-		for i := int64(0); i < c.Int(0); i++ {
-			x ^= x << 13
-			x ^= x >> 7
-			x ^= x << 17
-		}
-		if x == 0 {
-			c.Return(int64(0))
-			return
-		}
-		c.Return(int64(1))
-	})
-	prog.Register("sum", func(c model.Ctx) {
-		var t int64
-		for i := 0; i < c.NArgs(); i++ {
-			t += c.Int(i)
-		}
-		c.Return(t)
-	})
-
-	fab := phishnet.NewFabric()
-	defer fab.Close()
-	spec := wire.JobSpec{ID: 1, Name: "stealbench", Program: "stealbench",
-		RootFn: "fan", RootArgs: []types.Value{int64(4096)}}
-	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), clearinghouse.DefaultConfig())
-	go ch.Run()
-	defer ch.Stop()
-	cfg := core.DefaultConfig()
-	w0 := core.NewWorker(1, 0, prog, fab.Attach(0), cfg, clock.System)
-	w1 := core.NewWorker(1, 1, prog, fab.Attach(1), cfg, clock.System)
-	go func() { _ = w0.Run() }()
-	go func() { _ = w1.Run() }()
-	if _, err := ch.WaitResult(2 * time.Minute); err != nil {
-		b.Fatal(err)
-	}
-	steals := w1.Stats().TasksStolen + w0.Stats().TasksStolen
-	if steals == 0 {
-		b.Skip("no steals this run")
-	}
-	b.ReportMetric(float64(steals), "steals-observed")
-}
+// The per-cycle steal benchmark lives in steal_bench_test.go (package
+// core): BenchmarkStealRoundTrip drives one request/grant/adopt/confirm
+// cycle per iteration, with sub-benchmarks selecting the in-flight codec.

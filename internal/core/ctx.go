@@ -118,13 +118,12 @@ func (t *TaskCtx) SuccessorCont(fn string, nslots int, cont types.Continuation) 
 	if nslots <= 0 {
 		panic("core: successor needs at least one slot")
 	}
-	cl := &Closure{
-		ID:      t.w.nextTaskID(),
-		Fn:      fn,
-		Args:    make([]types.Value, nslots),
-		Missing: int32(nslots),
-		Cont:    cont,
-	}
+	cl := newClosure()
+	cl.ID = t.w.nextTaskID()
+	cl.Fn = fn
+	cl.growArgs(nslots)
+	cl.Missing = int32(nslots)
+	cl.Cont = cont
 	t.w.addWaiting(cl)
 	return SuccRef{id: cl.ID, w: t.w}
 }

@@ -314,6 +314,7 @@ func (w *Worker) execute(cl *Closure) {
 		fn = w.prog.Funcs.MustLookup(cl.Fn)
 		w.fnCache[cl.Fn] = fn
 	}
+	completed := false
 	func() {
 		// A panicking task is an application bug; contain it to this
 		// worker (which then counts as crashed, so the job's other
@@ -331,8 +332,12 @@ func (w *Worker) execute(cl *Closure) {
 		w.ctx.c = cl
 		fn(&w.ctx)
 		w.ctx.c = nil
+		completed = true
 	}()
 	w.counters.TaskRetired()
+	if completed {
+		cl.free() // the body ran to completion; nothing references cl now
+	}
 }
 
 // thieveStep performs one increment of thieving: ensure a steal request is
@@ -637,7 +642,12 @@ func (w *Worker) spawn(fn string, cont types.Continuation, args []types.Value, n
 			panic(fmt.Sprintf("core: spawn %s: nil argument %d", fn, i))
 		}
 	}
-	cl := &Closure{ID: w.nextTaskID(), Fn: fn, Args: args, Cont: cont, NoSteal: noSteal}
+	cl := newClosure()
+	cl.ID = w.nextTaskID()
+	cl.Fn = fn
+	cl.setArgs(args)
+	cl.Cont = cont
+	cl.NoSteal = noSteal
 	w.counters.TaskCreated()
 	w.dq.PushHead(cl)
 }
@@ -772,6 +782,7 @@ func (w *Worker) grantSteal(thief types.WorkerID) {
 		return
 	}
 	w.counters.TaskRetired() // the task left this worker
+	cl.free()                // rec.task holds its own copy of the args
 	w.dbgGrants.Add(1)
 	w.tr(trace.EvStealGrant, rec.task.ID, thief, "")
 }
@@ -846,7 +857,9 @@ func (w *Worker) adoptMigration(from types.WorkerID, m wire.Migrate) {
 			w.waiting[cl.ID] = cl
 		}
 	}
-	w.tr(trace.EvMigrateIn, types.TaskID{}, from, fmt.Sprintf("%d closures", len(m.Closures)))
+	if w.cfg.Trace.Enabled() {
+		w.tr(trace.EvMigrateIn, types.TaskID{}, from, fmt.Sprintf("%d closures", len(m.Closures)))
+	}
 	for _, wr := range m.Records {
 		rec := recordFromWire(wr)
 		if w.dead[rec.thief] {
@@ -920,6 +933,7 @@ func (w *Worker) purgeOrphans() {
 		if deadCont(cl.Cont) {
 			delete(w.waiting, id)
 			w.counters.TaskRetired()
+			cl.free()
 		}
 	}
 	if w.dq.Len() > 0 {
@@ -927,6 +941,7 @@ func (w *Worker) purgeOrphans() {
 		for _, cl := range keep {
 			if deadCont(cl.Cont) {
 				w.counters.TaskRetired()
+				cl.free()
 				continue
 			}
 			w.dq.PushTail(cl)
@@ -1100,9 +1115,10 @@ func (w *Worker) shipStateTo(target types.WorkerID) shipResult {
 		}
 		return shipTimeout
 	}
-	for range packed {
+	for _, cl := range packed {
 		w.counters.TaskRetired()
 		w.counters.TasksMigrated.Add(1)
+		cl.free() // the adopter acknowledged its own copy
 	}
 	return shipOK
 }
@@ -1141,7 +1157,9 @@ func (w *Worker) pickUntried(tried map[types.WorkerID]bool) (types.WorkerID, boo
 }
 
 func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) {
-	w.tr(trace.EvUnregister, types.TaskID{}, migratedTo, reason.String())
+	if w.cfg.Trace.Enabled() {
+		w.tr(trace.EvUnregister, types.TaskID{}, migratedTo, reason.String())
+	}
 	w.sendTo(types.ClearinghouseID, wire.Unregister{
 		Worker: w.id, Reason: reason, MigratedTo: migratedTo,
 	})

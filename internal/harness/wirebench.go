@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// WireBenchResult is one codec micro-benchmark measurement, written to
+// BENCH_wire.json so successive PRs have a perf trajectory to compare
+// against.
+type WireBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// wireBenchArg mirrors the Arg envelope of the wire benchmarks: the
+// smallest hot-path message (one synchronization).
+func wireBenchArg() *wire.Envelope {
+	return &wire.Envelope{
+		Job: 1, From: 2, To: 3, Seq: 99,
+		Payload: wire.Arg{
+			Cont: types.Continuation{Task: types.TaskID{Worker: 1, Seq: 12345}, Slot: 1},
+			Val:  int64(42),
+		},
+	}
+}
+
+// wireBenchSteal mirrors the stolen-closure envelope: a data-carrying
+// steal reply.
+func wireBenchSteal() *wire.Envelope {
+	return &wire.Envelope{
+		Job: 1, From: 2, To: 3, Seq: 100,
+		Payload: wire.StealReply{OK: true, Task: wire.Closure{
+			ID:   types.TaskID{Worker: 2, Seq: 7},
+			Fn:   "pfold",
+			Args: []types.Value{int64(18), "hphpphhpph", []int64{1, 2, 3, 4, 5, 6, 7, 8}, float64(0.5)},
+			Cont: types.Continuation{Task: types.TaskID{Worker: 3, Seq: 9}, Slot: 0},
+		}},
+	}
+}
+
+// stealSequence is the four messages of one steal round trip.
+func stealSequence() []*wire.Envelope {
+	return []*wire.Envelope{
+		{Job: 1, From: 3, To: 2, Seq: 1, Payload: wire.StealRequest{Thief: 3}},
+		wireBenchSteal(),
+		{Job: 1, From: 3, To: 2, Seq: 2, Payload: wire.StealConfirm{Record: types.TaskID{Worker: 2, Seq: 7}}},
+		{Job: 1, From: 3, To: 2, Seq: 3, Payload: wire.Arg{
+			Cont: types.Continuation{Task: types.TaskID{Worker: 2, Seq: 7}}, Val: int64(8)}},
+	}
+}
+
+// WireBench measures the wire codec and steal-path serialization costs:
+// the binary codec (production path, pooled and unpooled) next to the gob
+// reference codec it replaced.
+func WireBench() []WireBenchResult {
+	arg, steal, seq := wireBenchArg(), wireBenchSteal(), stealSequence()
+	argFrame, _ := wire.Encode(arg)
+	stealFrame, _ := wire.Encode(steal)
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"encode-arg", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := wire.EncodeFrame(arg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Free()
+			}
+		}},
+		{"decode-arg", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Decode(argFrame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"encode-stolen-closure", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := wire.EncodeFrame(steal)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Free()
+			}
+		}},
+		{"decode-stolen-closure", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Decode(stealFrame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"steal-sequence", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, env := range seq {
+					f, err := wire.EncodeFrame(env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := wire.Decode(f.Bytes()); err != nil {
+						b.Fatal(err)
+					}
+					f.Free()
+				}
+			}
+		}},
+		{"encode-arg-gob", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.EncodeGob(arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"steal-sequence-gob", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, env := range seq {
+					f, err := wire.EncodeGob(env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := wire.DecodeGob(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+
+	out := make([]WireBenchResult, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			c.fn(b)
+		})
+		out = append(out, WireBenchResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// PrintWireBench renders the measurements as a table.
+func PrintWireBench(w io.Writer, rs []WireBenchResult) {
+	fmt.Fprintf(w, "wire codec — binary vs gob reference\n")
+	fmt.Fprintf(w, "%-24s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-24s %14.1f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+// WriteWireBenchJSON writes the measurements to path as JSON.
+func WriteWireBenchJSON(path string, rs []WireBenchResult) error {
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -81,8 +81,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	fr := wire.NewFrameReader(conn)
 	for {
-		env, err := wire.ReadFrame(conn)
+		env, err := fr.Next()
 		if err != nil {
 			return
 		}
@@ -119,6 +120,7 @@ type Client struct {
 	addr string
 	mu   sync.Mutex
 	conn net.Conn
+	fr   *wire.FrameReader
 }
 
 // NewClient returns a client of the server at addr.
@@ -130,7 +132,7 @@ func (c *Client) Close() error {
 	defer c.mu.Unlock()
 	if c.conn != nil {
 		err := c.conn.Close()
-		c.conn = nil
+		c.conn, c.fr = nil, nil
 		return err
 	}
 	return nil
@@ -146,18 +148,19 @@ func (c *Client) call(payload any) (*wire.Envelope, error) {
 				return nil, fmt.Errorf("jobq: dial %q: %w", c.addr, err)
 			}
 			c.conn = conn
+			c.fr = wire.NewFrameReader(conn)
 		}
 		err := wire.WriteFrame(c.conn, &wire.Envelope{Payload: payload})
 		if err == nil {
 			var reply *wire.Envelope
-			reply, err = wire.ReadFrame(c.conn)
+			reply, err = c.fr.Next()
 			if err == nil {
 				return reply, nil
 			}
 		}
 		// Stale connection; retry once on a fresh one.
 		_ = c.conn.Close()
-		c.conn = nil
+		c.conn, c.fr = nil, nil
 	}
 	return nil, errors.New("jobq: request failed after reconnect")
 }

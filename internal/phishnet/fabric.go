@@ -23,10 +23,36 @@ type Fabric struct {
 	ports      map[types.WorkerID]*Port
 	latency    time.Duration
 	latencyFor func(from, to types.WorkerID) time.Duration
+	codec      Codec
 	pumpQ      *deliveryQueue
 	pumpGo     bool
 	closed     bool
 	wake       chan struct{}
+}
+
+// Codec selects how an in-memory fabric treats envelopes in flight.
+type Codec int
+
+const (
+	// CodecNone passes envelope pointers through untouched (default;
+	// fastest — the simulated NOW's shared-memory shortcut).
+	CodecNone Codec = iota
+	// CodecBinary runs every envelope through the binary wire codec
+	// (encode then decode), so in-process runs exercise exactly the bytes
+	// a real UDP deployment would — and benchmarks over the fabric measure
+	// serialization cost.
+	CodecBinary
+	// CodecGob runs every envelope through the reference gob codec — the
+	// pre-optimization baseline, kept for comparison benchmarks.
+	CodecGob
+)
+
+// SetCodec selects in-flight envelope treatment. Call before traffic
+// starts.
+func (f *Fabric) SetCodec(c Codec) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.codec = c
 }
 
 // NewFabric returns an empty fabric with no injected latency.
@@ -96,6 +122,31 @@ func (f *Fabric) Close() {
 
 func (f *Fabric) deliver(env *wire.Envelope) error {
 	f.mu.Lock()
+	switch f.codec {
+	case CodecBinary:
+		f.mu.Unlock()
+		frame, err := wire.EncodeFrame(env)
+		if err != nil {
+			return err
+		}
+		env, err = wire.Decode(frame.Bytes())
+		frame.Free()
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+	case CodecGob:
+		f.mu.Unlock()
+		frame, err := wire.EncodeGob(env)
+		if err != nil {
+			return err
+		}
+		env, err = wire.DecodeGob(frame)
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+	}
 	lat := f.latency
 	if f.latencyFor != nil {
 		lat = f.latencyFor(env.From, env.To)

@@ -1,6 +1,7 @@
 package phishnet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -18,11 +19,28 @@ const (
 	udpRetransmitEvery = 50 * time.Millisecond
 	udpMaxRetransmits  = 100 // give up after ~5 s: the peer is gone
 	udpDedupWindow     = 8192
+
+	// udpFlushDelay is how long a small outgoing frame may wait for
+	// company before its batch is flushed as one datagram. It is far below
+	// the retransmit interval and the scheduler's polling periods, so
+	// batching is invisible to the protocol above.
+	udpFlushDelay = 200 * time.Microsecond
+	// udpMaxDatagram caps one batched datagram, comfortably under the
+	// 64 KiB read buffer and typical socket limits.
+	udpMaxDatagram = 60 << 10
 )
 
 // UDP is a Conn over real UDP datagrams with per-peer acknowledgment,
 // retransmission, and duplicate suppression — the reliability layer the
 // paper builds above raw UDP/IP.
+//
+// Outgoing frames to the same destination are coalesced: each Send appends
+// its frame to a per-peer batch that is flushed as a single datagram when
+// it fills or after udpFlushDelay, and acks are piggybacked into the same
+// batches (encoded in place with wire.AppendEncode — no per-ack frame
+// allocation). Consequently Send reports ErrUnknownPeer/ErrClosed
+// synchronously but socket write errors surface only as lost datagrams,
+// which the retransmit layer already absorbs.
 type UDP struct {
 	local types.WorkerID
 	job   types.JobID
@@ -32,7 +50,9 @@ type UDP struct {
 	mu      sync.Mutex
 	peers   map[types.WorkerID]*net.UDPAddr
 	pending map[uint64]*pendingSend
+	batches map[types.WorkerID]*outBatch
 	seen    map[string]*dedupWindow
+	ackEnv  wire.Envelope // scratch envelope for piggybacked acks
 	seq     uint64
 	closed  bool
 
@@ -40,11 +60,35 @@ type UDP struct {
 	wg       sync.WaitGroup
 }
 
+// pendingSend retains an unacknowledged frame for retransmission. The
+// frame buffer is pooled; it is freed exactly when the entry leaves the
+// pending map (ack, peer drop, give-up, or close).
 type pendingSend struct {
 	to    types.WorkerID
-	frame []byte
+	frame *wire.Frame
 	tries int
 	next  time.Time
+}
+
+// outBatch accumulates frames bound for one peer until flushed.
+type outBatch struct {
+	dst   *net.UDPAddr
+	buf   []byte
+	timer *time.Timer
+	armed bool
+}
+
+// bufPool recycles batch datagram buffers.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+func getBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+func putBuf(b []byte) {
+	b = b[:0]
+	bufPool.Put(&b)
 }
 
 // dedupWindow remembers recently seen sequence numbers from one remote
@@ -95,6 +139,7 @@ func ListenUDP(job types.JobID, local types.WorkerID, addr string) (*UDP, error)
 		mbox:     newMailbox(),
 		peers:    make(map[types.WorkerID]*net.UDPAddr),
 		pending:  make(map[uint64]*pendingSend),
+		batches:  make(map[types.WorkerID]*outBatch),
 		seen:     make(map[string]*dedupWindow),
 		stopRetx: make(chan struct{}),
 	}
@@ -113,6 +158,9 @@ func (u *UDP) SetPeer(id types.WorkerID, addr string) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.peers[id] = ua
+	if b := u.batches[id]; b != nil {
+		b.dst = ua
+	}
 }
 
 // DropPeer implements Conn.
@@ -122,24 +170,30 @@ func (u *UDP) DropPeer(id types.WorkerID) {
 	delete(u.peers, id)
 	for seq, p := range u.pending {
 		if p.to == id {
+			p.frame.Free()
 			delete(u.pending, seq)
 		}
+	}
+	if b := u.batches[id]; b != nil {
+		putBuf(b.buf)
+		b.buf = nil
+		delete(u.batches, id)
 	}
 }
 
 // LocalAddr implements Conn.
 func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
 
-// Send implements Conn: assign a sequence number, transmit, and keep the
-// frame for retransmission until acknowledged.
+// Send implements Conn: assign a sequence number, append the frame to the
+// destination's batch, and keep the frame for retransmission until
+// acknowledged.
 func (u *UDP) Send(env *wire.Envelope) error {
 	u.mu.Lock()
 	if u.closed {
 		u.mu.Unlock()
 		return ErrClosed
 	}
-	dst, ok := u.peers[env.To]
-	if !ok {
+	if _, ok := u.peers[env.To]; !ok {
 		u.mu.Unlock()
 		return ErrUnknownPeer
 	}
@@ -147,22 +201,112 @@ func (u *UDP) Send(env *wire.Envelope) error {
 	env.Seq = u.seq
 	env.From = u.local
 	env.Job = u.job
-	frame, err := wire.Encode(env)
+	frame, err := wire.EncodeFrame(env)
 	if err != nil {
 		u.mu.Unlock()
 		return err
 	}
-	_, isAck := env.Payload.(wire.Ack)
-	if !isAck {
-		u.pending[env.Seq] = &pendingSend{
-			to:    env.To,
-			frame: frame,
-			next:  time.Now().Add(udpRetransmitEvery),
-		}
+	if _, isAck := env.Payload.(wire.Ack); isAck {
+		data, dst := u.enqueueLocked(env.To, frame.Bytes())
+		frame.Free()
+		u.mu.Unlock()
+		u.writeOwned(data, dst)
+		return nil
 	}
+	u.pending[env.Seq] = &pendingSend{
+		to:    env.To,
+		frame: frame,
+		next:  time.Now().Add(udpRetransmitEvery),
+	}
+	data, dst := u.enqueueLocked(env.To, frame.Bytes())
 	u.mu.Unlock()
-	_, err = u.conn.WriteToUDP(frame, dst)
-	return err
+	u.writeOwned(data, dst)
+	return nil
+}
+
+// enqueueLocked appends frame bytes to the destination's batch and arms
+// its flush timer. When the batch would overflow, the full buffer is
+// swapped out and returned for the caller to write after releasing u.mu.
+func (u *UDP) enqueueLocked(to types.WorkerID, frame []byte) (data []byte, dst *net.UDPAddr) {
+	b := u.batches[to]
+	if b == nil {
+		b = &outBatch{dst: u.peers[to], buf: getBuf()}
+		u.batches[to] = b
+	}
+	if len(b.buf) > 0 && len(b.buf)+len(frame) > udpMaxDatagram {
+		data, dst = b.buf, b.dst
+		b.buf = getBuf()
+	}
+	b.buf = append(b.buf, frame...)
+	u.armLocked(to, b)
+	return data, dst
+}
+
+// queueAckLocked piggybacks an acknowledgment of seq onto the batch bound
+// for peer to, encoding it in place — no intermediate frame, no per-ack
+// allocation beyond boxing the payload.
+func (u *UDP) queueAckLocked(to types.WorkerID, seq uint64) (data []byte, dst *net.UDPAddr) {
+	b := u.batches[to]
+	if b == nil {
+		b = &outBatch{dst: u.peers[to], buf: getBuf()}
+		u.batches[to] = b
+	}
+	if len(b.buf) > udpMaxDatagram-64 {
+		data, dst = b.buf, b.dst
+		b.buf = getBuf()
+	}
+	u.ackEnv.Job = u.job
+	u.ackEnv.From = u.local
+	u.ackEnv.To = to
+	u.ackEnv.Payload = wire.Ack{Seq: seq}
+	if grown, err := wire.AppendEncode(b.buf, &u.ackEnv); err == nil {
+		b.buf = grown
+	}
+	u.armLocked(to, b)
+	return data, dst
+}
+
+func (u *UDP) armLocked(to types.WorkerID, b *outBatch) {
+	if b.armed {
+		return
+	}
+	b.armed = true
+	if b.timer == nil {
+		b.timer = time.AfterFunc(udpFlushDelay, func() { u.flushPeer(to) })
+	} else {
+		b.timer.Reset(udpFlushDelay)
+	}
+}
+
+// flushPeer writes out the accumulated batch for one peer (flush-timer
+// callback).
+func (u *UDP) flushPeer(to types.WorkerID) {
+	u.mu.Lock()
+	b := u.batches[to]
+	if b == nil || u.closed {
+		u.mu.Unlock()
+		return
+	}
+	b.armed = false
+	if len(b.buf) == 0 {
+		u.mu.Unlock()
+		return
+	}
+	data, dst := b.buf, b.dst
+	b.buf = getBuf()
+	u.mu.Unlock()
+	u.writeOwned(data, dst)
+}
+
+// writeOwned writes one datagram buffer the caller owns and recycles it.
+func (u *UDP) writeOwned(data []byte, dst *net.UDPAddr) {
+	if data == nil {
+		return
+	}
+	if dst != nil {
+		_, _ = u.conn.WriteToUDP(data, dst)
+	}
+	putBuf(data)
 }
 
 // Recv implements Conn.
@@ -176,7 +320,29 @@ func (u *UDP) Close() error {
 		return nil
 	}
 	u.closed = true
+	// Final flush: drain every batch while the socket is still open.
+	type flushOp struct {
+		data []byte
+		dst  *net.UDPAddr
+	}
+	var flushes []flushOp
+	for _, b := range u.batches {
+		if len(b.buf) > 0 {
+			flushes = append(flushes, flushOp{b.buf, b.dst})
+			b.buf = nil
+		}
+	}
+	for seq, p := range u.pending {
+		p.frame.Free()
+		delete(u.pending, seq)
+	}
 	u.mu.Unlock()
+	for _, f := range flushes {
+		if f.dst != nil {
+			_, _ = u.conn.WriteToUDP(f.data, f.dst)
+		}
+		putBuf(f.data)
+	}
 	close(u.stopRetx)
 	err := u.conn.Close()
 	u.wg.Wait()
@@ -192,44 +358,53 @@ func (u *UDP) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		frame := make([]byte, n)
-		copy(frame, buf[:n])
-		env, err := wire.Decode(frame)
-		if err != nil {
-			continue // garbage datagram; a real network drops these too
-		}
-		if ack, ok := env.Payload.(wire.Ack); ok {
-			u.mu.Lock()
-			delete(u.pending, ack.Seq)
-			u.mu.Unlock()
-			continue
-		}
-		// Acknowledge, learn the sender's address, and dedup.
-		u.mu.Lock()
-		if _, known := u.peers[env.From]; !known {
-			u.peers[env.From] = from
-		}
-		w := u.seen[from.String()]
-		if w == nil {
-			w = newDedupWindow()
-			u.seen[from.String()] = w
-		}
-		fresh := w.add(env.Seq)
-		u.mu.Unlock()
-		u.sendAck(env.Seq, from)
-		if fresh {
-			u.mbox.put(env)
+		// A datagram carries one or more length-prefixed frames back to
+		// back (the sender batches). Decode copies everything it retains,
+		// so the read buffer is reused as-is.
+		data := buf[:n]
+		for len(data) >= 4 {
+			flen := 4 + int(binary.BigEndian.Uint32(data[:4]))
+			if flen > len(data) {
+				break // truncated tail; drop like a real network would
+			}
+			env, err := wire.Decode(data[:flen])
+			data = data[flen:]
+			if err != nil {
+				continue // garbage frame; framing is still intact
+			}
+			u.handleInbound(env, from)
 		}
 	}
 }
 
-func (u *UDP) sendAck(seq uint64, to *net.UDPAddr) {
-	ack := &wire.Envelope{Job: u.job, From: u.local, Payload: wire.Ack{Seq: seq}}
-	frame, err := wire.Encode(ack)
-	if err != nil {
+func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
+	if ack, ok := env.Payload.(wire.Ack); ok {
+		u.mu.Lock()
+		if p := u.pending[ack.Seq]; p != nil {
+			p.frame.Free()
+			delete(u.pending, ack.Seq)
+		}
+		u.mu.Unlock()
 		return
 	}
-	_, _ = u.conn.WriteToUDP(frame, to)
+	// Acknowledge, learn the sender's address, and dedup.
+	u.mu.Lock()
+	if _, known := u.peers[env.From]; !known {
+		u.peers[env.From] = from
+	}
+	key := from.String()
+	w := u.seen[key]
+	if w == nil {
+		w = newDedupWindow()
+		u.seen[key] = w
+	}
+	fresh := w.add(env.Seq)
+	data, dst := u.queueAckLocked(env.From, env.Seq)
+	u.mu.Unlock()
+	u.writeOwned(data, dst)
+	if fresh {
+		u.mbox.put(env)
+	}
 }
 
 func (u *UDP) retransmitLoop() {
@@ -241,29 +416,39 @@ func (u *UDP) retransmitLoop() {
 		case <-u.stopRetx:
 			return
 		case now := <-tick.C:
-			u.mu.Lock()
-			type resend struct {
-				frame []byte
-				dst   *net.UDPAddr
+			type flushOp struct {
+				data []byte
+				dst  *net.UDPAddr
 			}
-			var out []resend
+			var flushes []flushOp
+			u.mu.Lock()
+			if u.closed {
+				u.mu.Unlock()
+				return
+			}
 			for seq, p := range u.pending {
 				if now.Before(p.next) {
 					continue
 				}
 				p.tries++
 				if p.tries > udpMaxRetransmits {
+					p.frame.Free()
 					delete(u.pending, seq)
 					continue
 				}
 				p.next = now.Add(udpRetransmitEvery)
-				if dst, ok := u.peers[p.to]; ok {
-					out = append(out, resend{p.frame, dst})
+				if _, ok := u.peers[p.to]; ok {
+					// Re-enqueue through the batcher: the bytes are copied
+					// under the lock, so an ack freeing the pooled frame
+					// concurrently can never corrupt an in-flight write.
+					if data, dst := u.enqueueLocked(p.to, p.frame.Bytes()); data != nil {
+						flushes = append(flushes, flushOp{data, dst})
+					}
 				}
 			}
 			u.mu.Unlock()
-			for _, r := range out {
-				_, _ = u.conn.WriteToUDP(r.frame, r.dst)
+			for _, f := range flushes {
+				u.writeOwned(f.data, f.dst)
 			}
 		}
 	}

@@ -1,0 +1,1091 @@
+// Binary wire codec.
+//
+// Every fixed-shape message in this package is encoded by hand into a
+// length-prefixed, versioned binary frame — no reflection, no per-message
+// encoder state, no intermediate buffers. Only opaque application payloads
+// (types.Value instances outside the small set of common concrete types)
+// fall back to gob, because their shape is by definition unknown here.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset 0  u32  body length (bytes after this prefix)
+//	offset 4  u8   frame format version (frameVersion)
+//	offset 5  u8   payload type tag (t* constants)
+//	offset 6  i64  Envelope.Job
+//	offset 14 i32  Envelope.From
+//	offset 18 i32  Envelope.To
+//	offset 22 u64  Envelope.Seq
+//	offset 30 ...  payload body (shape fixed by the type tag)
+//
+// The version byte exists for forward compatibility: a future frame layout
+// bumps it, and decoders reject versions they do not know instead of
+// misparsing. Several frames may be concatenated back to back — the UDP
+// transport batches envelopes to one destination into one datagram this
+// way — and each is self-delimiting via its length prefix.
+//
+// Decoding is hardened against truncated and corrupt input: every read is
+// bounds-checked, slice counts are validated against the bytes actually
+// remaining, value nesting is depth-limited, and Decode returns an error —
+// never panics — on garbage.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"phish/internal/types"
+)
+
+// frameVersion is the wire format version stamped into every frame.
+const frameVersion = 1
+
+// frameHeaderLen is the encoded size of the length prefix plus envelope
+// header (version, type tag, job, from, to, seq).
+const frameHeaderLen = 4 + 1 + 1 + 8 + 4 + 4 + 8
+
+// maxFrame bounds a single encoded message; large application payloads
+// should be split by the application (the paper buffers and batches I/O).
+const maxFrame = 16 << 20
+
+// maxValueDepth bounds []Value nesting so a corrupt frame cannot drive the
+// recursive value decoder into stack exhaustion (which would panic).
+const maxValueDepth = 64
+
+// Payload type tags. The zero tag is invalid so an all-zero frame never
+// parses; tags are part of the wire format and must not be renumbered.
+const (
+	tInvalid byte = iota
+	tStealRequest
+	tStealReply
+	tStealConfirm
+	tArg
+	tMigrate
+	tMigrateAck
+	tRegister
+	tRegisterReply
+	tUnregister
+	tUpdate
+	tHeartbeat
+	tWorkerDown
+	tIO
+	tShutdown
+	tSpawnRoot
+	tStayRequest
+	tStayReply
+	tPause
+	tPauseAck
+	tSnapshotRequest
+	tSnapshotReply
+	tResume
+	tJobRequest
+	tJobReply
+	tJobSubmit
+	tJobSubmitReply
+	tJobDone
+	tJobList
+	tJobListReply
+	tAck
+	tNilPayload
+	// tGobEnvelope carries a gob-encoded payload of a type this codec has
+	// no hand-rolled shape for (applications extending the protocol).
+	tGobEnvelope byte = 255
+)
+
+// Value kind tags inside payloads. A types.Value is one tag byte followed
+// by a kind-specific body; vGob wraps any other concrete type in gob.
+const (
+	vNil byte = iota
+	vInt64
+	vInt
+	vInt32
+	vUint64
+	vFloat64
+	vString
+	vBool
+	vBytes
+	vInt64s
+	vFloat64s
+	vValues
+	vGob byte = 255
+)
+
+var (
+	errShortFrame   = errors.New("wire: truncated or corrupt frame")
+	errFrameVersion = errors.New("wire: unknown frame version")
+)
+
+// ---- Pooled frame buffers -------------------------------------------------
+
+// Frame is a pooled encode buffer holding one encoded envelope. Callers
+// that finish with a frame (the datagram was written, the ack arrived)
+// return it with Free so the steal/synch hot path produces no garbage.
+type Frame struct{ buf []byte }
+
+// Bytes returns the encoded frame. The slice is only valid until Free.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Len returns the encoded size.
+func (f *Frame) Len() int { return len(f.buf) }
+
+// Free returns the frame's buffer to the pool. The frame must not be used
+// afterwards.
+func (f *Frame) Free() {
+	if f == nil {
+		return
+	}
+	f.buf = f.buf[:0]
+	framePool.Put(f)
+}
+
+var framePool = sync.Pool{New: func() any { return &Frame{buf: make([]byte, 0, 512)} }}
+
+// EncodeFrame serializes env into a pooled frame. It is the zero-steady-
+// state-allocation encode path: once the pool is warm, encoding a
+// fixed-shape message allocates nothing.
+func EncodeFrame(env *Envelope) (*Frame, error) {
+	f := framePool.Get().(*Frame)
+	b, err := AppendEncode(f.buf[:0], env)
+	if err != nil {
+		f.Free()
+		return nil, err
+	}
+	f.buf = b
+	return f, nil
+}
+
+// Encode serializes env as a length-prefixed binary frame into a fresh
+// slice (compatibility path; hot paths use EncodeFrame or AppendEncode).
+func Encode(env *Envelope) ([]byte, error) {
+	return AppendEncode(nil, env)
+}
+
+// AppendEncode appends env's frame to dst and returns the extended slice.
+// Frames are self-delimiting, so several may be appended back to back into
+// one buffer (the UDP transport batches datagrams this way).
+func AppendEncode(dst []byte, env *Envelope) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, frameVersion, payloadTag(env.Payload))
+	dst = appendI64(dst, int64(env.Job))
+	dst = appendI32(dst, int32(env.From))
+	dst = appendI32(dst, int32(env.To))
+	dst = appendU64(dst, env.Seq)
+	dst, err := appendPayload(dst, env.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", env.Payload, err)
+	}
+	body := len(dst) - start - 4
+	if body > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", body)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(body))
+	return dst, nil
+}
+
+// Decode parses one frame produced by Encode/AppendEncode. It never
+// panics: corrupt or truncated frames return an error.
+func Decode(frame []byte) (env *Envelope, err error) {
+	// Belt and braces: the reader bounds-checks everything, but a decoding
+	// bug must still surface as an error, not kill the process.
+	defer func() {
+		if r := recover(); r != nil {
+			env, err = nil, fmt.Errorf("wire: decode panic: %v", r)
+		}
+	}()
+	if len(frame) < frameHeaderLen {
+		return nil, fmt.Errorf("wire: short frame (%d bytes)", len(frame))
+	}
+	n := binary.BigEndian.Uint32(frame[:4])
+	if int64(n) != int64(len(frame)-4) {
+		return nil, fmt.Errorf("wire: frame length mismatch: header %d, body %d", n, len(frame)-4)
+	}
+	if frame[4] != frameVersion {
+		return nil, fmt.Errorf("%w %d", errFrameVersion, frame[4])
+	}
+	tag := frame[5]
+	e := &Envelope{
+		Job:  types.JobID(int64(binary.BigEndian.Uint64(frame[6:14]))),
+		From: types.WorkerID(int32(binary.BigEndian.Uint32(frame[14:18]))),
+		To:   types.WorkerID(int32(binary.BigEndian.Uint32(frame[18:22]))),
+		Seq:  binary.BigEndian.Uint64(frame[22:30]),
+	}
+	r := &reader{b: frame[frameHeaderLen:]}
+	e.Payload = readPayload(r, tag)
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", tagName(tag), r.err)
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("wire: decode %s: %d trailing bytes", tagName(tag), len(r.b)-r.off)
+	}
+	return e, nil
+}
+
+// ---- Stream framing -------------------------------------------------------
+
+// WriteFrame writes env to w as a length-prefixed frame (stream
+// transports: the JobQ's TCP RPC). The encode buffer is pooled, so the
+// call produces no per-message garbage.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	f, err := EncodeFrame(env)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(f.Bytes())
+	f.Free()
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	buf := make([]byte, 4+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// FrameReader reads successive frames from a byte stream, reusing one
+// internal buffer across calls — the per-connection read path of the JobQ
+// RPC without a fresh allocation per request.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, 0, 512)}
+}
+
+// Next reads and decodes one frame. The returned envelope owns its data
+// (nothing aliases the internal buffer), so it survives the next call.
+func (fr *FrameReader) Next() (*Envelope, error) {
+	if cap(fr.buf) < 4 {
+		fr.buf = make([]byte, 0, 512)
+	}
+	hdr := fr.buf[:4]
+	if _, err := io.ReadFull(fr.r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	total := int(4 + n)
+	if cap(fr.buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		fr.buf = grown
+	}
+	frame := fr.buf[:total]
+	if _, err := io.ReadFull(fr.r, frame[4:]); err != nil {
+		return nil, err
+	}
+	return Decode(frame)
+}
+
+// ---- Reference gob codec --------------------------------------------------
+
+// EncodeGob serializes env as a length-prefixed gob frame — the original
+// reflection-based codec, kept as a correctness reference and benchmark
+// baseline (BenchmarkStealRoundTrip/gob) for the binary codec above.
+func EncodeGob(env *Envelope) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: gob encode %T: %w", env.Payload, err)
+	}
+	if body.Len() > maxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", body.Len())
+	}
+	out := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(out[:4], uint32(body.Len()))
+	copy(out[4:], body.Bytes())
+	return out, nil
+}
+
+// DecodeGob parses one frame produced by EncodeGob.
+func DecodeGob(frame []byte) (*Envelope, error) {
+	if len(frame) < 4 {
+		return nil, fmt.Errorf("wire: short frame (%d bytes)", len(frame))
+	}
+	n := binary.BigEndian.Uint32(frame[:4])
+	if int(n) != len(frame)-4 {
+		return nil, fmt.Errorf("wire: frame length mismatch: header %d, body %d", n, len(frame)-4)
+	}
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(frame[4:])).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: gob decode: %w", err)
+	}
+	return &env, nil
+}
+
+// ---- Append-style writers -------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
+func appendI64(b []byte, v int64) []byte   { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendLen writes the presence flag and count of a slice or map, so nil
+// and empty round-trip distinctly (tests compare with reflect.DeepEqual).
+func appendLen(b []byte, n int, isNil bool) []byte {
+	if isNil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendU32(b, uint32(n))
+}
+
+func appendTaskID(b []byte, t types.TaskID) []byte {
+	b = appendI32(b, int32(t.Worker))
+	return appendU64(b, t.Seq)
+}
+
+func appendCont(b []byte, c types.Continuation) []byte {
+	b = appendTaskID(b, c.Task)
+	return appendI32(b, c.Slot)
+}
+
+func appendValue(b []byte, v types.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, vNil), nil
+	case int64:
+		return appendI64(append(b, vInt64), x), nil
+	case int:
+		return appendI64(append(b, vInt), int64(x)), nil
+	case int32:
+		return appendI32(append(b, vInt32), x), nil
+	case uint64:
+		return appendU64(append(b, vUint64), x), nil
+	case float64:
+		return appendF64(append(b, vFloat64), x), nil
+	case string:
+		return appendStr(append(b, vString), x), nil
+	case bool:
+		return appendBool(append(b, vBool), x), nil
+	case []byte:
+		b = appendLen(append(b, vBytes), len(x), x == nil)
+		return append(b, x...), nil
+	case []int64:
+		b = appendLen(append(b, vInt64s), len(x), x == nil)
+		for _, e := range x {
+			b = appendI64(b, e)
+		}
+		return b, nil
+	case []float64:
+		b = appendLen(append(b, vFloat64s), len(x), x == nil)
+		for _, e := range x {
+			b = appendF64(b, e)
+		}
+		return b, nil
+	case []types.Value:
+		return appendValues(append(b, vValues), x)
+	default:
+		// Opaque application value: gob is the fallback boundary. The
+		// concrete type must have been registered via RegisterValue.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+			return nil, err
+		}
+		b = append(b, vGob)
+		b = appendU32(b, uint32(buf.Len()))
+		return append(b, buf.Bytes()...), nil
+	}
+}
+
+func appendValues(b []byte, vs []types.Value) ([]byte, error) {
+	b = appendLen(b, len(vs), vs == nil)
+	var err error
+	for _, v := range vs {
+		if b, err = appendValue(b, v); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendClosure(b []byte, c Closure) ([]byte, error) {
+	b = appendTaskID(b, c.ID)
+	b = appendStr(b, c.Fn)
+	b, err := appendValues(b, c.Args)
+	if err != nil {
+		return nil, err
+	}
+	b = appendI32(b, c.Missing)
+	b = appendCont(b, c.Cont)
+	return appendBool(b, c.NoSteal), nil
+}
+
+func appendRecord(b []byte, r Record) ([]byte, error) {
+	b = appendTaskID(b, r.ID)
+	b = appendCont(b, r.RealCont)
+	b, err := appendClosure(b, r.Task)
+	if err != nil {
+		return nil, err
+	}
+	b = appendI32(b, int32(r.Thief))
+	return appendBool(b, r.Confirmed), nil
+}
+
+func appendView(b []byte, v MembershipView) []byte {
+	b = appendU64(b, v.Epoch)
+	b = appendLen(b, len(v.Members), v.Members == nil)
+	for _, m := range v.Members {
+		b = appendI32(b, int32(m.Worker))
+		b = appendStr(b, m.Addr)
+		b = appendI32(b, int32(m.HostedBy))
+		b = appendI32(b, m.Site)
+	}
+	return b
+}
+
+func appendJobSpec(b []byte, j JobSpec) ([]byte, error) {
+	b = appendI64(b, int64(j.ID))
+	b = appendStr(b, j.Name)
+	b = appendStr(b, j.Program)
+	b = appendStr(b, j.RootFn)
+	b, err := appendValues(b, j.RootArgs)
+	if err != nil {
+		return nil, err
+	}
+	b = appendStr(b, j.CHAddr)
+	return appendI32(b, j.Priority), nil
+}
+
+func appendCounts(b []byte, m map[types.WorkerID]int64) []byte {
+	b = appendLen(b, len(m), m == nil)
+	for k, v := range m {
+		b = appendI32(b, int32(k))
+		b = appendI64(b, v)
+	}
+	return b
+}
+
+// ---- Payload dispatch -----------------------------------------------------
+
+// payloadTag maps a payload to its wire tag; unknown types get the gob
+// fallback tag.
+func payloadTag(p any) byte {
+	switch p.(type) {
+	case StealRequest:
+		return tStealRequest
+	case StealReply:
+		return tStealReply
+	case StealConfirm:
+		return tStealConfirm
+	case Arg:
+		return tArg
+	case Migrate:
+		return tMigrate
+	case MigrateAck:
+		return tMigrateAck
+	case Register:
+		return tRegister
+	case RegisterReply:
+		return tRegisterReply
+	case Unregister:
+		return tUnregister
+	case Update:
+		return tUpdate
+	case Heartbeat:
+		return tHeartbeat
+	case WorkerDown:
+		return tWorkerDown
+	case IO:
+		return tIO
+	case Shutdown:
+		return tShutdown
+	case SpawnRoot:
+		return tSpawnRoot
+	case StayRequest:
+		return tStayRequest
+	case StayReply:
+		return tStayReply
+	case Pause:
+		return tPause
+	case PauseAck:
+		return tPauseAck
+	case SnapshotRequest:
+		return tSnapshotRequest
+	case SnapshotReply:
+		return tSnapshotReply
+	case Resume:
+		return tResume
+	case JobRequest:
+		return tJobRequest
+	case JobReply:
+		return tJobReply
+	case JobSubmit:
+		return tJobSubmit
+	case JobSubmitReply:
+		return tJobSubmitReply
+	case JobDone:
+		return tJobDone
+	case JobList:
+		return tJobList
+	case JobListReply:
+		return tJobListReply
+	case Ack:
+		return tAck
+	case nil:
+		return tNilPayload
+	default:
+		return tGobEnvelope
+	}
+}
+
+var tagNames = map[byte]string{
+	tStealRequest: "StealRequest", tStealReply: "StealReply",
+	tStealConfirm: "StealConfirm", tArg: "Arg", tMigrate: "Migrate",
+	tMigrateAck: "MigrateAck", tRegister: "Register",
+	tRegisterReply: "RegisterReply", tUnregister: "Unregister",
+	tUpdate: "Update", tHeartbeat: "Heartbeat", tWorkerDown: "WorkerDown",
+	tIO: "IO", tShutdown: "Shutdown", tSpawnRoot: "SpawnRoot",
+	tStayRequest: "StayRequest", tStayReply: "StayReply", tPause: "Pause",
+	tPauseAck: "PauseAck", tSnapshotRequest: "SnapshotRequest",
+	tSnapshotReply: "SnapshotReply", tResume: "Resume",
+	tJobRequest: "JobRequest", tJobReply: "JobReply", tJobSubmit: "JobSubmit",
+	tJobSubmitReply: "JobSubmitReply", tJobDone: "JobDone", tJobList: "JobList",
+	tJobListReply: "JobListReply", tAck: "Ack", tNilPayload: "nil",
+	tGobEnvelope: "gob-fallback",
+}
+
+func tagName(t byte) string {
+	if s, ok := tagNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("tag(%d)", t)
+}
+
+func appendPayload(b []byte, p any) ([]byte, error) {
+	switch x := p.(type) {
+	case StealRequest:
+		return appendI32(b, int32(x.Thief)), nil
+	case StealReply:
+		return appendClosure(appendBool(b, x.OK), x.Task)
+	case StealConfirm:
+		return appendTaskID(b, x.Record), nil
+	case Arg:
+		b = appendCont(b, x.Cont)
+		b, err := appendValue(b, x.Val)
+		if err != nil {
+			return nil, err
+		}
+		return appendBool(b, x.Crossed), nil
+	case Migrate:
+		b = appendI32(b, int32(x.From))
+		b = appendLen(b, len(x.Closures), x.Closures == nil)
+		var err error
+		for _, c := range x.Closures {
+			if b, err = appendClosure(b, c); err != nil {
+				return nil, err
+			}
+		}
+		b = appendLen(b, len(x.Records), x.Records == nil)
+		for _, r := range x.Records {
+			if b, err = appendRecord(b, r); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case MigrateAck:
+		return appendI64(b, int64(x.Count)), nil
+	case Register:
+		b = appendI32(b, int32(x.Worker))
+		b = appendStr(b, x.Addr)
+		return appendI32(b, x.Site), nil
+	case RegisterReply:
+		b = appendI32(b, int32(x.Assigned))
+		return appendView(b, x.View), nil
+	case Unregister:
+		b = appendI32(b, int32(x.Worker))
+		b = appendI32(b, int32(x.Reason))
+		return appendI32(b, int32(x.MigratedTo)), nil
+	case Update:
+		return appendView(b, x.View), nil
+	case Heartbeat:
+		return appendI32(b, int32(x.Worker)), nil
+	case WorkerDown:
+		return appendI32(b, int32(x.Worker)), nil
+	case IO:
+		return appendStr(appendI32(b, int32(x.Worker)), x.Text), nil
+	case Shutdown:
+		return appendStr(b, x.Reason), nil
+	case SpawnRoot:
+		return appendValues(appendStr(b, x.Fn), x.Args)
+	case StayRequest:
+		return appendI32(b, int32(x.Worker)), nil
+	case StayReply:
+		return appendBool(b, x.Stay), nil
+	case Pause:
+		return appendU64(b, x.Seq), nil
+	case PauseAck:
+		b = appendU64(b, x.Seq)
+		b = appendI32(b, int32(x.Worker))
+		b = appendCounts(b, x.SentTo)
+		return appendCounts(b, x.RecvFr), nil
+	case SnapshotRequest:
+		return appendU64(b, x.Seq), nil
+	case SnapshotReply:
+		b = appendU64(b, x.Seq)
+		b = appendI32(b, int32(x.Worker))
+		b = appendLen(b, len(x.Closures), x.Closures == nil)
+		var err error
+		for _, c := range x.Closures {
+			if b, err = appendClosure(b, c); err != nil {
+				return nil, err
+			}
+		}
+		b = appendLen(b, len(x.Records), x.Records == nil)
+		for _, r := range x.Records {
+			if b, err = appendRecord(b, r); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case Resume:
+		return appendU64(b, x.Seq), nil
+	case JobRequest:
+		return appendI32(b, int32(x.Workstation)), nil
+	case JobReply:
+		return appendJobSpec(appendBool(b, x.OK), x.Job)
+	case JobSubmit:
+		return appendJobSpec(b, x.Job)
+	case JobSubmitReply:
+		return appendI64(b, int64(x.ID)), nil
+	case JobDone:
+		return appendI64(b, int64(x.ID)), nil
+	case JobList:
+		return b, nil
+	case JobListReply:
+		b = appendLen(b, len(x.Jobs), x.Jobs == nil)
+		var err error
+		for _, j := range x.Jobs {
+			if b, err = appendJobSpec(b, j); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case Ack:
+		return appendU64(b, x.Seq), nil
+	case nil:
+		return b, nil
+	default:
+		// Unknown payload type: whole-payload gob fallback.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+			return nil, err
+		}
+		return append(b, buf.Bytes()...), nil
+	}
+}
+
+// ---- Bounds-checked reader ------------------------------------------------
+
+// reader consumes a frame body with a sticky error: after the first
+// short/invalid read, every subsequent call is a no-op returning zero
+// values, and the caller checks err once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errShortFrame
+	}
+}
+
+func (r *reader) rem() int { return len(r.b) - r.off }
+
+// take returns the next n bytes of the body without copying. Callers that
+// retain data must copy it (str, blob and friends do).
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.rem() < n {
+		r.fail()
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+
+func (r *reader) i32() int32             { return int32(r.u32()) }
+func (r *reader) i64() int64             { return int64(r.u64()) }
+func (r *reader) f64() float64           { return math.Float64frombits(r.u64()) }
+func (r *reader) worker() types.WorkerID { return types.WorkerID(r.i32()) }
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail()
+		return false
+	}
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	s := r.take(int(n))
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// count reads a presence flag plus element count for a slice/map whose
+// elements occupy at least minElem bytes each; -1 means nil. Validating
+// the count against the bytes remaining stops corrupt frames from forcing
+// huge allocations.
+func (r *reader) count(minElem int) int {
+	switch r.u8() {
+	case 0:
+		return -1
+	case 1:
+		n := int(r.u32())
+		if minElem > 0 && n > r.rem()/minElem {
+			r.fail()
+			return -1
+		}
+		return n
+	default:
+		r.fail()
+		return -1
+	}
+}
+
+func (r *reader) taskID() types.TaskID {
+	return types.TaskID{Worker: r.worker(), Seq: r.u64()}
+}
+
+func (r *reader) cont() types.Continuation {
+	return types.Continuation{Task: r.taskID(), Slot: r.i32()}
+}
+
+func (r *reader) value(depth int) types.Value {
+	if depth > maxValueDepth {
+		r.fail()
+		return nil
+	}
+	switch tag := r.u8(); tag {
+	case vNil:
+		return nil
+	case vInt64:
+		return r.i64()
+	case vInt:
+		return int(r.i64())
+	case vInt32:
+		return r.i32()
+	case vUint64:
+		return r.u64()
+	case vFloat64:
+		return r.f64()
+	case vString:
+		return r.str()
+	case vBool:
+		return r.bool()
+	case vBytes:
+		n := r.count(1)
+		if n < 0 {
+			return []byte(nil)
+		}
+		s := r.take(n)
+		if s == nil {
+			return []byte(nil)
+		}
+		out := make([]byte, n)
+		copy(out, s)
+		return out
+	case vInt64s:
+		n := r.count(8)
+		if n < 0 {
+			return []int64(nil)
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = r.i64()
+		}
+		return out
+	case vFloat64s:
+		n := r.count(8)
+		if n < 0 {
+			return []float64(nil)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r.f64()
+		}
+		return out
+	case vValues:
+		return r.values(depth + 1)
+	case vGob:
+		n := int(r.u32())
+		s := r.take(n)
+		if s == nil {
+			return nil
+		}
+		var v types.Value
+		if err := gob.NewDecoder(bytes.NewReader(s)).Decode(&v); err != nil {
+			if r.err == nil {
+				r.err = err
+			}
+			return nil
+		}
+		return v
+	default:
+		r.fail()
+		return nil
+	}
+}
+
+func (r *reader) values(depth int) []types.Value {
+	n := r.count(1)
+	if n < 0 {
+		return nil
+	}
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = r.value(depth)
+	}
+	return out
+}
+
+func (r *reader) closure() Closure {
+	return Closure{
+		ID:      r.taskID(),
+		Fn:      r.str(),
+		Args:    r.values(0),
+		Missing: r.i32(),
+		Cont:    r.cont(),
+		NoSteal: r.bool(),
+	}
+}
+
+func (r *reader) closures() []Closure {
+	n := r.count(1)
+	if n < 0 {
+		return nil
+	}
+	out := make([]Closure, n)
+	for i := range out {
+		out[i] = r.closure()
+	}
+	return out
+}
+
+func (r *reader) record() Record {
+	return Record{
+		ID:        r.taskID(),
+		RealCont:  r.cont(),
+		Task:      r.closure(),
+		Thief:     r.worker(),
+		Confirmed: r.bool(),
+	}
+}
+
+func (r *reader) records() []Record {
+	n := r.count(1)
+	if n < 0 {
+		return nil
+	}
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = r.record()
+	}
+	return out
+}
+
+func (r *reader) view() MembershipView {
+	v := MembershipView{Epoch: r.u64()}
+	n := r.count(13) // worker + addr len + hostedBy + site minimum
+	if n < 0 {
+		return v
+	}
+	v.Members = make([]MemberInfo, n)
+	for i := range v.Members {
+		v.Members[i] = MemberInfo{
+			Worker:   r.worker(),
+			Addr:     r.str(),
+			HostedBy: r.worker(),
+			Site:     r.i32(),
+		}
+	}
+	return v
+}
+
+func (r *reader) jobSpec() JobSpec {
+	return JobSpec{
+		ID:       types.JobID(r.i64()),
+		Name:     r.str(),
+		Program:  r.str(),
+		RootFn:   r.str(),
+		RootArgs: r.values(0),
+		CHAddr:   r.str(),
+		Priority: r.i32(),
+	}
+}
+
+func (r *reader) counts() map[types.WorkerID]int64 {
+	n := r.count(12)
+	if n < 0 {
+		return nil
+	}
+	out := make(map[types.WorkerID]int64, n)
+	for i := 0; i < n; i++ {
+		k := r.worker()
+		out[k] = r.i64()
+	}
+	return out
+}
+
+func readPayload(r *reader, tag byte) any {
+	switch tag {
+	case tStealRequest:
+		return StealRequest{Thief: r.worker()}
+	case tStealReply:
+		return StealReply{OK: r.bool(), Task: r.closure()}
+	case tStealConfirm:
+		return StealConfirm{Record: r.taskID()}
+	case tArg:
+		return Arg{Cont: r.cont(), Val: r.value(0), Crossed: r.bool()}
+	case tMigrate:
+		return Migrate{From: r.worker(), Closures: r.closures(), Records: r.records()}
+	case tMigrateAck:
+		return MigrateAck{Count: int(r.i64())}
+	case tRegister:
+		return Register{Worker: r.worker(), Addr: r.str(), Site: r.i32()}
+	case tRegisterReply:
+		return RegisterReply{Assigned: r.worker(), View: r.view()}
+	case tUnregister:
+		return Unregister{Worker: r.worker(), Reason: LeaveReason(r.i32()), MigratedTo: r.worker()}
+	case tUpdate:
+		return Update{View: r.view()}
+	case tHeartbeat:
+		return Heartbeat{Worker: r.worker()}
+	case tWorkerDown:
+		return WorkerDown{Worker: r.worker()}
+	case tIO:
+		return IO{Worker: r.worker(), Text: r.str()}
+	case tShutdown:
+		return Shutdown{Reason: r.str()}
+	case tSpawnRoot:
+		return SpawnRoot{Fn: r.str(), Args: r.values(0)}
+	case tStayRequest:
+		return StayRequest{Worker: r.worker()}
+	case tStayReply:
+		return StayReply{Stay: r.bool()}
+	case tPause:
+		return Pause{Seq: r.u64()}
+	case tPauseAck:
+		return PauseAck{Seq: r.u64(), Worker: r.worker(), SentTo: r.counts(), RecvFr: r.counts()}
+	case tSnapshotRequest:
+		return SnapshotRequest{Seq: r.u64()}
+	case tSnapshotReply:
+		return SnapshotReply{Seq: r.u64(), Worker: r.worker(), Closures: r.closures(), Records: r.records()}
+	case tResume:
+		return Resume{Seq: r.u64()}
+	case tJobRequest:
+		return JobRequest{Workstation: types.WorkstationID(r.i32())}
+	case tJobReply:
+		return JobReply{OK: r.bool(), Job: r.jobSpec()}
+	case tJobSubmit:
+		return JobSubmit{Job: r.jobSpec()}
+	case tJobSubmitReply:
+		return JobSubmitReply{ID: types.JobID(r.i64())}
+	case tJobDone:
+		return JobDone{ID: types.JobID(r.i64())}
+	case tJobList:
+		return JobList{}
+	case tJobListReply:
+		n := r.count(1)
+		if n < 0 {
+			return JobListReply{}
+		}
+		jobs := make([]JobSpec, n)
+		for i := range jobs {
+			jobs[i] = r.jobSpec()
+		}
+		return JobListReply{Jobs: jobs}
+	case tAck:
+		return Ack{Seq: r.u64()}
+	case tNilPayload:
+		return nil
+	case tGobEnvelope:
+		s := r.take(r.rem())
+		var p any
+		if err := gob.NewDecoder(bytes.NewReader(s)).Decode(&p); err != nil {
+			if r.err == nil {
+				r.err = err
+			}
+			return nil
+		}
+		return p
+	default:
+		r.fail()
+		return nil
+	}
+}

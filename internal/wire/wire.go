@@ -1,7 +1,8 @@
 // Package wire defines every message that crosses between Phish processes —
 // workers, clearinghouses, the PhishJobQ, and PhishJobManagers — together
-// with a length-prefixed gob codec for sending them over byte streams and
-// datagrams.
+// with a hand-rolled, length-prefixed binary codec (see codec.go) for
+// sending them over byte streams and datagrams. Opaque application values
+// fall back to gob; everything fixed-shape is encoded by hand.
 //
 // The paper implements all communication as split-phase operations on top
 // of UDP/IP; the message vocabulary here mirrors the protocol the paper
@@ -12,11 +13,9 @@
 package wire
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"io"
+	"strconv"
 	"sync"
 
 	"phish/internal/types"
@@ -36,9 +35,29 @@ type Envelope struct {
 	Payload any
 }
 
+// String renders the envelope header and payload type name without fmt —
+// it appears in trace and log call sites whose arguments are evaluated
+// even when the sink is disabled, so it must stay cheap.
 func (e *Envelope) String() string {
-	return fmt.Sprintf("[job %d %d->%d #%d %T]", e.Job, e.From, e.To, e.Seq, e.Payload)
+	b := make([]byte, 0, 48)
+	b = append(b, "[job "...)
+	b = strconv.AppendInt(b, int64(e.Job), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(e.From), 10)
+	b = append(b, "->"...)
+	b = strconv.AppendInt(b, int64(e.To), 10)
+	b = append(b, " #"...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, ' ')
+	b = append(b, e.PayloadName()...)
+	b = append(b, ']')
+	return string(b)
 }
+
+// PayloadName returns the payload's message name (e.g. "StealRequest")
+// without reflection or formatting; unknown application payloads report
+// as "gob-fallback".
+func (e *Envelope) PayloadName() string { return tagName(payloadTag(e.Payload)) }
 
 // Closure is the wire representation of a task: the name of its function,
 // its (possibly partially filled) argument slots, the number of arguments
@@ -360,69 +379,6 @@ func registerPayloads() {
 func init() { registerOnce.Do(registerPayloads) }
 
 // RegisterValue registers an application-defined concrete type that will
-// be carried as a task argument or result across the wire.
+// be carried as a task argument or result across the wire. Such values are
+// encoded through the gob fallback of the binary codec.
 func RegisterValue(v any) { gob.Register(v) }
-
-// maxFrame bounds a single encoded message; large application payloads
-// should be split by the application (the paper buffers and batches I/O).
-const maxFrame = 16 << 20
-
-// Encode serializes env as a length-prefixed gob frame.
-func Encode(env *Envelope) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(env); err != nil {
-		return nil, fmt.Errorf("wire: encode %T: %w", env.Payload, err)
-	}
-	if body.Len() > maxFrame {
-		return nil, fmt.Errorf("wire: frame too large (%d bytes)", body.Len())
-	}
-	out := make([]byte, 4+body.Len())
-	binary.BigEndian.PutUint32(out[:4], uint32(body.Len()))
-	copy(out[4:], body.Bytes())
-	return out, nil
-}
-
-// Decode parses one frame produced by Encode.
-func Decode(frame []byte) (*Envelope, error) {
-	if len(frame) < 4 {
-		return nil, fmt.Errorf("wire: short frame (%d bytes)", len(frame))
-	}
-	n := binary.BigEndian.Uint32(frame[:4])
-	if int(n) != len(frame)-4 {
-		return nil, fmt.Errorf("wire: frame length mismatch: header %d, body %d", n, len(frame)-4)
-	}
-	var env Envelope
-	if err := gob.NewDecoder(bytes.NewReader(frame[4:])).Decode(&env); err != nil {
-		return nil, fmt.Errorf("wire: decode: %w", err)
-	}
-	return &env, nil
-}
-
-// WriteFrame writes env to w as a length-prefixed frame (stream
-// transports: the JobQ's TCP RPC).
-func WriteFrame(w io.Writer, env *Envelope) error {
-	b, err := Encode(env)
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(b)
-	return err
-}
-
-// ReadFrame reads one length-prefixed frame from r.
-func ReadFrame(r io.Reader) (*Envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
-	}
-	buf := make([]byte, 4+n)
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(r, buf[4:]); err != nil {
-		return nil, err
-	}
-	return Decode(buf)
-}
