@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	clearinghouse -program pfold -addr :7071 [-hb 10s] [args...]
+//	clearinghouse -program pfold -addr :7071 [-hb 10s] [-journal job.jnl] [args...]
 //
-// It prints the job's output and the root result, then exits.
+// It prints the job's output and the root result, then exits. With
+// -journal, control-plane state is logged to the named file; restarting
+// the binary with the same flag resumes an interrupted job — surviving
+// workers re-register on their own and the computation carries on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"phish/internal/apps"
@@ -27,9 +31,10 @@ func main() {
 	addr := flag.String("addr", ":7071", "UDP address to listen on")
 	program := flag.String("program", "", "program to run (fib, nqueens, pfold, ray)")
 	job := flag.Int64("job", 1, "job id")
-	hb := flag.Duration("hb", 15*time.Second, "heartbeat timeout for crash detection (0 disables)")
+	hb := flag.Duration("hb", -1, "heartbeat timeout for crash detection (default 3x -update; 0 disables)")
 	update := flag.Duration("update", 2*time.Minute, "membership update push interval (the paper's 2 minutes)")
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	journal := flag.String("journal", "", "journal file for crash recovery (an existing file resumes that job)")
 	flag.Usage = func() {
 		fmt.Println("usage: clearinghouse -program <name> [flags] [program args...]\nprograms:")
 		fmt.Print(apps.Usage())
@@ -60,13 +65,51 @@ func main() {
 	}
 	cfg := clearinghouse.DefaultConfig()
 	cfg.UpdateEvery = *update
-	cfg.HeartbeatTimeout = *hb
-	ch := clearinghouse.New(spec, conn, cfg)
+	if *hb < 0 {
+		// Crash detection is on by default, scaled to the update cadence:
+		// three missed intervals and the worker is declared dead.
+		cfg.HeartbeatTimeout = 3 * *update
+	} else {
+		cfg.HeartbeatTimeout = *hb
+	}
+
+	var ch *clearinghouse.Clearinghouse
+	recovered := false
+	if *journal != "" {
+		if _, statErr := os.Stat(*journal); statErr == nil {
+			rec, err := clearinghouse.ReplayJournal(*journal)
+			if err != nil {
+				log.Fatalf("clearinghouse: replay %s: %v", *journal, err)
+			}
+			jnl, err := clearinghouse.OpenJournal(*journal)
+			if err != nil {
+				log.Fatalf("clearinghouse: %v", err)
+			}
+			defer jnl.Close()
+			cfg.Journal = jnl
+			ch = clearinghouse.NewFromRecovery(rec, conn, cfg)
+			recovered = true
+			fmt.Printf("clearinghouse: recovered job %d (%s) from %s — %d member(s) journaled\n",
+				rec.Spec.ID, rec.Spec.Name, *journal, len(rec.Members))
+		} else {
+			jnl, err := clearinghouse.OpenJournal(*journal)
+			if err != nil {
+				log.Fatalf("clearinghouse: %v", err)
+			}
+			defer jnl.Close()
+			cfg.Journal = jnl
+		}
+	}
+	if ch == nil {
+		ch = clearinghouse.New(spec, conn, cfg)
+	}
 	go ch.Run()
 	defer ch.Stop()
 
-	fmt.Printf("clearinghouse: job %d (%s) on %s — waiting for workers\n",
-		spec.ID, spec.Name, conn.LocalAddr())
+	if !recovered {
+		fmt.Printf("clearinghouse: job %d (%s) on %s — waiting for workers\n",
+			spec.ID, spec.Name, conn.LocalAddr())
+	}
 
 	v, err := ch.WaitResult(*timeout)
 	if err != nil {

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	phishjobq [-addr :7070]
+//	phishjobq [-addr :7070] [-state jobq.wal]
+//
+// With -state, the pool is journaled to the named file: submitted jobs
+// survive a crash or restart of the queue, coming back under their
+// original ids.
 package main
 
 import (
@@ -21,9 +25,23 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "TCP address to listen on")
+	state := flag.String("state", "", "pool log file; submitted jobs survive restarts")
 	flag.Parse()
 
-	pool := jobq.NewPool()
+	var pool *jobq.Pool
+	if *state != "" {
+		var err error
+		pool, err = jobq.NewDurablePool(*state)
+		if err != nil {
+			log.Fatalf("phishjobq: %v", err)
+		}
+		defer pool.CloseStore()
+		if n := pool.Len(); n > 0 {
+			fmt.Printf("phishjobq: recovered %d pending job(s) from %s\n", n, *state)
+		}
+	} else {
+		pool = jobq.NewPool()
+	}
 	srv, err := jobq.NewServer(pool, *addr)
 	if err != nil {
 		log.Fatalf("phishjobq: %v", err)

@@ -8,6 +8,11 @@
 //
 //	phishworker -ch host:7071 -job 1 -program pfold -worker 42
 //
+// A clearinghouse outage is survivable: the worker keeps computing on
+// its own deque, re-registers with jittered exponential backoff, and
+// resyncs (re-delivering a held root result if it owns one) when a
+// recovered clearinghouse comes back on the same address.
+//
 // The exit code reports why the worker left: 0 job done, 3 reclaimed,
 // 4 retired for lack of work, 5 crashed/error.
 package main

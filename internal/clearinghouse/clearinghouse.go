@@ -28,18 +28,27 @@ type Config struct {
 	UpdateEvery time.Duration
 	// HeartbeatTimeout declares a worker crashed when nothing is heard
 	// from it for this long. Zero disables heartbeat-based detection
-	// (explicit crash notifications still work).
+	// (explicit crash notifications still work). A worker that has never
+	// sent a single heartbeat is exempt — a participant configured with
+	// heartbeats off must not be declared dead by a clearinghouse with
+	// them on.
 	HeartbeatTimeout time.Duration
+	// Journal, when non-nil, receives every control-plane state change so
+	// a restarted clearinghouse can resume the job (see journal.go).
+	Journal *Journal
 	// Clock drives the periodic behavior; nil means the system clock.
 	Clock clock.Clock
 }
 
 // DefaultConfig mirrors the paper's coarse communication granularity,
 // scaled from minutes to seconds so laptop runs exercise the same paths.
+// Heartbeat crash detection is on by default at 3× the update interval
+// (the paper's workers check in every update period; three missed periods
+// means the machine, not the network, is gone).
 func DefaultConfig() Config {
 	return Config{
 		UpdateEvery:      2 * time.Second,
-		HeartbeatTimeout: 0,
+		HeartbeatTimeout: 6 * time.Second,
 		Clock:            clock.System,
 	}
 }
@@ -50,6 +59,7 @@ type member struct {
 	info      wire.MemberInfo
 	lastHeard time.Time
 	departed  bool
+	hbSeen    bool // has ever heartbeated; gates timeout-based crash calls
 }
 
 // Clearinghouse tracks one job. Create with New, then Run (usually in a
@@ -80,6 +90,9 @@ type Clearinghouse struct {
 	restore     []wire.SnapshotReply
 	restoreRoot types.WorkerID
 
+	// Crash-recovery journal (see journal.go); nil when not journaling.
+	journal *Journal
+
 	doneCh chan struct{}
 	stopCh chan struct{}
 	ranCh  chan struct{} // closed when Run exits
@@ -92,7 +105,7 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Clearinghouse{
+	c := &Clearinghouse{
 		job:      spec.ID,
 		spec:     spec,
 		conn:     conn,
@@ -101,10 +114,15 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		members:  make(map[types.WorkerID]*member),
 		rootHost: types.NoWorker,
 		armRoot:  true,
+		journal:  cfg.Journal,
 		doneCh:   make(chan struct{}),
 		stopCh:   make(chan struct{}),
 		ranCh:    make(chan struct{}),
 	}
+	if c.journal != nil {
+		c.journal.append(&journalRecord{Kind: jSpec, Spec: spec}, true)
+	}
+	return c
 }
 
 // Run services the job until Stop is called or the job completes and all
@@ -207,7 +225,19 @@ func (c *Clearinghouse) Messages() (sent, recv int64) {
 func (c *Clearinghouse) handle(env *wire.Envelope) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if p, ok := env.Payload.(wire.PeerGone); ok {
+		// Transport-synthesized, local-only: retransmits to that worker
+		// were exhausted, so declare the crash now instead of waiting out
+		// the heartbeat timeout.
+		c.crashLocked(p.Worker)
+		return
+	}
 	c.msgsRecv++
+	// Any traffic from a live member proves it is alive; heartbeats are
+	// just the guaranteed minimum cadence.
+	if m, ok := c.members[env.From]; ok && !m.departed {
+		m.lastHeard = c.clk.Now()
+	}
 	switch p := env.Payload.(type) {
 	case wire.Register:
 		c.onRegister(p)
@@ -216,6 +246,7 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 	case wire.Heartbeat:
 		if m, ok := c.members[p.Worker]; ok {
 			m.lastHeard = c.clk.Now()
+			m.hbSeen = true
 		}
 	case wire.Arg:
 		c.onArg(p)
@@ -224,6 +255,13 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 		c.output.WriteString(p.Text)
 		if !strings.HasSuffix(p.Text, "\n") {
 			c.output.WriteByte('\n')
+		}
+		if c.journal != nil {
+			text := p.Text
+			if !strings.HasSuffix(text, "\n") {
+				text += "\n"
+			}
+			c.journal.append(&journalRecord{Kind: jIO, Text: text}, false)
 		}
 	case wire.StayRequest:
 		c.onStayRequest(p)
@@ -300,6 +338,7 @@ func (c *Clearinghouse) onRegister(p wire.Register) {
 			})
 		}
 	}
+	c.journalStateLocked()
 	c.broadcastUpdateLocked(types.NoWorker)
 }
 
@@ -348,6 +387,7 @@ func (c *Clearinghouse) onUnregister(p wire.Unregister) {
 		}
 	}
 	c.epoch++
+	c.journalStateLocked()
 	c.broadcastUpdateLocked(types.NoWorker)
 }
 
@@ -388,6 +428,7 @@ func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
 			c.armRoot = true
 		}
 	}
+	c.journalStateLocked()
 }
 
 func (c *Clearinghouse) onArg(p wire.Arg) {
@@ -400,6 +441,10 @@ func (c *Clearinghouse) onArg(p wire.Arg) {
 	}
 	c.done = true
 	c.result = p.Val
+	if c.journal != nil {
+		// The one record that must reach stable storage: the answer.
+		c.journal.append(&journalRecord{Kind: jResult, Result: p.Val}, true)
+	}
 	close(c.doneCh)
 	for id, m := range c.members {
 		if !m.departed {
@@ -480,7 +525,10 @@ func (c *Clearinghouse) checkHeartbeats() {
 	cutoff := c.clk.Now().Add(-c.cfg.HeartbeatTimeout)
 	var deadList []types.WorkerID
 	for id, m := range c.members {
-		if !m.departed && m.lastHeard.Before(cutoff) {
+		// Only workers that have actually heartbeated are subject to the
+		// timeout: silence from a worker that never sent one means "not
+		// configured to heartbeat", not "dead".
+		if !m.departed && m.hbSeen && m.lastHeard.Before(cutoff) {
 			deadList = append(deadList, id)
 		}
 	}

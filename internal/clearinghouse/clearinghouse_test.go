@@ -208,7 +208,10 @@ func TestHeartbeatTimeoutDeclaresCrash(t *testing.T) {
 	w2 := h.attach(11)
 	expect[wire.RegisterReply](t, w2, time.Second)
 
-	// w2 keeps heartbeating; w1 goes silent.
+	// w1 heartbeats once — only workers that have ever heartbeated are
+	// subject to the timeout — then goes silent; w2 keeps heartbeating.
+	h.send(w1, 10, wire.Heartbeat{Worker: 10})
+	time.Sleep(2 * time.Millisecond)
 	for i := 0; i < 6; i++ {
 		if !clk.BlockUntilWaiters(1, time.Second) {
 			t.Fatal("clearinghouse never armed its heartbeat check")

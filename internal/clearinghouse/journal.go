@@ -1,0 +1,238 @@
+package clearinghouse
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"phish/internal/phishnet"
+	"phish/internal/types"
+	"phish/internal/wal"
+	"phish/internal/wire"
+)
+
+// The journal is the clearinghouse's crash-survivable memory: an
+// append-only log (internal/wal framing, gob bodies — the same
+// serialization as checkpoint.go) holding the job spec, a full
+// control-plane snapshot after every membership change, the application
+// output, and the root result. The control-plane state is tiny — member
+// table, root location, epoch, any undistributed restore bundles — so
+// snapshotting it whole on each (rare) change is cheaper and far less
+// error-prone than replaying semantic events.
+//
+// Recovery (ReplayJournal + NewFromRecovery) rebuilds the clearinghouse
+// from the last intact records; a torn tail from the crash is discarded by
+// the wal layer. Workers are NOT assumed alive: each recovered member gets
+// lastHeard = now and the heartbeat machinery re-establishes the truth —
+// survivors re-register (their transport noticed the outage) and keep
+// heartbeating, while a worker that died during the outage times out and
+// is declared crashed, triggering the ordinary redo path.
+
+// Journal record kinds.
+const (
+	jSpec = iota + 1
+	jState
+	jResult
+	jIO
+)
+
+// journalMember is one row of the persisted membership table.
+type journalMember struct {
+	Info     wire.MemberInfo
+	Departed bool
+}
+
+// journalRecord is the single wal record type; Kind selects which fields
+// are meaningful.
+type journalRecord struct {
+	Kind int
+
+	// jSpec
+	Spec wire.JobSpec
+
+	// jState — the full control-plane snapshot after a membership change.
+	Members     []journalMember
+	RootHost    types.WorkerID
+	ArmRoot     bool
+	Epoch       uint64
+	Restore     []wire.SnapshotReply
+	RestoreRoot types.WorkerID
+
+	// jResult
+	Result types.Value
+
+	// jIO
+	Text string
+}
+
+// Journal appends clearinghouse state changes to a file. Writes are
+// best-effort with a sticky error: a failing disk degrades durability, not
+// the running job.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. The same path may be reopened after a crash; records from
+// every incarnation replay as one log.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("clearinghouse: open journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// append writes one record; sync additionally flushes it to stable
+// storage (used for records that must survive — state and result).
+func (j *Journal) append(rec *journalRecord, sync bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil || j.err != nil {
+		return
+	}
+	if err := wal.Append(j.f, rec); err != nil {
+		j.err = err
+		return
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.err = err
+		}
+	}
+}
+
+// RecoveredJob is the state rebuilt from a journal by ReplayJournal.
+type RecoveredJob struct {
+	Spec        wire.JobSpec
+	Members     []journalMember
+	RootHost    types.WorkerID
+	ArmRoot     bool
+	Epoch       uint64
+	Restore     []wire.SnapshotReply
+	RestoreRoot types.WorkerID
+	Done        bool
+	Result      types.Value
+	Output      string
+	IOLines     int64
+}
+
+// ReplayJournal reads the journal at path and folds its records into the
+// latest recovered state. It fails only if the file cannot be read or
+// holds no job spec (nothing to recover).
+func ReplayJournal(path string) (*RecoveredJob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("clearinghouse: replay journal: %w", err)
+	}
+	defer f.Close()
+	rec := &RecoveredJob{RootHost: types.NoWorker, RestoreRoot: types.NoWorker, ArmRoot: true}
+	haveSpec := false
+	err = wal.Replay(f, func(r *journalRecord) error {
+		switch r.Kind {
+		case jSpec:
+			rec.Spec = r.Spec
+			haveSpec = true
+		case jState:
+			rec.Members = r.Members
+			rec.RootHost = r.RootHost
+			rec.ArmRoot = r.ArmRoot
+			rec.Epoch = r.Epoch
+			rec.Restore = r.Restore
+			rec.RestoreRoot = r.RestoreRoot
+		case jResult:
+			rec.Done = true
+			rec.Result = r.Result
+		case jIO:
+			rec.Output += r.Text
+			rec.IOLines++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !haveSpec {
+		return nil, fmt.Errorf("clearinghouse: journal %s holds no job spec", path)
+	}
+	return rec, nil
+}
+
+// NewFromRecovery builds a clearinghouse that resumes the journaled job.
+// The epoch is bumped past the journaled value so surviving workers (whose
+// views carry the old epoch) accept the recovered views as fresh.
+// Recovered live members are treated as heartbeat-known: whether each
+// survived the outage is re-established by the heartbeat timeout, so a
+// worker that died while the clearinghouse was down is declared crashed
+// and its work redone. cfg.Journal should be a freshly opened journal on
+// the same path so the recovered incarnation keeps appending.
+func NewFromRecovery(rec *RecoveredJob, conn phishnet.Conn, cfg Config) *Clearinghouse {
+	c := New(rec.Spec, conn, cfg)
+	now := c.clk.Now()
+	for _, jm := range rec.Members {
+		m := &member{info: jm.Info, lastHeard: now, departed: jm.Departed, hbSeen: true}
+		c.members[jm.Info.Worker] = m
+		if !jm.Departed && jm.Info.Addr != "" {
+			conn.SetPeer(jm.Info.Worker, jm.Info.Addr)
+		}
+	}
+	c.epoch = rec.Epoch + 1
+	c.rootHost = rec.RootHost
+	c.armRoot = rec.ArmRoot
+	c.restore = append([]wire.SnapshotReply(nil), rec.Restore...)
+	c.restoreRoot = rec.RestoreRoot
+	c.output.WriteString(rec.Output)
+	c.ioLines = rec.IOLines
+	if rec.Done {
+		c.done = true
+		c.result = rec.Result
+		close(c.doneCh)
+	}
+	return c
+}
+
+// journalStateLocked snapshots the control-plane state into the journal
+// (no-op without one). Called with c.mu held after every mutation of the
+// member table, root location, or restore bundles.
+func (c *Clearinghouse) journalStateLocked() {
+	if c.journal == nil {
+		return
+	}
+	rec := &journalRecord{
+		Kind:        jState,
+		RootHost:    c.rootHost,
+		ArmRoot:     c.armRoot,
+		Epoch:       c.epoch,
+		Restore:     c.restore,
+		RestoreRoot: c.restoreRoot,
+	}
+	for _, m := range c.members {
+		rec.Members = append(rec.Members, journalMember{Info: m.info, Departed: m.departed})
+	}
+	c.journal.append(rec, true)
+}

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -44,15 +45,29 @@ type Options struct {
 	JM jobmanager.Config
 	// Latency injects one-way message latency on each job's fabric.
 	Latency time.Duration
+	// StateDir, when non-empty, makes the control plane durable: the
+	// PhishJobQ pool is backed by StateDir/jobq.wal and each job's
+	// clearinghouse journals to StateDir/job-<id>.jnl. Durability is what
+	// enables the crash fault injectors — Job.CrashClearinghouse /
+	// RestartClearinghouse and Cluster.StopJobQ / RestartJobQ.
+	StateDir string
+	// Faults, when non-nil, interposes deterministic fault injection
+	// (drop/duplicate/delay/partition) on every job's fabric. Each job's
+	// Faults instance is seeded Seed+jobID, so jobs get independent but
+	// reproducible fault streams; reach it via Job.Faults for dynamic
+	// partitions.
+	Faults *phishnet.FaultPlan
 }
 
 // Cluster is the simulated NOW.
 type Cluster struct {
 	opts Options
 	clk  clock.Clock
-	pool *jobq.Pool
 
 	mu       sync.Mutex
+	pool     *jobq.Pool
+	poolPath string // non-empty when the pool is durable
+	poolDown bool   // StopJobQ was called; requests fail until restart
 	jobs     map[types.JobID]*Job
 	stations []*Workstation
 	closed   bool
@@ -66,7 +81,15 @@ type Job struct {
 	cluster *Cluster
 	prog    *core.Program
 	fabric  *phishnet.Fabric
+	faults  *phishnet.Faults // nil without Options.Faults
+
+	// The clearinghouse can be crashed and a recovered incarnation swapped
+	// in (CrashClearinghouse/RestartClearinghouse); chMu guards the swap.
+	chMu    sync.Mutex
 	ch      *clearinghouse.Clearinghouse
+	chPort  *phishnet.Port
+	journal *clearinghouse.Journal // nil without Options.StateDir
+	jnlPath string
 
 	mu      sync.Mutex
 	workers map[types.WorkerID]*core.Worker // every participant ever
@@ -98,16 +121,61 @@ func New(opts Options) *Cluster {
 	if opts.JM.Clock == nil {
 		opts.JM.Clock = opts.Clock
 	}
-	return &Cluster{
+	c := &Cluster{
 		opts: opts,
 		clk:  opts.Clock,
 		pool: jobq.NewPool(),
 		jobs: make(map[types.JobID]*Job),
 	}
+	if opts.StateDir != "" {
+		c.poolPath = filepath.Join(opts.StateDir, "jobq.wal")
+		pool, err := jobq.NewDurablePool(c.poolPath)
+		if err != nil {
+			// The cluster is a test harness; an unusable StateDir is a
+			// harness misconfiguration, surfaced like a duplicate Attach.
+			panic(fmt.Sprintf("cluster: durable pool: %v", err))
+		}
+		c.pool = pool
+	}
+	return c
 }
 
-// Pool exposes the PhishJobQ pool (diagnostics and tests).
-func (c *Cluster) Pool() *jobq.Pool { return c.pool }
+// Pool exposes the current PhishJobQ pool (diagnostics and tests). Note
+// that RestartJobQ replaces the pool instance when it is durable.
+func (c *Cluster) Pool() *jobq.Pool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pool
+}
+
+// StopJobQ simulates a PhishJobQ process crash: job requests start
+// failing (JobManagers count them as SourceErrors and keep polling on
+// their ordinary cadence) and the durable pool's log is closed, as a dead
+// process's would be.
+func (c *Cluster) StopJobQ() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.poolDown = true
+	_ = c.pool.CloseStore()
+}
+
+// RestartJobQ brings the PhishJobQ back up. With a StateDir the pool is
+// rebuilt from its on-disk log — exactly what a restarted phishjobq
+// process does — so submitted jobs and their ids survive the outage;
+// without one, the in-memory pool simply resumes.
+func (c *Cluster) RestartJobQ() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.poolPath != "" {
+		pool, err := jobq.NewDurablePool(c.poolPath)
+		if err != nil {
+			return err
+		}
+		c.pool = pool
+	}
+	c.poolDown = false
+	return nil
+}
 
 // Submit places a job in the PhishJobQ. Idle workstations will pick it up;
 // nothing runs until one does (start a workstation with an always-idle
@@ -129,7 +197,27 @@ func (c *Cluster) Submit(prog *core.Program, rootFn string, rootArgs []types.Val
 	if c.opts.Latency > 0 {
 		fab.SetLatency(c.opts.Latency)
 	}
-	ch := clearinghouse.New(spec, fab.Attach(types.ClearinghouseID), c.opts.CH)
+	var faults *phishnet.Faults
+	if c.opts.Faults != nil {
+		plan := *c.opts.Faults
+		plan.Seed += int64(id)
+		faults = phishnet.NewFaults(plan)
+		fab.SetFaults(faults)
+	}
+	chCfg := c.opts.CH
+	var jnl *clearinghouse.Journal
+	jnlPath := ""
+	if c.opts.StateDir != "" {
+		jnlPath = filepath.Join(c.opts.StateDir, fmt.Sprintf("job-%d.jnl", id))
+		var err error
+		jnl, err = clearinghouse.OpenJournal(jnlPath)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: clearinghouse journal: %v", err))
+		}
+		chCfg.Journal = jnl
+	}
+	port := fab.Attach(types.ClearinghouseID)
+	ch := clearinghouse.New(spec, port, chCfg)
 	go ch.Run()
 
 	j := &Job{
@@ -138,18 +226,49 @@ func (c *Cluster) Submit(prog *core.Program, rootFn string, rootArgs []types.Val
 		cluster: c,
 		prog:    prog,
 		fabric:  fab,
+		faults:  faults,
 		ch:      ch,
+		chPort:  port,
+		journal: jnl,
+		jnlPath: jnlPath,
 		workers: make(map[types.WorkerID]*core.Worker),
 		started: time.Now(),
 	}
 	c.jobs[id] = j
-	// Retire the job from the pool the moment its result is in.
+	// Retire the job from the pool the moment its result is in. The wait
+	// polls so it survives clearinghouse restarts, and the Done retries
+	// through PhishJobQ outages — a finished job must leave the (possibly
+	// restarted) pool, or idle workstations would keep joining it.
 	go func() {
-		if _, err := ch.WaitResult(0); err == nil {
-			c.pool.Done(id)
+		for {
+			if _, err := j.Wait(100 * time.Millisecond); err == nil {
+				break
+			}
+			if c.isClosed() {
+				return
+			}
+		}
+		for {
+			c.mu.Lock()
+			pool, down, closed := c.pool, c.poolDown, c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			if !down {
+				pool.Done(id)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}()
 	return j
+}
+
+func (c *Cluster) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // AddWorkstation adds a machine whose owner follows policy and starts its
@@ -158,7 +277,7 @@ func (c *Cluster) AddWorkstation(policy jobmanager.Policy) *Workstation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := types.WorkstationID(len(c.stations) + 1)
-	mgr := jobmanager.New(id, policy, poolSource{c.pool}, &runner{c: c}, c.opts.JM)
+	mgr := jobmanager.New(id, policy, poolSource{c}, &runner{c: c}, c.opts.JM)
 	ws := &Workstation{ID: id, mgr: mgr}
 	c.stations = append(c.stations, ws)
 	go mgr.Run()
@@ -189,24 +308,103 @@ func (c *Cluster) Close() {
 		ws.Stop()
 	}
 	for _, j := range jobs {
+		j.chMu.Lock()
 		j.ch.Stop()
+		if j.journal != nil {
+			_ = j.journal.Close()
+		}
+		j.chMu.Unlock()
 		j.fabric.Close()
 	}
 }
 
-// Wait blocks until the job's result arrives.
+// clearinghouse returns the job's current clearinghouse incarnation.
+func (j *Job) clearinghouse() *clearinghouse.Clearinghouse {
+	j.chMu.Lock()
+	defer j.chMu.Unlock()
+	return j.ch
+}
+
+// Faults returns the job's fault injector (nil without Options.Faults).
+func (j *Job) Faults() *phishnet.Faults { return j.faults }
+
+// Wait blocks until the job's result arrives. It polls the current
+// clearinghouse in short steps rather than parking on one incarnation, so
+// a wait in flight survives CrashClearinghouse/RestartClearinghouse.
 func (j *Job) Wait(timeout time.Duration) (types.Value, error) {
-	return j.ch.WaitResult(timeout)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		step := 50 * time.Millisecond
+		if timeout > 0 {
+			left := time.Until(deadline)
+			if left <= 0 {
+				return nil, fmt.Errorf("cluster: job %d: no result after %v", j.ID, timeout)
+			}
+			if left < step {
+				step = left
+			}
+		}
+		if v, err := j.clearinghouse().WaitResult(step); err == nil {
+			return v, nil
+		}
+	}
 }
 
 // Done reports whether the job has completed.
-func (j *Job) Done() bool { return j.ch.Done() }
+func (j *Job) Done() bool { return j.clearinghouse().Done() }
 
 // Output returns the job's clearinghouse-buffered output.
-func (j *Job) Output() string { return j.ch.Output() }
+func (j *Job) Output() string { return j.clearinghouse().Output() }
 
 // LiveWorkers lists currently participating worker ids.
-func (j *Job) LiveWorkers() []types.WorkerID { return j.ch.LiveWorkers() }
+func (j *Job) LiveWorkers() []types.WorkerID { return j.clearinghouse().LiveWorkers() }
+
+// CrashClearinghouse kills the job's clearinghouse abruptly (fault
+// injection): no shutdown messages, the fabric port detaches so worker
+// traffic to it fails, and the journal file is closed the way a dead
+// process's would be. Workers notice the send failures and enter their
+// jittered re-register loop until RestartClearinghouse brings one back.
+func (j *Job) CrashClearinghouse() {
+	j.chMu.Lock()
+	defer j.chMu.Unlock()
+	j.ch.Stop()
+	_ = j.chPort.Close()
+	if j.journal != nil {
+		_ = j.journal.Close()
+	}
+}
+
+// RestartClearinghouse replays the journal and swaps in a recovered
+// clearinghouse incarnation — the simulated equivalent of restarting the
+// process on the same host. Re-registering workers resync against the
+// recovered membership; a worker that died during the outage is declared
+// crashed by the heartbeat timeout and its work redone. Requires
+// Options.StateDir (the journal is what recovery reads).
+func (j *Job) RestartClearinghouse() error {
+	j.chMu.Lock()
+	defer j.chMu.Unlock()
+	if j.jnlPath == "" {
+		return fmt.Errorf("cluster: job %d has no journal (set Options.StateDir)", j.ID)
+	}
+	rec, err := clearinghouse.ReplayJournal(j.jnlPath)
+	if err != nil {
+		return err
+	}
+	jnl, err := clearinghouse.OpenJournal(j.jnlPath)
+	if err != nil {
+		return err
+	}
+	cfg := j.cluster.opts.CH
+	cfg.Journal = jnl
+	port := j.fabric.Attach(types.ClearinghouseID)
+	ch := clearinghouse.NewFromRecovery(rec, port, cfg)
+	go ch.Run()
+	j.ch, j.chPort, j.journal = ch, port, jnl
+	return nil
+}
 
 // WorkerStats snapshots every participant the job ever had.
 func (j *Job) WorkerStats() []stats.Snapshot {
@@ -235,11 +433,20 @@ func (j *Job) Crash(id types.WorkerID) bool {
 	return true
 }
 
-// poolSource adapts the in-process pool to the manager's JobSource.
-type poolSource struct{ pool *jobq.Pool }
+// poolSource adapts the in-process pool to the manager's JobSource. It
+// goes through the cluster on every request so it tracks pool swaps
+// (RestartJobQ) and surfaces an error while the PhishJobQ is down — the
+// managers treat that as "busy, poll later".
+type poolSource struct{ c *Cluster }
 
 func (s poolSource) Request(types.WorkstationID) (wire.JobSpec, bool, error) {
-	spec, ok := s.pool.Request()
+	s.c.mu.Lock()
+	pool, down := s.c.pool, s.c.poolDown
+	s.c.mu.Unlock()
+	if down {
+		return wire.JobSpec{}, false, fmt.Errorf("cluster: jobq is down")
+	}
+	spec, ok := pool.Request()
 	return spec, ok, nil
 }
 

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/idlesim"
+	"phish/internal/phishnet"
+)
+
+// recoveryOpts is fastOpts plus a StateDir (durable control plane) and a
+// fixed-seed fault plan: duplicated and delay-jittered (hence reordered)
+// messages on every job's fabric. Drops are exercised at the UDP layer,
+// which retransmits; the in-memory fabric is a reliable transport, so the
+// cluster tests inject the failure modes a reliable link can still show.
+func recoveryOpts(t *testing.T, seed int64) Options {
+	t.Helper()
+	opts := fastOpts()
+	opts.StateDir = t.TempDir()
+	opts.Faults = &phishnet.FaultPlan{
+		Seed:        seed,
+		Duplicate:   0.05,
+		Delay:       300 * time.Microsecond,
+		DelayJitter: 300 * time.Microsecond,
+	}
+	return opts
+}
+
+// TestClearinghouseCrashRestart kills the clearinghouse mid-job and
+// restarts it from its journal. The workers re-register against the
+// recovered incarnation and the job must finish with the exact fault-free
+// answer; conservation says no spawned task may be lost (redo races can
+// only duplicate work).
+func TestClearinghouseCrashRestart(t *testing.T) {
+	const fibN = 27
+	c := New(recoveryOpts(t, 12345))
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(fibN))
+
+	// Let the computation spread, then pull the rug out.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(j.LiveWorkers()) < 2 && !j.Done() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	j.CrashClearinghouse()
+	// An outage window: workers keep computing, their clearinghouse sends
+	// fail, and the re-register loops arm with backed-off retries.
+	time.Sleep(150 * time.Millisecond)
+	if err := j.RestartClearinghouse(); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := j.Wait(120 * time.Second)
+	if err != nil {
+		t.Fatalf("job never finished after clearinghouse restart: %v", err)
+	}
+	if got, want := v.(int64), fib.Serial(fibN); got != want {
+		t.Errorf("fib(%d) = %d, want %d (recovery corrupted the answer)", fibN, got, want)
+	}
+	if got, want := j.Totals().TasksExecuted, fib.TaskCount(fibN); got < want {
+		t.Errorf("tasks executed = %d < %d; the outage lost work", got, want)
+	}
+}
+
+// TestClearinghouseCrashAfterResult loses the clearinghouse while the root
+// result may be in flight; the worker retains its result and re-delivers
+// on recovery, so the answer must come out regardless of where the crash
+// landed relative to the journaled result record.
+func TestClearinghouseCrashAfterResult(t *testing.T) {
+	c := New(recoveryOpts(t, 777))
+	defer c.Close()
+	c.AddWorkstation(idlesim.Always{})
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(18))
+	if _, err := j.Wait(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	j.CrashClearinghouse()
+	if err := j.RestartClearinghouse(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := j.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatalf("finished job lost its result across a restart: %v", err)
+	}
+	if got, want := v.(int64), fib.Serial(18); got != want {
+		t.Errorf("recovered result = %d, want %d", got, want)
+	}
+}
+
+// TestJobQRestartMidRun takes the PhishJobQ down with a submitted job in
+// the pool. JobManagers must treat the outage as "busy, poll later"
+// (counted as SourceErrors), and the restarted pool — rebuilt from its
+// on-disk log — must hand the job out so it runs to the right answer and
+// is retired from the pool.
+func TestJobQRestartMidRun(t *testing.T) {
+	const fibN = 24
+	c := New(recoveryOpts(t, 424242))
+	defer c.Close()
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(fibN))
+	c.StopJobQ()
+
+	stations := make([]*Workstation, 3)
+	for i := range stations {
+		stations[i] = c.AddWorkstation(idlesim.Always{})
+	}
+	// Every manager polls into the outage and counts it, without dying.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var errs int64
+		for _, ws := range stations {
+			errs += ws.Stats().SourceErrors.Load()
+		}
+		if errs >= int64(len(stations)) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, ws := range stations {
+		if ws.Stats().SourceErrors.Load() == 0 {
+			t.Fatal("a manager never saw the outage; is it polling?")
+		}
+		if ws.Stats().JobsStarted.Load() != 0 {
+			t.Fatal("a manager started a job while the PhishJobQ was down")
+		}
+	}
+	if j.Done() {
+		t.Fatal("job ran with no workstation granted")
+	}
+
+	if err := c.RestartJobQ(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered pool must still hold the job under its original id.
+	if jobs := c.Pool().List(); len(jobs) != 1 || jobs[0].ID != j.ID {
+		t.Fatalf("recovered pool = %+v, want job %d", jobs, j.ID)
+	}
+	v, err := j.Wait(120 * time.Second)
+	if err != nil {
+		t.Fatalf("job never ran after the PhishJobQ restart: %v", err)
+	}
+	if got, want := v.(int64), fib.Serial(fibN); got != want {
+		t.Errorf("fib(%d) = %d, want %d", fibN, got, want)
+	}
+	// The retire loop polled through the outage; the pool must drain.
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Pool().Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := c.Pool().Len(); n != 0 {
+		t.Errorf("finished job never retired from the pool (%d left)", n)
+	}
+}

@@ -112,7 +112,10 @@ type Config struct {
 	RetryUnsent time.Duration
 
 	// HeartbeatEvery is the interval between heartbeats to the
-	// clearinghouse. Zero disables heartbeats (no crash detection).
+	// clearinghouse. Zero disables heartbeats (explicit opt-out of crash
+	// detection); the default sends one every 2 s — the paper's
+	// clearinghouse-update interval — so the default clearinghouse
+	// HeartbeatTimeout (3×) can declare crashes out of the box.
 	HeartbeatEvery time.Duration
 
 	// LocalOrder, StealFrom, and Victim select the scheduling discipline.
@@ -144,7 +147,7 @@ func DefaultConfig() Config {
 		StealTimeout:     200 * time.Millisecond,
 		StealBackoff:     250 * time.Microsecond,
 		RetryUnsent:      20 * time.Millisecond,
-		HeartbeatEvery:   0,
+		HeartbeatEvery:   2 * time.Second,
 		LocalOrder:       LIFO,
 		StealFrom:        StealTail,
 		Victim:           RandomVictim,

@@ -73,6 +73,17 @@ type Worker struct {
 	registered  bool
 	shutdownMsg bool
 	paused      bool
+
+	// Clearinghouse-loss recovery: when the clearinghouse is unreachable
+	// the worker keeps computing and re-registers with jittered exponential
+	// backoff until a (possibly restarted) clearinghouse answers. The last
+	// root result is retained so it can be re-sent after a reconnect — the
+	// clearinghouse deduplicates, so a crash between receiving the result
+	// and persisting it loses nothing.
+	chDown     bool
+	chWait     time.Duration
+	chNextTry  time.Time
+	rootResult *wire.Arg
 	msgSentTo   map[types.WorkerID]int64
 	msgRecvFr   map[types.WorkerID]int64
 	migrateAck  bool
@@ -252,6 +263,81 @@ func (w *Worker) register() error {
 	return fmt.Errorf("core: worker %d could not register with clearinghouse", w.id)
 }
 
+// Re-register backoff bounds: fast enough that a restarted clearinghouse
+// is rediscovered promptly, slow enough (after a few doublings) that a
+// long outage costs a trickle of tiny datagrams.
+const (
+	chReRegisterBase = 25 * time.Millisecond
+	chReRegisterCap  = 2 * time.Second
+)
+
+// jitterBackoff scales d by a uniform factor in [0.75, 1.25) so a herd of
+// workers that lost the same clearinghouse does not retry in lockstep.
+func (w *Worker) jitterBackoff(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.75 + 0.5*w.rng.Float64()))
+}
+
+// noteCHDown flags the clearinghouse as unreachable and arms the first
+// re-register attempt. Idempotent while already down. The worker keeps
+// computing and stealing throughout — only the control plane is gone.
+func (w *Worker) noteCHDown() {
+	if w.chDown || w.shutdownMsg {
+		return
+	}
+	w.chDown = true
+	w.chWait = chReRegisterBase
+	w.chNextTry = time.Now().Add(w.jitterBackoff(w.chWait))
+}
+
+// maybeReRegister drives the re-register loop while the clearinghouse is
+// unreachable: one Register per backoff interval, doubling with jitter up
+// to the cap, until some clearinghouse — typically a restarted one that
+// replayed its journal — answers with a RegisterReply.
+func (w *Worker) maybeReRegister() {
+	if !w.chDown {
+		return
+	}
+	now := time.Now()
+	if now.Before(w.chNextTry) {
+		return
+	}
+	_ = w.sendTo(types.ClearinghouseID, wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site})
+	w.chWait *= 2
+	if w.chWait > chReRegisterCap {
+		w.chWait = chReRegisterCap
+	}
+	w.chNextTry = now.Add(w.jitterBackoff(w.chWait))
+}
+
+// chRecovered clears the down state once the clearinghouse answers. The
+// retained root result is re-sent: a restarted clearinghouse may have
+// crashed before persisting it, and it deduplicates if not.
+func (w *Worker) chRecovered() {
+	w.chDown = false
+	w.chWait = 0
+	if w.rootResult != nil {
+		a := *w.rootResult
+		if err := w.sendTo(types.ClearinghouseID, a); err != nil {
+			w.unsent = append(w.unsent, a)
+		}
+	}
+}
+
+// onPeerGone handles a transport death notice (retransmits to the peer
+// were exhausted). For the clearinghouse, enter the re-register loop; for
+// any other peer, treat the victim as gone exactly as if the
+// clearinghouse had announced the crash — its own announcement usually
+// follows and both paths are idempotent.
+func (w *Worker) onPeerGone(peer types.WorkerID) {
+	if peer == types.ClearinghouseID {
+		if w.registered {
+			w.noteCHDown()
+		}
+		return
+	}
+	w.onWorkerDown(peer)
+}
+
 func (w *Worker) heartbeatLoop() {
 	for {
 		select {
@@ -275,6 +361,7 @@ func (w *Worker) loop() {
 		}
 		w.drainAll()
 		w.retryUnsent(false)
+		w.maybeReRegister()
 		if w.shutdownMsg || w.crashReq.Load() {
 			return
 		}
@@ -493,9 +580,18 @@ func (w *Worker) drainOne(d time.Duration) {
 
 // handle dispatches one inbound message.
 func (w *Worker) handle(env *wire.Envelope) {
+	if p, ok := env.Payload.(wire.PeerGone); ok {
+		// Transport-synthesized and local-only: keep it out of the message
+		// accounting (the checkpoint quiesce balances sent/received
+		// matrices, and nobody "sent" this).
+		w.onPeerGone(p.Worker)
+		return
+	}
 	w.counters.MessagesReceived.Add(1)
 	if env.From != types.ClearinghouseID {
 		w.msgRecvFr[env.From]++
+	} else if w.chDown {
+		w.chRecovered()
 	}
 	switch p := env.Payload.(type) {
 	case wire.RegisterReply:
@@ -704,6 +800,11 @@ func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
 	case host == types.NoWorker:
 		w.orphanDrops.Add(1)
 	default:
+		if host == types.ClearinghouseID {
+			// The root result. Retain a copy for re-send after a
+			// clearinghouse restart; the clearinghouse deduplicates.
+			w.rootResult = &wire.Arg{Cont: cont, Val: v, Crossed: true}
+		}
 		if err := w.sendTo(host, wire.Arg{Cont: cont, Val: v, Crossed: true}); err != nil {
 			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: true})
 		}
@@ -1170,6 +1271,9 @@ func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) 
 func (w *Worker) sendTo(to types.WorkerID, payload any) error {
 	env := &wire.Envelope{Job: w.job, From: w.id, To: to, Payload: payload}
 	if err := w.conn.Send(env); err != nil {
+		if to == types.ClearinghouseID && w.registered {
+			w.noteCHDown()
+		}
 		return err
 	}
 	w.counters.MessagesSent.Add(1)

@@ -118,6 +118,11 @@ type Stats struct {
 	Retired atomic.Int64
 	// EmptyPolls counts job requests that found the pool empty.
 	EmptyPolls atomic.Int64
+	// SourceErrors counts job requests that failed outright (PhishJobQ
+	// unreachable). The manager treats these like an empty pool — the
+	// PhishJobQ is "busy, poll later" — and retries on the same cadence,
+	// so a restarted queue picks the workstation right back up.
+	SourceErrors atomic.Int64
 }
 
 // workerIDStride spaces worker ids so that a workstation can start up to
@@ -193,7 +198,13 @@ func (m *Manager) Run() {
 		}
 		spec, ok, err := m.src.Request(m.ws)
 		if err != nil || !ok {
-			m.stats.EmptyPolls.Add(1)
+			// An unreachable PhishJobQ is not fatal — it is "busy, poll
+			// later", same as an empty pool, just counted apart.
+			if err != nil {
+				m.stats.SourceErrors.Add(1)
+			} else {
+				m.stats.EmptyPolls.Add(1)
+			}
 			if !m.sleep(m.cfg.IdleRetry) {
 				return
 			}

@@ -60,6 +60,7 @@ type Pool struct {
 	policy Policy
 	next   int
 	nextID types.JobID
+	store  *store // disk backing; nil for in-memory pools (see store.go)
 }
 
 // NewPool returns an empty round-robin pool.
@@ -96,6 +97,7 @@ func (p *Pool) Submit(spec wire.JobSpec) types.JobID {
 	spec.ID = p.nextID
 	p.nextID++
 	p.jobs = append(p.jobs, spec)
+	p.appendLocked(&storeRecord{Kind: sSubmit, Spec: spec, NextID: p.nextID})
 	return spec.ID
 }
 
@@ -111,6 +113,7 @@ func (p *Pool) Done(id types.JobID) {
 			if p.next > i {
 				p.next--
 			}
+			p.appendLocked(&storeRecord{Kind: sDone, ID: id})
 			return
 		}
 	}

@@ -1,8 +1,8 @@
 package jobq
 
 import (
-	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -114,17 +114,51 @@ func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
 	return &wire.Envelope{Payload: payload}
 }
 
+// ClientConfig tunes a Client's patience. The zero value means defaults.
+type ClientConfig struct {
+	// Timeout bounds each dial and each request round trip (default 5 s).
+	Timeout time.Duration
+	// Retries is how many attempts one call makes before giving up
+	// (default 4). Each attempt redials if the connection went stale.
+	Retries int
+	// RetryBase is the pause before the second attempt; it doubles per
+	// attempt, jittered ±25%, capped at 16× (default 100 ms). The backoff
+	// keeps a herd of JobManagers that all lost the PhishJobQ from
+	// hammering it the instant it restarts.
+	RetryBase time.Duration
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	return cfg
+}
+
 // Client talks to a jobq Server. Each call dials lazily and reuses the
-// connection; on error the connection is dropped and redialed next call.
+// connection; on error the connection is dropped and the call retries on
+// a fresh one with exponential backoff.
 type Client struct {
 	addr string
+	cfg  ClientConfig
 	mu   sync.Mutex
 	conn net.Conn
 	fr   *wire.FrameReader
 }
 
-// NewClient returns a client of the server at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+// NewClient returns a client of the server at addr with default timeouts.
+func NewClient(addr string) *Client { return NewClientWith(addr, ClientConfig{}) }
+
+// NewClientWith returns a client with explicit timeout/retry tuning.
+func NewClientWith(addr string, cfg ClientConfig) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
 
 // Close drops the connection.
 func (c *Client) Close() error {
@@ -141,28 +175,41 @@ func (c *Client) Close() error {
 func (c *Client) call(payload any) (*wire.Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
+	var lastErr error
+	wait := c.cfg.RetryBase
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			// Jittered exponential backoff between attempts.
+			time.Sleep(time.Duration(float64(wait) * (0.75 + 0.5*rand.Float64())))
+			if wait < 16*c.cfg.RetryBase {
+				wait *= 2
+			}
+		}
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+			conn, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
 			if err != nil {
-				return nil, fmt.Errorf("jobq: dial %q: %w", c.addr, err)
+				lastErr = err
+				continue
 			}
 			c.conn = conn
 			c.fr = wire.NewFrameReader(conn)
 		}
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 		err := wire.WriteFrame(c.conn, &wire.Envelope{Payload: payload})
 		if err == nil {
 			var reply *wire.Envelope
 			reply, err = c.fr.Next()
 			if err == nil {
+				_ = c.conn.SetDeadline(time.Time{})
 				return reply, nil
 			}
 		}
-		// Stale connection; retry once on a fresh one.
+		// Stale connection; retry on a fresh one.
+		lastErr = err
 		_ = c.conn.Close()
 		c.conn, c.fr = nil, nil
 	}
-	return nil, errors.New("jobq: request failed after reconnect")
+	return nil, fmt.Errorf("jobq: request failed after %d attempts: %w", c.cfg.Retries, lastErr)
 }
 
 // Request asks for a job assignment.

@@ -1,0 +1,191 @@
+package jobq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"phish/internal/types"
+	"phish/internal/wal"
+	"phish/internal/wire"
+)
+
+// Durable pool storage: a snapshot+WAL in one append-only file
+// (internal/wal framing). The file starts with a snapshot of the whole
+// pool; each Submit and Done appends a delta; when the deltas pile up the
+// file is compacted back to a single snapshot (written to a temp file and
+// renamed into place, so a crash mid-compaction leaves the old log
+// intact). Replaying snapshot-then-deltas rebuilds the pool a restarted
+// PhishJobQ serves — submitted jobs and their ids survive the restart, so
+// JobManagers polling through the outage resume exactly where they were.
+//
+// Grant counts (fairness bookkeeping for the LeastServed policy) are
+// deliberately not persisted: they influence only which job an idle
+// workstation is handed next, and restarting the rotation is harmless.
+
+// store record kinds.
+const (
+	sSnapshot = iota + 1
+	sSubmit
+	sDone
+)
+
+// storeRecord is the single wal record type; Kind selects the fields.
+type storeRecord struct {
+	Kind   int
+	Jobs   []wire.JobSpec // sSnapshot
+	NextID types.JobID    // sSnapshot, sSubmit (value after the submit)
+	Policy int            // sSnapshot
+	Spec   wire.JobSpec   // sSubmit, with its assigned ID
+	ID     types.JobID    // sDone
+}
+
+// compactEvery bounds how many delta records accumulate before the log is
+// rewritten as one snapshot.
+const compactEvery = 256
+
+// store is the pool's disk backing. All methods are called with the
+// owning Pool's mutex held; errors are sticky and degrade the pool to
+// in-memory operation rather than failing requests.
+type store struct {
+	f    *os.File
+	path string
+	recs int // records appended since the last snapshot
+	err  error
+}
+
+// NewDurablePool opens (or creates) the pool log at path and replays it.
+// The returned pool persists every Submit and Done.
+func NewDurablePool(path string) (*Pool, error) {
+	p := NewPool()
+	if f, err := os.Open(path); err == nil {
+		replayErr := wal.Replay(f, func(r *storeRecord) error {
+			switch r.Kind {
+			case sSnapshot:
+				p.jobs = r.Jobs
+				p.nextID = r.NextID
+				p.policy = Policy(r.Policy)
+				p.next = 0
+			case sSubmit:
+				p.jobs = append(p.jobs, r.Spec)
+				p.nextID = r.NextID
+			case sDone:
+				for i, j := range p.jobs {
+					if j.ID == r.ID {
+						p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+						break
+					}
+				}
+			}
+			return nil
+		})
+		_ = f.Close()
+		if replayErr != nil {
+			return nil, fmt.Errorf("jobq: replay %s: %w", path, replayErr)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobq: open pool log: %w", err)
+	}
+	st := &store{path: path}
+	p.store = st
+	// Compact on open: collapses any delta tail into one fresh snapshot
+	// and leaves the file open for appending.
+	if err := p.compactLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CloseStore flushes and closes the pool's disk backing (no-op for pools
+// without one). The pool keeps working in memory afterwards; reopen with
+// NewDurablePool to resume from disk.
+func (p *Pool) CloseStore() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.store == nil || p.store.f == nil {
+		return nil
+	}
+	err := p.store.f.Close()
+	p.store.f = nil
+	return err
+}
+
+// StoreErr reports the sticky store write error, if any.
+func (p *Pool) StoreErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.store == nil {
+		return nil
+	}
+	return p.store.err
+}
+
+// appendLocked writes one delta record and compacts when the log has
+// grown enough. Callers hold p.mu.
+func (p *Pool) appendLocked(rec *storeRecord) {
+	st := p.store
+	if st == nil || st.f == nil || st.err != nil {
+		return
+	}
+	if err := wal.Append(st.f, rec); err != nil {
+		st.err = err
+		return
+	}
+	if err := st.f.Sync(); err != nil {
+		st.err = err
+		return
+	}
+	st.recs++
+	if st.recs >= compactEvery {
+		if err := p.compactLocked(); err != nil {
+			st.err = err
+		}
+	}
+}
+
+// compactLocked rewrites the log as a single snapshot via temp+rename and
+// reopens it for appending. Callers hold p.mu.
+func (p *Pool) compactLocked() error {
+	st := p.store
+	if st == nil {
+		return nil
+	}
+	dir := filepath.Dir(st.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(st.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobq: compact: %w", err)
+	}
+	snap := &storeRecord{
+		Kind:   sSnapshot,
+		Jobs:   append([]wire.JobSpec(nil), p.jobs...),
+		NextID: p.nextID,
+		Policy: int(p.policy),
+	}
+	if err := wal.Append(tmp, snap); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobq: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobq: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobq: compact: %w", err)
+	}
+	if st.f != nil {
+		_ = st.f.Close()
+	}
+	f, err := os.OpenFile(st.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		st.f = nil
+		return fmt.Errorf("jobq: compact: reopen: %w", err)
+	}
+	st.f = f
+	st.recs = 0
+	return nil
+}

@@ -23,6 +23,7 @@ type Fabric struct {
 	ports      map[types.WorkerID]*Port
 	latency    time.Duration
 	latencyFor func(from, to types.WorkerID) time.Duration
+	faults     *Faults
 	codec      Codec
 	pumpQ      *deliveryQueue
 	pumpGo     bool
@@ -80,6 +81,19 @@ func (f *Fabric) SetLatencyFunc(fn func(from, to types.WorkerID) time.Duration) 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.latencyFor = fn
+}
+
+// SetFaults interposes deterministic fault injection on every delivery.
+// The fabric is a reliable transport (no retransmit layer above it), so
+// verdicts map onto failure modes its callers already survive: a dropped
+// or partitioned message surfaces as an ErrUnknownPeer send error (the
+// sender parks and retries, as when a port detaches), a duplicate is
+// delivered twice (receivers drop already-filled argument slots), and a
+// delay rides the latency pump, where unequal delays reorder messages.
+func (f *Fabric) SetFaults(fl *Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = fl
 }
 
 // Attach creates the endpoint for worker id. Attaching an id twice is an
@@ -147,23 +161,40 @@ func (f *Fabric) deliver(env *wire.Envelope) error {
 		}
 		f.mu.Lock()
 	}
+	var verdict Verdict
+	if f.faults != nil {
+		verdict = f.faults.Judge(env.From, env.To)
+	}
+	if verdict.Drop {
+		f.mu.Unlock()
+		return ErrUnknownPeer
+	}
+	copies := 1
+	if verdict.Duplicate {
+		copies = 2
+	}
 	lat := f.latency
 	if f.latencyFor != nil {
 		lat = f.latencyFor(env.From, env.To)
 	}
+	lat += verdict.Delay
 	if lat == 0 {
 		dst, ok := f.ports[env.To]
 		f.mu.Unlock()
 		if !ok {
 			return ErrUnknownPeer
 		}
-		if !dst.mbox.put(env) {
-			return ErrClosed
+		for i := 0; i < copies; i++ {
+			if !dst.mbox.put(env) {
+				return ErrClosed
+			}
 		}
 		return nil
 	}
 	// Delayed path: enqueue on the time-ordered pump.
-	heap.Push(f.pumpQ, &delayedMsg{at: time.Now().Add(lat), env: env, seq: f.pumpQ.nextSeq()})
+	for i := 0; i < copies; i++ {
+		heap.Push(f.pumpQ, &delayedMsg{at: time.Now().Add(lat), env: env, seq: f.pumpQ.nextSeq()})
+	}
 	if !f.pumpGo {
 		f.pumpGo = true
 		go f.pump()

@@ -1,0 +1,245 @@
+package phishnet
+
+import (
+	"testing"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+func TestFaultsJudgeDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Drop: 0.3, Duplicate: 0.2, Delay: time.Millisecond, DelayJitter: time.Millisecond}
+	a := NewFaults(plan)
+	b := NewFaults(plan)
+	for i := 0; i < 200; i++ {
+		va, vb := a.Judge(1, 2), b.Judge(1, 2)
+		if va != vb {
+			t.Fatalf("call %d: verdicts diverge: %+v vs %+v", i, va, vb)
+		}
+	}
+	// Distinct ordered pairs draw from unrelated streams: over 200 calls
+	// with 30%% drop probability, (1,2) and (2,1) agreeing everywhere would
+	// mean the streams are correlated.
+	c, d := NewFaults(plan), NewFaults(plan)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if c.Judge(1, 2).Drop == d.Judge(2, 1).Drop {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("pair (1,2) and (2,1) made identical drop decisions; streams are not independent")
+	}
+}
+
+func TestFaultsPartitionDoesNotShiftStream(t *testing.T) {
+	// A partition healing mid-run must not change the pair's subsequent
+	// probabilistic decisions: Judge consumes the same number of draws
+	// whether or not the pair is cut.
+	plan := FaultPlan{Seed: 7, Drop: 0.25, Duplicate: 0.25}
+	ref := NewFaults(plan)
+	cut := NewFaults(plan)
+	var refV, cutV []Verdict
+	for i := 0; i < 100; i++ {
+		refV = append(refV, ref.Judge(3, 4))
+	}
+	for i := 0; i < 100; i++ {
+		if i == 20 {
+			cut.Partition(3, 4)
+		}
+		if i == 40 {
+			cut.Heal(3, 4)
+		}
+		cutV = append(cutV, cut.Judge(3, 4))
+	}
+	for i := 0; i < 100; i++ {
+		if i >= 20 && i < 40 {
+			if !cutV[i].Drop {
+				t.Fatalf("call %d: partitioned pair not dropped", i)
+			}
+			continue
+		}
+		if refV[i] != cutV[i] {
+			t.Fatalf("call %d: healing the partition shifted the stream: %+v vs %+v", i, refV[i], cutV[i])
+		}
+	}
+}
+
+func TestFaultsIsolateCoversLatePeers(t *testing.T) {
+	f := NewFaults(FaultPlan{Seed: 1})
+	f.Isolate(5)
+	if !f.Judge(5, 99).Drop || !f.Judge(99, 5).Drop {
+		t.Error("isolated worker still exchanging messages")
+	}
+	if f.Judge(98, 99).Drop {
+		t.Error("bystander pair dropped by an isolation")
+	}
+	f.Rejoin(5)
+	if f.Judge(5, 99).Drop && f.Partitioned(5, 99) {
+		t.Error("Rejoin left the wildcard cut in place")
+	}
+}
+
+func TestFabricFaultPartitionSurfacesAsSendError(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	fl := NewFaults(FaultPlan{Seed: 3})
+	f.SetFaults(fl)
+	a := f.Attach(1)
+	b := f.Attach(2)
+
+	fl.Partition(1, 2)
+	if err := a.Send(&wire.Envelope{From: 1, To: 2}); err != ErrUnknownPeer {
+		t.Errorf("partitioned send: err = %v, want ErrUnknownPeer", err)
+	}
+	fl.Heal(1, 2)
+	if err := a.Send(&wire.Envelope{From: 1, To: 2, Payload: wire.Heartbeat{Worker: 1}}); err != nil {
+		t.Fatalf("healed send: %v", err)
+	}
+	recvOne(t, b, time.Second)
+}
+
+func TestFabricFaultDuplicateDeliversTwice(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.SetFaults(NewFaults(FaultPlan{Seed: 3, Duplicate: 1.0}))
+	a := f.Attach(1)
+	b := f.Attach(2)
+	if err := a.Send(&wire.Envelope{From: 1, To: 2, Payload: wire.Heartbeat{Worker: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	recvOne(t, b, time.Second) // the duplicate
+	select {
+	case <-b.Recv():
+		t.Error("more than two copies delivered")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestUDPBackoffGiveUp blackholes a peer at the datagram level and checks
+// the reliability layer's full failure arc: retransmit intervals back off
+// (doubling, jittered ±25%), the frame is eventually abandoned, and the
+// peer's death is reported exactly once.
+func TestUDPBackoffGiveUp(t *testing.T) {
+	a, err := ListenUDP(1, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeer(2, b.LocalAddr())
+
+	const tries = 5
+	a.SetRetransmit(20*time.Millisecond, 300*time.Millisecond, tries)
+	fl := NewFaults(FaultPlan{Seed: 11})
+	fl.RecordDrops(true)
+	fl.Isolate(2) // every datagram a→2 vanishes
+	a.SetFaults(fl)
+
+	downCh := make(chan types.WorkerID, 4)
+	a.SetPeerDown(func(id types.WorkerID) { downCh <- id })
+
+	if err := a.Send(&wire.Envelope{To: 2, Payload: wire.Heartbeat{Worker: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case id := <-downCh:
+		if id != 2 {
+			t.Fatalf("peer-down for %d, want 2", id)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retransmits never gave up")
+	}
+	// Exactly once: no second report, even though the retransmit loop keeps
+	// running.
+	select {
+	case id := <-downCh:
+		t.Fatalf("duplicate peer-down report for %d", id)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The drop log is the datagram trace: one original send plus `tries`
+	// retransmits, with backed-off spacing. Jitter is ±25%, so the k+2-th
+	// interval (4× the base) always exceeds the k-th even with polling
+	// slop.
+	drops := fl.Drops()
+	if len(drops) != tries+1 {
+		t.Fatalf("recorded %d drops, want %d (1 send + %d retransmits)", len(drops), tries+1, tries)
+	}
+	var intervals []time.Duration
+	for i := 1; i < len(drops); i++ {
+		intervals = append(intervals, drops[i].At.Sub(drops[i-1].At))
+	}
+	for i := 2; i < len(intervals); i++ {
+		if intervals[i] <= intervals[i-2] {
+			t.Errorf("retransmit intervals not backing off: %v", intervals)
+			break
+		}
+	}
+
+	// Hearing from the peer again rearms the report.
+	b.SetPeer(1, a.LocalAddr())
+	fl.Rejoin(2)
+	if err := b.Send(&wire.Envelope{To: 1, Payload: wire.Heartbeat{Worker: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a, 2*time.Second)
+	fl.Isolate(2)
+	if err := a.Send(&wire.Envelope{To: 2, Payload: wire.Heartbeat{Worker: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-downCh:
+		if id != 2 {
+			t.Fatalf("second peer-down for %d, want 2", id)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer-down did not rearm after the peer spoke")
+	}
+}
+
+// TestUDPFaultDropsAreRetransmitted injects heavy probabilistic loss and
+// checks the reliability layer still delivers everything exactly once.
+func TestUDPFaultDropsAreRetransmitted(t *testing.T) {
+	a, _ := ListenUDP(1, 1, "127.0.0.1:0")
+	defer a.Close()
+	b, _ := ListenUDP(1, 2, "127.0.0.1:0")
+	defer b.Close()
+	a.SetPeer(2, b.LocalAddr())
+	b.SetPeer(1, a.LocalAddr())
+	a.SetRetransmit(5*time.Millisecond, 50*time.Millisecond, 50)
+	b.SetRetransmit(5*time.Millisecond, 50*time.Millisecond, 50)
+	fl := NewFaults(FaultPlan{Seed: 99, Drop: 0.4, Duplicate: 0.2})
+	a.SetFaults(fl)
+	b.SetFaults(fl)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(&wire.Envelope{To: 2, Payload: wire.Heartbeat{Worker: types.WorkerID(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]bool)
+	deadline := time.After(20 * time.Second)
+	for len(seen) < n {
+		select {
+		case env, ok := <-b.Recv():
+			if !ok {
+				t.Fatal("closed early")
+			}
+			if seen[env.Seq] {
+				t.Fatalf("duplicate seq %d delivered above the dedup window", env.Seq)
+			}
+			seen[env.Seq] = true
+		case <-deadline:
+			t.Fatalf("only %d/%d messages survived 40%% loss", len(seen), n)
+		}
+	}
+}

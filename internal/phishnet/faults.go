@@ -1,0 +1,244 @@
+// Deterministic fault injection. A Faults instance sits under a transport
+// (the in-memory Fabric via SetFaults, the UDP transport via its
+// SetFaults, or any Conn via WrapConn) and decides, per message, whether
+// to drop, duplicate, or delay it, and whether the (from, to) pair is
+// currently partitioned.
+//
+// Determinism is the point: every ordered peer pair owns a private PRNG
+// seeded from (Plan.Seed, from, to), so the verdict sequence for a pair
+// depends only on the seed and that pair's message count — not on
+// cross-pair interleaving, goroutine scheduling, or wall time. Two runs
+// with the same seed and the same per-pair traffic make identical
+// drop/duplicate/delay decisions.
+package phishnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// FaultPlan configures a Faults instance. The zero plan injects nothing.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision. Same seed, same traffic,
+	// same faults.
+	Seed int64
+	// Drop is the probability a message is silently lost.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Delay, when non-zero, holds each message for Delay ± DelayJitter
+	// before delivery. On the fabric the delayed message goes through the
+	// latency pump, so unequal delays reorder messages naturally.
+	Delay       time.Duration
+	DelayJitter time.Duration
+}
+
+// Verdict is the per-message decision for one (from, to) send.
+type Verdict struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// DropEvent records one injected or partition-induced loss (test
+// diagnostics; recording is off unless enabled with RecordDrops).
+type DropEvent struct {
+	From, To types.WorkerID
+	At       time.Time
+}
+
+// Faults makes deterministic per-message fault decisions and tracks
+// dynamic partitions. Safe for concurrent use.
+type Faults struct {
+	plan FaultPlan
+
+	mu     sync.Mutex
+	pairs  map[pairKey]*rand.Rand
+	cuts   map[pairKey]bool // symmetric: stored both ways
+	record bool
+	drops  []DropEvent
+}
+
+type pairKey struct{ from, to types.WorkerID }
+
+// NewFaults builds a Faults for plan.
+func NewFaults(plan FaultPlan) *Faults {
+	return &Faults{
+		plan:  plan,
+		pairs: make(map[pairKey]*rand.Rand),
+		cuts:  make(map[pairKey]bool),
+	}
+}
+
+// pairRand returns the deterministic PRNG for the ordered pair, creating
+// it on first use. Callers hold f.mu.
+func (f *Faults) pairRand(k pairKey) *rand.Rand {
+	r, ok := f.pairs[k]
+	if !ok {
+		// Mix the pair identity into the seed with two odd constants so
+		// (1→2) and (2→1) — and (seed, pair) collisions in general — land
+		// on unrelated streams.
+		seed := f.plan.Seed + int64(k.from)*-0x61C8864680B583EB + int64(k.to)*0x6C62272E07BB0143
+		r = rand.New(rand.NewSource(seed))
+		f.pairs[k] = r
+	}
+	return r
+}
+
+// Judge decides the fate of one message from → to. It always consumes the
+// same number of random draws regardless of the outcome, so a partition
+// healing mid-run does not shift the pair's subsequent decisions.
+func (f *Faults) Judge(from, to types.WorkerID) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := pairKey{from, to}
+	r := f.pairRand(k)
+	dropRoll, dupRoll, jitRoll := r.Float64(), r.Float64(), r.Float64()
+	var v Verdict
+	if f.cutLocked(from, to) {
+		v.Drop = true
+	}
+	if f.plan.Drop > 0 && dropRoll < f.plan.Drop {
+		v.Drop = true
+	}
+	if f.plan.Duplicate > 0 && dupRoll < f.plan.Duplicate {
+		v.Duplicate = true
+	}
+	if f.plan.Delay > 0 {
+		v.Delay = f.plan.Delay
+		if f.plan.DelayJitter > 0 {
+			v.Delay += time.Duration((2*jitRoll - 1) * float64(f.plan.DelayJitter))
+			if v.Delay < 0 {
+				v.Delay = 0
+			}
+		}
+	}
+	if v.Drop && f.record {
+		f.drops = append(f.drops, DropEvent{From: from, To: to, At: time.Now()})
+	}
+	return v
+}
+
+// Partitioned reports whether traffic from → to is currently cut.
+func (f *Faults) Partitioned(from, to types.WorkerID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cutLocked(from, to)
+}
+
+// Partition cuts traffic between a and b in both directions.
+func (f *Faults) Partition(a, b types.WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[pairKey{a, b}] = true
+	f.cuts[pairKey{b, a}] = true
+}
+
+// Heal restores traffic between a and b.
+func (f *Faults) Heal(a, b types.WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, pairKey{a, b})
+	delete(f.cuts, pairKey{b, a})
+}
+
+// Isolate cuts id off from everyone: any pair involving id is dropped.
+// Implemented as a wildcard so it also covers peers that first appear
+// after the call.
+func (f *Faults) Isolate(id types.WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[pairKey{id, wildcardPeer}] = true
+	f.cuts[pairKey{wildcardPeer, id}] = true
+}
+
+// Rejoin undoes Isolate (pairwise Partition cuts, if any, remain).
+func (f *Faults) Rejoin(id types.WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, pairKey{id, wildcardPeer})
+	delete(f.cuts, pairKey{wildcardPeer, id})
+}
+
+// HealAll clears every partition and isolation.
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = make(map[pairKey]bool)
+}
+
+// wildcardPeer marks an Isolate entry; no real worker uses this id.
+const wildcardPeer types.WorkerID = -1 << 30
+
+// cut reports whether the ordered pair is severed, honoring wildcards.
+// Callers hold f.mu.
+func (f *Faults) cutLocked(from, to types.WorkerID) bool {
+	return f.cuts[pairKey{from, to}] ||
+		f.cuts[pairKey{from, wildcardPeer}] || f.cuts[pairKey{wildcardPeer, from}] ||
+		f.cuts[pairKey{to, wildcardPeer}] || f.cuts[pairKey{wildcardPeer, to}]
+}
+
+// RecordDrops toggles drop-event recording (for tests).
+func (f *Faults) RecordDrops(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.record = on
+	if !on {
+		f.drops = nil
+	}
+}
+
+// Drops returns a copy of the recorded drop events.
+func (f *Faults) Drops() []DropEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]DropEvent, len(f.drops))
+	copy(out, f.drops)
+	return out
+}
+
+// FaultConn interposes a Faults between a Conn and its owner: outbound
+// sends are judged and dropped, duplicated, or delayed accordingly.
+// Partitioned sends return ErrUnknownPeer — the peer is unreachable and
+// the caller's park-and-retry path should engage, exactly as when a
+// fabric port has detached. Probabilistic drops return nil (the message
+// vanished in the network; a reliable conversation will retransmit).
+type FaultConn struct {
+	Conn
+	local  types.WorkerID
+	faults *Faults
+}
+
+// WrapConn wraps inner with fault injection for traffic sent by local.
+func WrapConn(inner Conn, local types.WorkerID, faults *Faults) *FaultConn {
+	return &FaultConn{Conn: inner, local: local, faults: faults}
+}
+
+// Send implements Conn.
+func (c *FaultConn) Send(env *wire.Envelope) error {
+	v := c.faults.Judge(c.local, env.To)
+	if v.Drop {
+		if c.faults.Partitioned(c.local, env.To) {
+			return ErrUnknownPeer
+		}
+		return nil
+	}
+	send := func() error { return c.Conn.Send(env) }
+	if v.Delay > 0 {
+		time.AfterFunc(v.Delay, func() { _ = send() })
+		if v.Duplicate {
+			time.AfterFunc(v.Delay, func() { _ = send() })
+		}
+		return nil
+	}
+	if v.Duplicate {
+		_ = send()
+	}
+	return send()
+}
+
+var _ Conn = (*FaultConn)(nil)

@@ -3,6 +3,7 @@ package phishnet
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,14 +12,18 @@ import (
 	"phish/internal/wire"
 )
 
-// UDP transport parameters. The retransmit interval is deliberately long
-// relative to a LAN round trip: the runtime is split-phase and keeps
+// UDP transport parameters. The retransmit schedule starts deliberately
+// long relative to a LAN round trip: the runtime is split-phase and keeps
 // working while messages are in flight, so aggressive retransmission buys
-// nothing (the paper's protocols poll at 2 s and coarser).
+// nothing (the paper's protocols poll at 2 s and coarser). Intervals then
+// back off exponentially with jitter — a congested or flapping link sees
+// geometrically less retry traffic, and jitter keeps a herd of workers
+// that lost the same peer from retransmitting in lockstep.
 const (
-	udpRetransmitEvery = 50 * time.Millisecond
-	udpMaxRetransmits  = 100 // give up after ~5 s: the peer is gone
-	udpDedupWindow     = 8192
+	udpRetxBase    = 50 * time.Millisecond
+	udpRetxCap     = 1 * time.Second
+	udpRetxTries   = 10 // ~6.5 s of backed-off retries, then the peer is gone
+	udpDedupWindow = 8192
 
 	// udpFlushDelay is how long a small outgoing frame may wait for
 	// company before its batch is flushed as one datagram. It is far below
@@ -56,6 +61,19 @@ type UDP struct {
 	seq     uint64
 	closed  bool
 
+	// Retransmit schedule (SetRetransmit overrides; tests compress it).
+	retxBase  time.Duration
+	retxCap   time.Duration
+	retxTries int
+	rng       *rand.Rand // jitter; guarded by mu
+
+	// Peer-death reporting: once a frame exhausts its retries the peer is
+	// declared gone, exactly once, until it is heard from again.
+	peerDown     func(types.WorkerID)
+	downReported map[types.WorkerID]bool
+
+	faults *Faults // optional datagram-level fault injection
+
 	stopRetx chan struct{}
 	wg       sync.WaitGroup
 }
@@ -67,6 +85,7 @@ type pendingSend struct {
 	to    types.WorkerID
 	frame *wire.Frame
 	tries int
+	wait  time.Duration // current backoff interval (pre-jitter)
 	next  time.Time
 }
 
@@ -133,20 +152,71 @@ func ListenUDP(job types.JobID, local types.WorkerID, addr string) (*UDP, error)
 		return nil, fmt.Errorf("phishnet: listen %q: %w", addr, err)
 	}
 	u := &UDP{
-		local:    local,
-		job:      job,
-		conn:     conn,
-		mbox:     newMailbox(),
-		peers:    make(map[types.WorkerID]*net.UDPAddr),
-		pending:  make(map[uint64]*pendingSend),
-		batches:  make(map[types.WorkerID]*outBatch),
-		seen:     make(map[string]*dedupWindow),
-		stopRetx: make(chan struct{}),
+		local:        local,
+		job:          job,
+		conn:         conn,
+		mbox:         newMailbox(),
+		peers:        make(map[types.WorkerID]*net.UDPAddr),
+		pending:      make(map[uint64]*pendingSend),
+		batches:      make(map[types.WorkerID]*outBatch),
+		seen:         make(map[string]*dedupWindow),
+		retxBase:     udpRetxBase,
+		retxCap:      udpRetxCap,
+		retxTries:    udpRetxTries,
+		rng:          rand.New(rand.NewSource(int64(job)<<20 ^ int64(local))),
+		downReported: make(map[types.WorkerID]bool),
+		stopRetx:     make(chan struct{}),
 	}
 	u.wg.Add(2)
 	go u.readLoop()
 	go u.retransmitLoop()
 	return u, nil
+}
+
+// SetRetransmit overrides the retransmit schedule: the first retry fires
+// ~base after the send, each subsequent retry doubles the interval up to
+// cap (each jittered ±25%), and after tries unacknowledged attempts the
+// frame is abandoned and the peer declared gone. Call before traffic
+// starts.
+func (u *UDP) SetRetransmit(base, cap time.Duration, tries int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if base > 0 {
+		u.retxBase = base
+	}
+	if cap > 0 {
+		u.retxCap = cap
+	}
+	if tries > 0 {
+		u.retxTries = tries
+	}
+}
+
+// SetPeerDown overrides what happens when retransmits to a peer are
+// exhausted. By default the transport posts a wire.PeerGone envelope to
+// its own mailbox, so the owner learns about the death in its normal
+// receive loop; a non-nil fn replaces that with a direct callback. Either
+// way the notification fires exactly once per peer until the peer is
+// heard from (or re-registered via SetPeer) again.
+func (u *UDP) SetPeerDown(fn func(types.WorkerID)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peerDown = fn
+}
+
+// SetFaults interposes deterministic fault injection at the datagram
+// level — below the ack/retransmit/dedup machinery, so injected drops are
+// retransmitted, duplicates are suppressed by the dedup window, and a
+// partition looks like a dead peer: backoff, give-up, PeerGone.
+func (u *UDP) SetFaults(fl *Faults) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.faults = fl
+}
+
+// jitteredLocked returns d scaled by a uniform factor in [0.75, 1.25).
+func (u *UDP) jitteredLocked(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.75 + 0.5*u.rng.Float64()))
 }
 
 // SetPeer implements Conn.
@@ -158,6 +228,7 @@ func (u *UDP) SetPeer(id types.WorkerID, addr string) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.peers[id] = ua
+	delete(u.downReported, id) // a re-announced peer may be declared gone anew
 	if b := u.batches[id]; b != nil {
 		b.dst = ua
 	}
@@ -210,17 +281,19 @@ func (u *UDP) Send(env *wire.Envelope) error {
 		data, dst := u.enqueueLocked(env.To, frame.Bytes())
 		frame.Free()
 		u.mu.Unlock()
-		u.writeOwned(data, dst)
+		u.writeOwned(data, dst, env.To)
 		return nil
 	}
+	wait := u.retxBase
 	u.pending[env.Seq] = &pendingSend{
 		to:    env.To,
 		frame: frame,
-		next:  time.Now().Add(udpRetransmitEvery),
+		wait:  wait,
+		next:  time.Now().Add(u.jitteredLocked(wait)),
 	}
 	data, dst := u.enqueueLocked(env.To, frame.Bytes())
 	u.mu.Unlock()
-	u.writeOwned(data, dst)
+	u.writeOwned(data, dst, env.To)
 	return nil
 }
 
@@ -295,17 +368,46 @@ func (u *UDP) flushPeer(to types.WorkerID) {
 	data, dst := b.buf, b.dst
 	b.buf = getBuf()
 	u.mu.Unlock()
-	u.writeOwned(data, dst)
+	u.writeOwned(data, dst, to)
 }
 
 // writeOwned writes one datagram buffer the caller owns and recycles it.
-func (u *UDP) writeOwned(data []byte, dst *net.UDPAddr) {
+// When a fault plan is installed, the datagram is judged here — below the
+// reliability layer, so a dropped datagram is retransmitted and a
+// duplicated one is absorbed by the receiver's dedup window.
+func (u *UDP) writeOwned(data []byte, dst *net.UDPAddr, to types.WorkerID) {
 	if data == nil {
 		return
 	}
-	if dst != nil {
-		_, _ = u.conn.WriteToUDP(data, dst)
+	if dst == nil {
+		putBuf(data)
+		return
 	}
+	u.mu.Lock()
+	fl := u.faults
+	u.mu.Unlock()
+	if fl != nil {
+		v := fl.Judge(u.local, to)
+		if v.Drop {
+			putBuf(data)
+			return
+		}
+		if v.Delay > 0 {
+			dup := v.Duplicate
+			time.AfterFunc(v.Delay, func() {
+				_, _ = u.conn.WriteToUDP(data, dst)
+				if dup {
+					_, _ = u.conn.WriteToUDP(data, dst)
+				}
+				putBuf(data)
+			})
+			return
+		}
+		if v.Duplicate {
+			_, _ = u.conn.WriteToUDP(data, dst)
+		}
+	}
+	_, _ = u.conn.WriteToUDP(data, dst)
 	putBuf(data)
 }
 
@@ -392,6 +494,7 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 	if _, known := u.peers[env.From]; !known {
 		u.peers[env.From] = from
 	}
+	delete(u.downReported, env.From) // it spoke: alive again
 	key := from.String()
 	w := u.seen[key]
 	if w == nil {
@@ -401,7 +504,7 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 	fresh := w.add(env.Seq)
 	data, dst := u.queueAckLocked(env.From, env.Seq)
 	u.mu.Unlock()
-	u.writeOwned(data, dst)
+	u.writeOwned(data, dst, env.From)
 	if fresh {
 		u.mbox.put(env)
 	}
@@ -409,47 +512,86 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 
 func (u *UDP) retransmitLoop() {
 	defer u.wg.Done()
-	tick := time.NewTicker(udpRetransmitEvery)
-	defer tick.Stop()
 	for {
+		// Poll at a fraction of the base interval so even compressed test
+		// schedules get decent resolution without a per-frame timer.
+		u.mu.Lock()
+		tick := u.retxBase / 4
+		u.mu.Unlock()
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		} else if tick > 25*time.Millisecond {
+			tick = 25 * time.Millisecond
+		}
 		select {
 		case <-u.stopRetx:
 			return
-		case now := <-tick.C:
-			type flushOp struct {
-				data []byte
-				dst  *net.UDPAddr
+		case <-time.After(tick):
+		}
+		now := time.Now()
+		type flushOp struct {
+			data []byte
+			dst  *net.UDPAddr
+			to   types.WorkerID
+		}
+		var flushes []flushOp
+		var gone []types.WorkerID
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			return
+		}
+		for _, p := range u.pending {
+			if now.Before(p.next) {
+				continue
 			}
-			var flushes []flushOp
-			u.mu.Lock()
-			if u.closed {
-				u.mu.Unlock()
-				return
-			}
-			for seq, p := range u.pending {
-				if now.Before(p.next) {
-					continue
-				}
-				p.tries++
-				if p.tries > udpMaxRetransmits {
-					p.frame.Free()
-					delete(u.pending, seq)
-					continue
-				}
-				p.next = now.Add(udpRetransmitEvery)
-				if _, ok := u.peers[p.to]; ok {
-					// Re-enqueue through the batcher: the bytes are copied
-					// under the lock, so an ack freeing the pooled frame
-					// concurrently can never corrupt an in-flight write.
-					if data, dst := u.enqueueLocked(p.to, p.frame.Bytes()); data != nil {
-						flushes = append(flushes, flushOp{data, dst})
+			p.tries++
+			if p.tries > u.retxTries {
+				// Out of retries: the peer is gone. Abandon every frame
+				// bound for it — none will ever be delivered — and report
+				// the death once.
+				to := p.to
+				for s2, q := range u.pending {
+					if q.to == to {
+						q.frame.Free()
+						delete(u.pending, s2)
 					}
 				}
+				if !u.downReported[to] {
+					u.downReported[to] = true
+					gone = append(gone, to)
+				}
+				continue
 			}
-			u.mu.Unlock()
-			for _, f := range flushes {
-				u.writeOwned(f.data, f.dst)
+			p.wait *= 2
+			if p.wait > u.retxCap {
+				p.wait = u.retxCap
 			}
+			p.next = now.Add(u.jitteredLocked(p.wait))
+			if _, ok := u.peers[p.to]; ok {
+				// Re-enqueue through the batcher: the bytes are copied
+				// under the lock, so an ack freeing the pooled frame
+				// concurrently can never corrupt an in-flight write.
+				if data, dst := u.enqueueLocked(p.to, p.frame.Bytes()); data != nil {
+					flushes = append(flushes, flushOp{data, dst, p.to})
+				}
+			}
+		}
+		report := u.peerDown
+		u.mu.Unlock()
+		for _, f := range flushes {
+			u.writeOwned(f.data, f.dst, f.to)
+		}
+		for _, id := range gone {
+			if report != nil {
+				report(id)
+				continue
+			}
+			// Default: surface the death in the owner's receive loop.
+			u.mbox.put(&wire.Envelope{
+				Job: u.job, From: u.local, To: u.local,
+				Payload: wire.PeerGone{Worker: id},
+			})
 		}
 	}
 }

@@ -92,6 +92,7 @@ const (
 	tJobListReply
 	tAck
 	tNilPayload
+	tPeerGone
 	// tGobEnvelope carries a gob-encoded payload of a type this codec has
 	// no hand-rolled shape for (applications extending the protocol).
 	tGobEnvelope byte = 255
@@ -563,6 +564,8 @@ func payloadTag(p any) byte {
 		return tJobListReply
 	case Ack:
 		return tAck
+	case PeerGone:
+		return tPeerGone
 	case nil:
 		return tNilPayload
 	default:
@@ -583,7 +586,7 @@ var tagNames = map[byte]string{
 	tJobRequest: "JobRequest", tJobReply: "JobReply", tJobSubmit: "JobSubmit",
 	tJobSubmitReply: "JobSubmitReply", tJobDone: "JobDone", tJobList: "JobList",
 	tJobListReply: "JobListReply", tAck: "Ack", tNilPayload: "nil",
-	tGobEnvelope: "gob-fallback",
+	tPeerGone: "PeerGone", tGobEnvelope: "gob-fallback",
 }
 
 func tagName(t byte) string {
@@ -704,6 +707,8 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 		return b, nil
 	case Ack:
 		return appendU64(b, x.Seq), nil
+	case PeerGone:
+		return appendI32(b, int32(x.Worker)), nil
 	case nil:
 		return b, nil
 	default:
@@ -1072,6 +1077,8 @@ func readPayload(r *reader, tag byte) any {
 		return JobListReply{Jobs: jobs}
 	case tAck:
 		return Ack{Seq: r.u64()}
+	case tPeerGone:
+		return PeerGone{Worker: r.worker()}
 	case tNilPayload:
 		return nil
 	case tGobEnvelope:

@@ -356,6 +356,16 @@ type Ack struct {
 	Seq uint64
 }
 
+// PeerGone is synthesized locally by a transport when it exhausts
+// retransmits to a peer: the peer is unreachable and every undelivered
+// frame to it has been abandoned. It is delivered to the owner's own
+// mailbox, never sent across the network. A worker receiving it treats the
+// peer as crashed (or, for the clearinghouse, enters the re-register
+// loop); the clearinghouse declares the worker crashed.
+type PeerGone struct {
+	Worker types.WorkerID
+}
+
 // registerPayloads registers every payload type and the common Value
 // concrete types with gob exactly once.
 var registerOnce sync.Once
@@ -367,7 +377,7 @@ func registerPayloads() {
 		WorkerDown{}, IO{}, Shutdown{}, SpawnRoot{}, StayRequest{}, StayReply{},
 		Pause{}, PauseAck{}, SnapshotRequest{}, SnapshotReply{}, Resume{},
 		JobRequest{}, JobReply{}, JobSubmit{}, JobSubmitReply{}, JobDone{},
-		JobList{}, JobListReply{}, Ack{},
+		JobList{}, JobListReply{}, Ack{}, PeerGone{},
 		// Common Value concrete types.
 		int64(0), int(0), int32(0), uint64(0), float64(0), "", true,
 		[]byte(nil), []int64(nil), []float64(nil), []types.Value(nil),
