@@ -23,6 +23,8 @@ import (
 	"phish/internal/apps"
 	"phish/internal/clearinghouse"
 	"phish/internal/phishnet"
+	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -35,6 +37,7 @@ func main() {
 	update := flag.Duration("update", 2*time.Minute, "membership update push interval (the paper's 2 minutes)")
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	journal := flag.String("journal", "", "journal file for crash recovery (an existing file resumes that job)")
+	metricsAddr := flag.String("metrics", "", "serve the whole-job rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
 	flag.Usage = func() {
 		fmt.Println("usage: clearinghouse -program <name> [flags] [program args...]\nprograms:")
 		fmt.Print(apps.Usage())
@@ -65,6 +68,10 @@ func main() {
 	}
 	cfg := clearinghouse.DefaultConfig()
 	cfg.UpdateEvery = *update
+	if *metricsAddr != "" {
+		cfg.Metrics = telemetry.NewMetrics()
+		cfg.Trace = trace.NewBuffer(4096)
+	}
 	if *hb < 0 {
 		// Crash detection is on by default, scaled to the update cadence:
 		// three missed intervals and the worker is declared dead.
@@ -105,6 +112,20 @@ func main() {
 	}
 	go ch.Run()
 	defer ch.Stop()
+
+	if *metricsAddr != "" {
+		conn.Instrument(ch.Counters(), cfg.Metrics, cfg.Trace)
+		srv, err := telemetry.Serve(*metricsAddr, nil, cfg.Trace)
+		if err != nil {
+			log.Fatalf("clearinghouse: %v", err)
+		}
+		defer srv.Close()
+		snap := ch.ClusterSnapshot
+		srv.Handle("/metrics", telemetry.ClusterMetricsHandler(snap))
+		srv.Handle("/cluster.json", telemetry.ClusterJSONHandler(snap))
+		fmt.Printf("clearinghouse: telemetry on http://%s/metrics (phishtop: phish -top http://%s)\n",
+			srv.Addr(), srv.Addr())
+	}
 
 	if !recovered {
 		fmt.Printf("clearinghouse: job %d (%s) on %s — waiting for workers\n",

@@ -16,10 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +33,7 @@ import (
 	"phish/internal/core"
 	"phish/internal/jobq"
 	"phish/internal/phishnet"
+	"phish/internal/telemetry"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -44,6 +48,9 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "periodically checkpoint the job to this file")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval")
 	restore := flag.String("restore", "", "resume the job from this checkpoint file instead of starting fresh")
+	metricsAddr := flag.String("metrics", "", "serve the job's telemetry rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
+	top := flag.String("top", "", "phishtop: poll a clearinghouse telemetry URL (e.g. http://host:9090) and render a live cluster table instead of running a job")
+	topEvery := flag.Duration("top-interval", 2*time.Second, "phishtop poll interval")
 	flag.Usage = func() {
 		fmt.Println("usage: phish [flags] <program> [args...]\nprograms:")
 		fmt.Print(apps.Usage())
@@ -51,6 +58,11 @@ func main() {
 	}
 	flag.Parse()
 	apps.RegisterAll()
+
+	if *top != "" {
+		runTop(*top, *topEvery)
+		return
+	}
 
 	var cp *clearinghouse.JobCheckpoint
 	if *restore != "" {
@@ -108,6 +120,9 @@ func main() {
 	chCfg := clearinghouse.DefaultConfig()
 	chCfg.UpdateEvery = 15 * time.Second
 	chCfg.HeartbeatTimeout = 30 * time.Second
+	if *metricsAddr != "" {
+		chCfg.Metrics = telemetry.NewMetrics()
+	}
 	var ch *clearinghouse.Clearinghouse
 	if cp != nil {
 		cp.Spec.CHAddr = chConn.LocalAddr()
@@ -120,6 +135,18 @@ func main() {
 	}
 	go ch.Run()
 	defer ch.Stop()
+
+	if *metricsAddr != "" {
+		srv, err := telemetry.NewServer(*metricsAddr)
+		if err != nil {
+			log.Fatalf("phish: %v", err)
+		}
+		defer srv.Close()
+		srv.Handle("/metrics", telemetry.ClusterMetricsHandler(ch.ClusterSnapshot))
+		srv.Handle("/cluster.json", telemetry.ClusterJSONHandler(ch.ClusterSnapshot))
+		fmt.Printf("phish: telemetry on http://%s/metrics (watch live: phish -top http://%s)\n",
+			srv.Addr(), srv.Addr())
+	}
 
 	// Periodic checkpointing.
 	if *ckptFile != "" {
@@ -179,6 +206,11 @@ func main() {
 	cfg.HeartbeatEvery = 5 * time.Second
 	cfg.StealTimeout = time.Second
 	cfg.StealBackoff = 5 * time.Millisecond
+	if *metricsAddr != "" {
+		// Faster piggybacked reports so phishtop tracks the local workers
+		// closely; each worker gets its own histogram set.
+		cfg.HeartbeatEvery = 2 * time.Second
+	}
 	var wg sync.WaitGroup
 	locals := make([]*core.Worker, 0, *workers)
 	// Restored workers take ids clear of anything a previous incarnation
@@ -193,7 +225,11 @@ func main() {
 			log.Fatalf("phish: %v", err)
 		}
 		conn.SetPeer(types.ClearinghouseID, chConn.LocalAddr())
-		w := core.NewWorker(jobID, types.WorkerID(idBase+i), prog, conn, cfg, clock.System)
+		wcfg := cfg
+		if *metricsAddr != "" {
+			wcfg.Metrics = telemetry.NewMetrics()
+		}
+		w := core.NewWorker(jobID, types.WorkerID(idBase+i), prog, conn, wcfg, clock.System)
 		locals = append(locals, w)
 		wg.Add(1)
 		go func() {
@@ -234,6 +270,58 @@ func main() {
 		return
 	}
 	fmt.Println(app.Render(v))
+}
+
+// runTop is phishtop: poll the clearinghouse's /cluster.json and redraw a
+// live table of the whole job — workers, deque depths, steal and redo
+// counts, and latency quantiles. Ctrl-C exits.
+func runTop(url string, every time.Duration) {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/cluster.json"
+	// Rates are computed between distinct report generations, not raw
+	// polls: totals only move when piggybacked reports arrive (heartbeat
+	// cadence), so adjacent polls within one heartbeat window would
+	// alias to 0/s. cur is the newest distinct snapshot, prev the one
+	// before it.
+	var prev, cur *telemetry.ClusterSnapshot
+	var prevAt, curAt time.Time
+	for {
+		cs, err := fetchCluster(url)
+		now := time.Now()
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err != nil {
+			fmt.Printf("phishtop: %v (retrying every %v)\n", err, every)
+		} else {
+			if cur == nil || cs.Totals != cur.Totals {
+				prev, prevAt = cur, curAt
+				cur, curAt = cs, now
+			}
+			var dt time.Duration
+			if prev != nil {
+				dt = curAt.Sub(prevAt)
+			}
+			fmt.Print(telemetry.RenderTop(*cs, prev, dt))
+		}
+		time.Sleep(every)
+	}
+}
+
+func fetchCluster(url string) (*telemetry.ClusterSnapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var cs telemetry.ClusterSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return nil, fmt.Errorf("decode %s: %v", url, err)
+	}
+	return &cs, nil
 }
 
 // rayDims extracts width/height from ray root args (scene, w, h, ...).

@@ -25,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
+	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench JSON baseline")
 	fibN := flag.Int64("fib-n", 0, "fib input (0 = default)")
 	nqN := flag.Int("nqueens-n", 0, "nqueens input")
 	pfoldN := flag.Int("pfold-n", 0, "pfold polymer length")
@@ -134,7 +135,19 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *wireOut)
 	}
+	if run("schedbench") {
+		did = true
+		rs, err := o.SchedBench()
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintSchedBench(os.Stdout, rs)
+		if err := harness.WriteSchedBenchJSON(*schedOut, rs); err != nil {
+			log.Fatalf("phishbench: write %s: %v", *schedOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *schedOut)
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, all)", *exp)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"phish/internal/idlesim"
 	"phish/internal/jobmanager"
 	"phish/internal/jobq"
+	"phish/internal/telemetry"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -47,6 +48,7 @@ func main() {
 	busyPoll := flag.Duration("busy-poll", 5*time.Minute, "idleness re-check while the owner is active (paper: 5m)")
 	idleRetry := flag.Duration("idle-retry", 30*time.Second, "job-request retry while the pool is empty (paper: 30s)")
 	workPoll := flag.Duration("work-poll", 2*time.Second, "owner-return check while a worker runs (paper: 2s)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /healthz on this HTTP address (off when empty)")
 	flag.Parse()
 
 	policy, err := buildPolicy(*policyName, *loadMax, *simBusy, *simIdle)
@@ -77,6 +79,24 @@ func main() {
 
 	fmt.Printf("phishjobmanager: workstation %d, policy %s, jobq %s\n", *ws, *policyName, *jobqAddr)
 	go mgr.Run()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		st := mgr.Stats()
+		wsLabel := telemetry.Label{Name: "ws", Value: strconv.Itoa(*ws)}
+		reg.CounterFunc("phish_jm_jobs_started_total", "Workers launched.", st.JobsStarted.Load, wsLabel)
+		reg.CounterFunc("phish_jm_reclaims_total", "Workers killed because the owner returned.", st.Reclaims.Load, wsLabel)
+		reg.CounterFunc("phish_jm_finished_total", "Workers that ended with the job done.", st.Finished.Load, wsLabel)
+		reg.CounterFunc("phish_jm_retired_total", "Workers that left because parallelism shrank.", st.Retired.Load, wsLabel)
+		reg.CounterFunc("phish_jm_empty_polls_total", "Job requests that found the pool empty.", st.EmptyPolls.Load, wsLabel)
+		reg.CounterFunc("phish_jm_source_errors_total", "Job requests that failed outright.", st.SourceErrors.Load, wsLabel)
+		msrv, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("phishjobmanager: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("phishjobmanager: telemetry on http://%s/metrics\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

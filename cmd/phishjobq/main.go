@@ -21,11 +21,13 @@ import (
 	"syscall"
 
 	"phish/internal/jobq"
+	"phish/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "TCP address to listen on")
 	state := flag.String("state", "", "pool log file; submitted jobs survive restarts")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /healthz on this HTTP address (off when empty)")
 	flag.Parse()
 
 	var pool *jobq.Pool
@@ -47,6 +49,24 @@ func main() {
 		log.Fatalf("phishjobq: %v", err)
 	}
 	fmt.Printf("phishjobq: serving the job pool on %s\n", srv.Addr())
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		st := srv.Stats()
+		reg.CounterFunc("phish_jobq_requests_total", "Job requests dispatched.", st.Requests.Load)
+		reg.CounterFunc("phish_jobq_grants_total", "Job requests answered with a job.", st.Grants.Load)
+		reg.CounterFunc("phish_jobq_submits_total", "Jobs submitted.", st.Submits.Load)
+		reg.CounterFunc("phish_jobq_dones_total", "Jobs retired as done.", st.Dones.Load)
+		reg.CounterFunc("phish_jobq_lists_total", "Pool listings served.", st.Lists.Load)
+		reg.GaugeFunc("phish_jobq_pending_jobs", "Jobs currently waiting in the pool.",
+			func() int64 { return int64(pool.Len()) })
+		msrv, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("phishjobq: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("phishjobq: telemetry on http://%s/metrics\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -30,6 +31,8 @@ import (
 	"phish/internal/clock"
 	"phish/internal/core"
 	"phish/internal/phishnet"
+	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -51,6 +54,7 @@ func main() {
 	maxFail := flag.Int("maxfail", 60, "consecutive failed steals before retiring (0 = never)")
 	hb := flag.Duration("hb", 5*time.Second, "heartbeat interval (0 disables)")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/trace on this HTTP address (off when empty)")
 	flag.Parse()
 
 	if *chAddr == "" || *program == "" {
@@ -77,7 +81,26 @@ func main() {
 	cfg.StealTimeout = time.Second
 	cfg.StealBackoff = 5 * time.Millisecond
 
+	if *metricsAddr != "" {
+		cfg.Metrics = telemetry.NewMetrics()
+		cfg.Trace = trace.NewBuffer(4096)
+	}
+
 	w := core.NewWorker(types.JobID(*job), types.WorkerID(*workerID), prog, conn, cfg, clock.System)
+
+	if *metricsAddr != "" {
+		// The transport shares the worker's fault counters, backoff
+		// histogram, and trace ring.
+		conn.Instrument(w.Counters(), cfg.Metrics, cfg.Trace)
+		reg := cfg.Metrics.Reg
+		telemetry.RegisterStats(reg, w.Stats, telemetry.Label{Name: "worker", Value: strconv.Itoa(*workerID)})
+		srv, err := telemetry.Serve(*metricsAddr, reg, cfg.Trace)
+		if err != nil {
+			log.Fatalf("phishworker: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("phishworker: telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	// SIGTERM / SIGINT = the owner returned: migrate and leave.
 	sig := make(chan os.Signal, 1)

@@ -9,6 +9,7 @@ package clearinghouse
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +17,9 @@ import (
 
 	"phish/internal/clock"
 	"phish/internal/phishnet"
+	"phish/internal/stats"
+	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -38,6 +42,12 @@ type Config struct {
 	Journal *Journal
 	// Clock drives the periodic behavior; nil means the system clock.
 	Clock clock.Clock
+	// Trace, when non-nil and enabled, records control-plane events
+	// (journal replay on recovery).
+	Trace *trace.Buffer
+	// Metrics, when non-nil, records the journal append+fsync latency
+	// histogram and is folded into the cluster rollup.
+	Metrics *telemetry.Metrics
 }
 
 // DefaultConfig mirrors the paper's coarse communication granularity,
@@ -93,6 +103,13 @@ type Clearinghouse struct {
 	// Crash-recovery journal (see journal.go); nil when not journaling.
 	journal *Journal
 
+	// Telemetry: the clearinghouse's own fault counters (journal records)
+	// and the latest piggybacked StatReport from each worker, cumulative
+	// and idempotent — a duplicate or reordered report just rewrites the
+	// same worker's row.
+	counters stats.Counters
+	reports  map[types.WorkerID]recvReport
+
 	doneCh chan struct{}
 	stopCh chan struct{}
 	ranCh  chan struct{} // closed when Run exits
@@ -115,14 +132,23 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		rootHost: types.NoWorker,
 		armRoot:  true,
 		journal:  cfg.Journal,
+		reports:  make(map[types.WorkerID]recvReport),
 		doneCh:   make(chan struct{}),
 		stopCh:   make(chan struct{}),
 		ranCh:    make(chan struct{}),
 	}
 	if c.journal != nil {
+		c.journal.instrument(&c.counters, cfg.Metrics.WALAppend())
 		c.journal.append(&journalRecord{Kind: jSpec, Spec: spec}, true)
 	}
 	return c
+}
+
+// recvReport is the latest StatReport from one worker plus its arrival
+// time (for staleness display in phishtop).
+type recvReport struct {
+	rep wire.StatReport
+	at  time.Time
 }
 
 // Run services the job until Stop is called or the job completes and all
@@ -248,6 +274,10 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 			m.lastHeard = c.clk.Now()
 			m.hbSeen = true
 		}
+	case wire.StatReport:
+		// Latest-wins per worker: reports carry cumulative values, so
+		// duplicates and reordering (within one incarnation) are harmless.
+		c.reports[p.Worker] = recvReport{rep: p, at: c.clk.Now()}
 	case wire.Arg:
 		c.onArg(p)
 	case wire.IO:
@@ -542,6 +572,64 @@ func (c *Clearinghouse) send(to types.WorkerID, payload any) {
 	if err := c.conn.Send(env); err == nil {
 		c.msgsSent++
 	}
+}
+
+// Counters exposes the clearinghouse's own counters so a UDP transport
+// can be instrumented with them (retransmits, peer-gone reports).
+func (c *Clearinghouse) Counters() *stats.Counters { return &c.counters }
+
+// Stats snapshots the clearinghouse's own counters (journal records).
+func (c *Clearinghouse) Stats() stats.Snapshot {
+	s := c.counters.Snapshot()
+	s.Worker = int(types.ClearinghouseID)
+	return s
+}
+
+// ClusterSnapshot assembles the whole-job telemetry rollup from the latest
+// piggybacked worker reports: per-worker rows, Table 2-style totals (plus
+// the clearinghouse's own journal counter), and merged latency histograms
+// including the clearinghouse's WAL-append histogram.
+func (c *Clearinghouse) ClusterSnapshot() telemetry.ClusterSnapshot {
+	c.mu.Lock()
+	now := c.clk.Now()
+	live := 0
+	liveSet := make(map[types.WorkerID]bool, len(c.members))
+	for id, m := range c.members {
+		if !m.departed {
+			live++
+			liveSet[id] = true
+		}
+	}
+	rows := make([]telemetry.WorkerRow, 0, len(c.reports))
+	hists := make([][]wire.HistState, 0, len(c.reports)+1)
+	for id, r := range c.reports {
+		rows = append(rows, telemetry.WorkerRow{
+			Worker: int(id),
+			Live:   liveSet[id],
+			Deque:  r.rep.Deque,
+			AgeMS:  now.Sub(r.at).Milliseconds(),
+			Stats:  stats.FromOrdered(r.rep.Counters),
+		})
+		hists = append(hists, r.rep.Hists)
+	}
+	job, program, epoch := int64(c.job), c.spec.Program, c.epoch
+	chStats := c.counters.Snapshot()
+	metrics := c.cfg.Metrics
+	c.mu.Unlock()
+
+	// The clearinghouse's own histograms (WAL append) join the merge.
+	if states := metrics.Export(); len(states) > 0 {
+		hists = append(hists, states)
+	}
+	cs := telemetry.BuildClusterSnapshot(job, program, epoch, live, rows, hists)
+	cs.Totals.JournalRecords += chStats.JournalRecords
+	return cs
+}
+
+// WriteMetrics renders the cluster rollup as Prometheus text exposition —
+// what a clearinghouse's /metrics endpoint serves.
+func (c *Clearinghouse) WriteMetrics(w io.Writer) error {
+	return telemetry.WriteClusterProm(w, c.ClusterSnapshot())
 }
 
 // DebugMembers renders the membership table for post-mortem inspection.

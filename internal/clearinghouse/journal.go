@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"phish/internal/phishnet"
+	"phish/internal/stats"
+	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wal"
 	"phish/internal/wire"
@@ -73,6 +77,21 @@ type Journal struct {
 	f    *os.File
 	path string
 	err  error
+
+	// Telemetry, both nil until instrument is called: records appended
+	// (stats.JournalRecords) and append+fsync latency (hist).
+	stats *stats.Counters
+	hist  *telemetry.Histogram
+}
+
+// instrument attaches the owning clearinghouse's counters and WAL-append
+// latency histogram. Call before the journal sees traffic; either argument
+// may be nil.
+func (j *Journal) instrument(c *stats.Counters, h *telemetry.Histogram) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats = c
+	j.hist = h
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
@@ -116,6 +135,10 @@ func (j *Journal) append(rec *journalRecord, sync bool) {
 	if j.f == nil || j.err != nil {
 		return
 	}
+	var t0 time.Time
+	if j.hist != nil {
+		t0 = time.Now()
+	}
 	if err := wal.Append(j.f, rec); err != nil {
 		j.err = err
 		return
@@ -123,7 +146,14 @@ func (j *Journal) append(rec *journalRecord, sync bool) {
 	if sync {
 		if err := j.f.Sync(); err != nil {
 			j.err = err
+			return
 		}
+	}
+	if j.hist != nil {
+		j.hist.ObserveSince(t0)
+	}
+	if j.stats != nil {
+		j.stats.JournalRecords.Add(1)
 	}
 }
 
@@ -212,6 +242,14 @@ func NewFromRecovery(rec *RecoveredJob, conn phishnet.Conn, cfg Config) *Clearin
 		c.done = true
 		c.result = rec.Result
 		close(c.doneCh)
+	}
+	if tb := cfg.Trace; tb.Enabled() {
+		tb.Add(trace.Event{
+			At:     now,
+			Worker: types.ClearinghouseID,
+			Kind:   trace.EvJournalReplay,
+			Note:   fmt.Sprintf("resumed job %d: %d member(s), epoch %d", rec.Spec.ID, len(rec.Members), c.epoch),
+		})
 	}
 	return c
 }

@@ -25,6 +25,7 @@ import (
 	"phish/internal/jobq"
 	"phish/internal/phishnet"
 	"phish/internal/stats"
+	"phish/internal/telemetry"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// reproducible fault streams; reach it via Job.Faults for dynamic
 	// partitions.
 	Faults *phishnet.FaultPlan
+	// Telemetry gives every worker and clearinghouse its own
+	// telemetry.Metrics (latency histograms; workers piggyback theirs on
+	// heartbeats either way). Off by default — workers then pay only the
+	// nil checks. Scrape a job's rollup via Job.ServeMetrics or
+	// Job.ClusterSnapshot.
+	Telemetry bool
 }
 
 // Cluster is the simulated NOW.
@@ -205,6 +212,9 @@ func (c *Cluster) Submit(prog *core.Program, rootFn string, rootArgs []types.Val
 		fab.SetFaults(faults)
 	}
 	chCfg := c.opts.CH
+	if c.opts.Telemetry {
+		chCfg.Metrics = telemetry.NewMetrics()
+	}
 	var jnl *clearinghouse.Journal
 	jnlPath := ""
 	if c.opts.StateDir != "" {
@@ -399,11 +409,37 @@ func (j *Job) RestartClearinghouse() error {
 	}
 	cfg := j.cluster.opts.CH
 	cfg.Journal = jnl
+	if j.cluster.opts.Telemetry {
+		cfg.Metrics = telemetry.NewMetrics()
+	}
 	port := j.fabric.Attach(types.ClearinghouseID)
 	ch := clearinghouse.NewFromRecovery(rec, port, cfg)
 	go ch.Run()
 	j.ch, j.chPort, j.journal = ch, port, jnl
 	return nil
+}
+
+// ClusterSnapshot returns the current clearinghouse incarnation's
+// whole-job telemetry rollup (latest piggybacked worker reports).
+func (j *Job) ClusterSnapshot() telemetry.ClusterSnapshot {
+	return j.clearinghouse().ClusterSnapshot()
+}
+
+// ServeMetrics starts a telemetry HTTP endpoint for this job, serving the
+// clearinghouse rollup at /metrics (Prometheus text) and /cluster.json
+// (what phishtop polls). The snapshot goes through the current
+// clearinghouse incarnation, so the endpoint survives
+// CrashClearinghouse/RestartClearinghouse. Close the returned server when
+// done.
+func (j *Job) ServeMetrics(addr string) (*telemetry.Server, error) {
+	s, err := telemetry.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	snap := func() telemetry.ClusterSnapshot { return j.ClusterSnapshot() }
+	s.Handle("/metrics", telemetry.ClusterMetricsHandler(snap))
+	s.Handle("/cluster.json", telemetry.ClusterJSONHandler(snap))
+	return s, nil
 }
 
 // WorkerStats snapshots every participant the job ever had.
@@ -475,7 +511,11 @@ func (r *runner) Start(spec wire.JobSpec, id types.WorkerID) (jobmanager.WorkerP
 		return nil, fmt.Errorf("cluster: job %d already complete", spec.ID)
 	}
 	port := j.fabric.Attach(id)
-	w := core.NewWorker(spec.ID, id, j.prog, port, r.c.opts.Worker, clock.System)
+	wcfg := r.c.opts.Worker
+	if r.c.opts.Telemetry {
+		wcfg.Metrics = telemetry.NewMetrics()
+	}
+	w := core.NewWorker(spec.ID, id, j.prog, port, wcfg, clock.System)
 	j.mu.Lock()
 	j.workers[id] = w
 	j.mu.Unlock()

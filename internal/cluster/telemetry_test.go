@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"phish/internal/apps/fib"
+	"phish/internal/idlesim"
+	"phish/internal/phishnet"
+	"phish/internal/telemetry"
+)
+
+// scrape GETs the endpoint's /metrics and parses the exposition.
+func scrape(t *testing.T, addr string) []telemetry.Sample {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %s", resp.Status)
+	}
+	samples, err := telemetry.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape parse: %v", err)
+	}
+	return samples
+}
+
+// TestMetricsScrapeUnderFaults is the chaos telemetry check: run a job
+// with fault injection and worker crashes, scrape the clearinghouse's
+// /metrics over HTTP, and require the whole-job rollup to show the redo
+// machinery actually firing — nonzero steal and redo counters, steal-RTT
+// histogram data, and per-worker gauges.
+func TestMetricsScrapeUnderFaults(t *testing.T) {
+	opts := fastOpts()
+	opts.Telemetry = true
+	opts.StateDir = t.TempDir()
+	opts.Faults = &phishnet.FaultPlan{
+		Seed:        20260806,
+		Duplicate:   0.05,
+		Delay:       200 * time.Microsecond,
+		DelayJitter: 200 * time.Microsecond,
+	}
+	c := New(opts)
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(27))
+
+	srv, err := j.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Let the job get going, then crash workers; survivors redo the lost
+	// work from their steal records.
+	crashes := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for crashes < 3 && time.Now().Before(deadline) && !j.Done() {
+		live := j.LiveWorkers()
+		// Crash thieves, not the first worker: a dead thief's stolen tasks
+		// are what the survivors' steal records get redone from.
+		if len(live) >= 3 && j.Totals().TasksExecuted > 5000 {
+			if j.Crash(live[1+crashes%(len(live)-1)]) {
+				crashes++
+				// Past the heartbeat timeout, so the crash is detected and
+				// the redo sweep runs while the job is still computing.
+				time.Sleep(350 * time.Millisecond)
+				continue
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if crashes == 0 {
+		t.Fatal("never got to crash a worker; job finished too fast for the chaos check")
+	}
+
+	v, err := j.Wait(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.(int64), fib.Serial(27); got != want {
+		t.Fatalf("fib(27) = %d, want %d (crash recovery corrupted the result)", got, want)
+	}
+
+	// The teardown scrape: piggybacked reports have long since caught up
+	// (heartbeats are 10ms apart), so the rollup must show the faults.
+	mustPositive := func(samples []telemetry.Sample, name string) float64 {
+		t.Helper()
+		v, ok := telemetry.SampleValue(samples, name)
+		if !ok {
+			t.Fatalf("%s missing from /metrics", name)
+		}
+		if v <= 0 {
+			t.Fatalf("%s = %v, want > 0 under crash injection", name, v)
+		}
+		return v
+	}
+	var samples []telemetry.Sample
+	redoSeen := false
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		samples = scrape(t, srv.Addr())
+		if v, ok := telemetry.SampleValue(samples, "phish_tasks_redone_total"); ok && v > 0 {
+			redoSeen = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !redoSeen {
+		t.Fatalf("phish_tasks_redone_total stayed zero after %d worker crashes", crashes)
+	}
+	mustPositive(samples, "phish_tasks_executed_total")
+	mustPositive(samples, "phish_tasks_stolen_total")
+	mustPositive(samples, "phish_journal_records_total")
+	mustPositive(samples, "phish_steal_rtt_ns_count")
+	mustPositive(samples, "phish_workers_reporting")
+
+	perWorker := 0
+	for _, s := range samples {
+		if s.Name == "phish_worker_tasks_executed_total" && s.Label("worker") != "" {
+			perWorker++
+		}
+	}
+	if perWorker < 2 {
+		t.Fatalf("per-worker series = %d, want >= 2", perWorker)
+	}
+
+	// phishtop renders the same snapshot without panicking and shows the
+	// crashed workers' redone work.
+	top := telemetry.RenderTop(j.ClusterSnapshot(), nil, 0)
+	for _, want := range []string{"phishtop", "WORKER", "redone"} {
+		if !strings.Contains(top, want) {
+			t.Fatalf("phishtop output missing %q:\n%s", want, top)
+		}
+	}
+}
+
+// TestTelemetryRollupJSON exercises the /cluster.json endpoint phishtop
+// polls: a fault-free run still produces a well-formed rollup.
+func TestTelemetryRollupJSON(t *testing.T) {
+	opts := fastOpts()
+	opts.Telemetry = true
+	c := New(opts)
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+	j := c.Submit(fib.Program(), fib.Root, fib.RootArgs(21))
+	if _, err := j.Wait(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := j.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/cluster.json", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster.json: %s", resp.Status)
+	}
+	cs := j.ClusterSnapshot()
+	// Reports ride the heartbeat cadence, so the rollup can trail the
+	// final task counts — but it must have seen real progress.
+	if cs.Totals.TasksExecuted <= 0 || cs.Totals.TasksExecuted > fib.TaskCount(21) {
+		t.Fatalf("rollup tasks executed = %d, want in (0, %d]", cs.Totals.TasksExecuted, fib.TaskCount(21))
+	}
+	if len(cs.Workers) == 0 {
+		t.Fatal("rollup has no worker rows; piggybacked reports never arrived")
+	}
+}

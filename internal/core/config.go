@@ -13,6 +13,7 @@ package core
 import (
 	"time"
 
+	"phish/internal/telemetry"
 	"phish/internal/trace"
 )
 
@@ -129,6 +130,12 @@ type Config struct {
 	// events (steals, migrations, redos — not per-task hot-path events)
 	// for post-mortem timelines.
 	Trace *trace.Buffer
+
+	// Metrics, when non-nil, records the worker's latency histograms
+	// (steal round trip, task execution, registration) and enables the
+	// deque-depth gauge in piggybacked stat reports. Nil disables the
+	// telemetry plane; hot paths then pay at most one pointer check.
+	Metrics *telemetry.Metrics
 
 	// Site is the worker's network neighborhood, used by SiteAwareVictim.
 	Site int32

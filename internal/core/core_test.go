@@ -153,17 +153,21 @@ func TestFourWorkersConserveTasks(t *testing.T) {
 }
 
 func TestLateJoinerParticipates(t *testing.T) {
-	r := newRig(t, 26)
-	r.addWorker(0)
-	time.Sleep(30 * time.Millisecond)
+	// Join on observed progress, not a fixed sleep: a fast machine can
+	// finish a small root before a sleeping joiner ever registers.
+	r := newRig(t, 30)
+	w0 := r.addWorker(0)
+	for w0.Stats().TasksExecuted < 1000 {
+		time.Sleep(time.Millisecond)
+	}
 	late := r.addWorker(7)
-	if got, want := r.wait(60*time.Second), fibVal(26); got != want {
+	if got, want := r.wait(60*time.Second), fibVal(30); got != want {
 		t.Errorf("result = %d, want %d", got, want)
 	}
 	if late.Stats().TasksExecuted == 0 {
 		t.Error("late joiner never executed a task (idle-initiated join failed)")
 	}
-	if got, want := r.totals().TasksExecuted, fibTasks(26); got != want {
+	if got, want := r.totals().TasksExecuted, fibTasks(30); got != want {
 		t.Errorf("tasks executed = %d, want %d", got, want)
 	}
 }

@@ -62,6 +62,7 @@ type Worker struct {
 
 	stealPending  bool
 	stealDeadline time.Time
+	stealSentAt   time.Time
 	consecFails   int
 	stayAsked     bool
 	stayAskedAt   time.Time
@@ -97,12 +98,16 @@ type Worker struct {
 
 	hbStop chan struct{}
 
-	startT time.Time
+	startT atomic.Int64 // unix nanoseconds at Run entry (0 = not started); Stats races with Run
 	execT  atomic.Int64 // wall nanoseconds, set at exit
 	cpuT   atomic.Int64 // thread CPU nanoseconds, set at exit (0 if unknown)
 
 	orphanDrops atomic.Int64
 	heartbeats  atomic.Int64
+
+	// readyDepth mirrors dq.Len() for the heartbeat goroutine's stat
+	// reports; the deque itself is owned by the scheduler goroutine.
+	readyDepth atomic.Int32
 
 	// debug counters for the steal protocol (DebugDump only)
 	dbgGrants, dbgRepliesOK, dbgRepliesFail, dbgAdopts atomic.Int64
@@ -152,8 +157,8 @@ func (w *Worker) Stats() stats.Snapshot {
 	s.Orphans = w.orphanDrops.Load()
 	if ns := w.execT.Load(); ns > 0 {
 		s.WallTime = time.Duration(ns)
-	} else if !w.startT.IsZero() {
-		s.WallTime = time.Since(w.startT)
+	} else if t0 := w.startT.Load(); t0 > 0 {
+		s.WallTime = time.Since(time.Unix(0, t0))
 	}
 	// Execution time in the paper's sense: CPU time of the worker's
 	// thread when available (see internal/cputime), wall time otherwise.
@@ -164,6 +169,10 @@ func (w *Worker) Stats() stats.Snapshot {
 	}
 	return s
 }
+
+// Counters exposes the worker's live counter block so transports can
+// account retransmits and peer-gone reports against this participant.
+func (w *Worker) Counters() *stats.Counters { return &w.counters }
 
 // OrphanDrops reports results that arrived for tasks no longer present
 // (expected after crash recovery; always zero in fault-free runs).
@@ -212,9 +221,10 @@ func (w *Worker) Run() error {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
 	cpu0, cpuOK := cputime.Thread()
-	w.startT = time.Now()
+	t0 := time.Now()
+	w.startT.Store(t0.UnixNano())
 	defer func() {
-		w.execT.Store(int64(time.Since(w.startT)))
+		w.execT.Store(int64(time.Since(t0)))
 		if cpuOK {
 			if cpu1, ok := cputime.Thread(); ok {
 				w.cpuT.Store(int64(cpu1 - cpu0))
@@ -246,6 +256,7 @@ func (w *Worker) Run() error {
 // register announces the worker and waits for the clearinghouse's reply,
 // retrying a few times (the clearinghouse may still be starting).
 func (w *Worker) register() error {
+	t0 := time.Now()
 	for attempt := 0; attempt < 50; attempt++ {
 		if w.crashReq.Load() || w.stopReq.Load() {
 			return errors.New("core: worker stopped before registration")
@@ -257,6 +268,9 @@ func (w *Worker) register() error {
 		}
 		if w.registered {
 			w.tr(trace.EvRegister, types.TaskID{}, types.ClearinghouseID, "")
+			if m := w.cfg.Metrics; m != nil {
+				m.Register().ObserveSince(t0)
+			}
 			return nil
 		}
 	}
@@ -302,6 +316,7 @@ func (w *Worker) maybeReRegister() {
 		return
 	}
 	_ = w.sendTo(types.ClearinghouseID, wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site})
+	w.counters.ReRegistrations.Add(1)
 	w.chWait *= 2
 	if w.chWait > chReRegisterCap {
 		w.chWait = chReRegisterCap
@@ -313,6 +328,7 @@ func (w *Worker) maybeReRegister() {
 // retained root result is re-sent: a restarted clearinghouse may have
 // crashed before persisting it, and it deduplicates if not.
 func (w *Worker) chRecovered() {
+	w.tr(trace.EvRecover, types.TaskID{}, types.ClearinghouseID, "clearinghouse answered")
 	w.chDown = false
 	w.chWait = 0
 	if w.rootResult != nil {
@@ -329,6 +345,8 @@ func (w *Worker) chRecovered() {
 // clearinghouse had announced the crash — its own announcement usually
 // follows and both paths are idempotent.
 func (w *Worker) onPeerGone(peer types.WorkerID) {
+	w.counters.PeerGoneReports.Add(1)
+	w.tr(trace.EvPeerGone, types.TaskID{}, peer, "retransmits exhausted")
 	if peer == types.ClearinghouseID {
 		if w.registered {
 			w.noteCHDown()
@@ -349,7 +367,27 @@ func (w *Worker) heartbeatLoop() {
 			if err := w.conn.Send(env); err == nil {
 				w.heartbeats.Add(1)
 			}
+			// Piggyback the telemetry report on the same cadence: over UDP
+			// the batching window coalesces it into the heartbeat's
+			// datagram. Sent unreliably (and kept out of MessagesSent, like
+			// heartbeats) — a pre-telemetry clearinghouse just drops it.
+			rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+				Payload: w.statReport()}
+			_ = w.conn.Send(rep)
 		}
+	}
+}
+
+// statReport assembles the piggybacked telemetry record. Everything read
+// here is atomic (counters, the deque-depth mirror, histogram buckets), so
+// the heartbeat goroutine can build it without touching scheduler state.
+func (w *Worker) statReport() wire.StatReport {
+	return wire.StatReport{
+		Ver:      wire.StatReportVersion,
+		Worker:   w.id,
+		Deque:    w.readyDepth.Load(),
+		Counters: w.Stats().Ordered(),
+		Hists:    w.cfg.Metrics.Export(),
 	}
 }
 
@@ -359,6 +397,7 @@ func (w *Worker) loop() {
 		if w.crashReq.Load() {
 			return
 		}
+		w.readyDepth.Store(int32(w.dq.Len()))
 		w.drainAll()
 		w.retryUnsent(false)
 		w.maybeReRegister()
@@ -401,6 +440,11 @@ func (w *Worker) execute(cl *Closure) {
 		fn = w.prog.Funcs.MustLookup(cl.Fn)
 		w.fnCache[cl.Fn] = fn
 	}
+	m := w.cfg.Metrics // one pointer check when telemetry is off
+	var execT0 time.Time
+	if m != nil {
+		execT0 = time.Now()
+	}
 	completed := false
 	func() {
 		// A panicking task is an application bug; contain it to this
@@ -421,6 +465,9 @@ func (w *Worker) execute(cl *Closure) {
 		w.ctx.c = nil
 		completed = true
 	}()
+	if m != nil {
+		m.TaskExec().ObserveSince(execT0)
+	}
 	w.counters.TaskRetired()
 	if completed {
 		cl.free() // the body ran to completion; nothing references cl now
@@ -474,7 +521,8 @@ func (w *Worker) thieveStep() bool {
 			w.tr(trace.EvStealRequest, types.TaskID{}, victim, "")
 			w.counters.StealAttempts.Add(1)
 			w.stealPending = true
-			w.stealDeadline = time.Now().Add(w.cfg.StealTimeout)
+			w.stealSentAt = time.Now()
+			w.stealDeadline = w.stealSentAt.Add(w.cfg.StealTimeout)
 		} else {
 			// Victim vanished between view updates.
 			w.removeVictim(victim)
@@ -604,6 +652,14 @@ func (w *Worker) handle(env *wire.Envelope) {
 	case wire.StealRequest:
 		w.grantSteal(p.Thief)
 	case wire.StealReply:
+		// Observe the round trip only for a still-pending request: a reply
+		// straggling in after the timeout fired no longer pairs with
+		// stealSentAt.
+		if w.stealPending && !w.stealSentAt.IsZero() {
+			if m := w.cfg.Metrics; m != nil {
+				m.StealRTT().ObserveSince(w.stealSentAt)
+			}
+		}
 		w.stealPending = false
 		if p.OK {
 			w.dbgRepliesOK.Add(1)
@@ -691,6 +747,7 @@ func (w *Worker) applyView(v wire.MembershipView) {
 	// the task was lost in flight, so the work exists nowhere else. A
 	// thief merely absent from the view may simply not have been
 	// announced yet — redoing then would duplicate live work.
+	redone := 0
 	for _, rec := range w.records {
 		if rec.confirmed || rec.thief == w.id {
 			continue
@@ -701,6 +758,10 @@ func (w *Worker) applyView(v wire.MembershipView) {
 			continue
 		}
 		w.redoRecord(rec)
+		redone++
+	}
+	if redone > 0 {
+		w.counters.RedoBatches.Add(1)
 	}
 	// A fresh view may make unsent args routable.
 	w.retryUnsent(true)
@@ -1003,10 +1064,15 @@ func (w *Worker) onWorkerDown(dead types.WorkerID) {
 	w.conn.DropPeer(dead)
 	// Redo: re-enqueue the copy of every task we lent that thief. The
 	// record stays; the redone task's result still funnels through it.
+	redone := 0
 	for _, rec := range w.records {
 		if rec.thief == dead {
 			w.redoRecord(rec)
+			redone++
 		}
+	}
+	if redone > 0 {
+		w.counters.RedoBatches.Add(1)
 	}
 	w.purgeOrphans()
 }

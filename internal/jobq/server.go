@@ -5,25 +5,43 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phish/internal/types"
 	"phish/internal/wire"
 )
 
+// ServerStats counts the requests a Server has dispatched, by kind. All
+// fields are atomic; read them live from a telemetry registry.
+type ServerStats struct {
+	// Requests counts JobRequest calls; Grants is the subset answered
+	// with a job (the rest found the pool empty).
+	Requests atomic.Int64
+	Grants   atomic.Int64
+	// Submits, Dones, and Lists count the remaining request kinds.
+	Submits atomic.Int64
+	Dones   atomic.Int64
+	Lists   atomic.Int64
+}
+
 // Server exposes a Pool over TCP: one length-prefixed request envelope in,
 // one reply envelope out, connection kept open for further requests. The
 // traffic is deliberately sparse — in the paper a workstation talks to the
 // PhishJobQ at most once every 30 seconds.
 type Server struct {
-	pool *Pool
-	ln   net.Listener
-	wg   sync.WaitGroup
+	pool  *Pool
+	ln    net.Listener
+	wg    sync.WaitGroup
+	stats ServerStats
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 }
+
+// Stats exposes the server's request counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // NewServer starts serving pool on addr (":0" picks a port).
 func NewServer(pool *Pool, addr string) (*Server, error) {
@@ -98,15 +116,22 @@ func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
 	var payload any
 	switch p := env.Payload.(type) {
 	case wire.JobRequest:
+		s.stats.Requests.Add(1)
 		spec, ok := s.pool.Request()
+		if ok {
+			s.stats.Grants.Add(1)
+		}
 		payload = wire.JobReply{OK: ok, Job: spec}
 	case wire.JobSubmit:
+		s.stats.Submits.Add(1)
 		id := s.pool.Submit(p.Job)
 		payload = wire.JobSubmitReply{ID: id}
 	case wire.JobDone:
+		s.stats.Dones.Add(1)
 		s.pool.Done(p.ID)
 		payload = wire.JobListReply{Jobs: nil} // bare ack
 	case wire.JobList:
+		s.stats.Lists.Add(1)
 		payload = wire.JobListReply{Jobs: s.pool.List()}
 	default:
 		payload = wire.JobReply{OK: false}

@@ -8,6 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"phish/internal/stats"
+	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -73,6 +76,13 @@ type UDP struct {
 	downReported map[types.WorkerID]bool
 
 	faults *Faults // optional datagram-level fault injection
+
+	// Optional telemetry (Instrument): fault-path counters, the
+	// retransmit-backoff histogram, and transport trace events. All nil by
+	// default — the retransmit loop then records nothing.
+	stats   *stats.Counters
+	metrics *telemetry.Metrics
+	trace   *trace.Buffer
 
 	stopRetx chan struct{}
 	wg       sync.WaitGroup
@@ -204,6 +214,19 @@ func (u *UDP) SetPeerDown(fn func(types.WorkerID)) {
 	u.peerDown = fn
 }
 
+// Instrument attaches telemetry to the transport: retransmits and
+// peer-gone declarations are counted in c, each retransmit's preceding
+// backoff interval lands in m's histogram, and tb (when enabled) records
+// EvRetransmit/EvPeerGone events. Any argument may be nil. Call before
+// traffic starts.
+func (u *UDP) Instrument(c *stats.Counters, m *telemetry.Metrics, tb *trace.Buffer) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.stats = c
+	u.metrics = m
+	u.trace = tb
+}
+
 // SetFaults interposes deterministic fault injection at the datagram
 // level — below the ack/retransmit/dedup machinery, so injected drops are
 // retransmitted, duplicates are suppressed by the dedup window, and a
@@ -277,7 +300,17 @@ func (u *UDP) Send(env *wire.Envelope) error {
 		u.mu.Unlock()
 		return err
 	}
-	if _, isAck := env.Payload.(wire.Ack); isAck {
+	// Acks are fire-and-forget by nature. Stat reports are sent the same
+	// way by design: they are soft state refreshed every heartbeat, and a
+	// pre-telemetry clearinghouse that cannot decode one would never ack
+	// it — tracking it would exhaust retransmits and falsely declare a
+	// healthy peer gone.
+	untracked := false
+	switch env.Payload.(type) {
+	case wire.Ack, wire.StatReport:
+		untracked = true
+	}
+	if untracked {
 		data, dst := u.enqueueLocked(env.To, frame.Bytes())
 		frame.Free()
 		u.mu.Unlock()
@@ -536,6 +569,7 @@ func (u *UDP) retransmitLoop() {
 		}
 		var flushes []flushOp
 		var gone []types.WorkerID
+		var retxPeers []types.WorkerID
 		u.mu.Lock()
 		if u.closed {
 			u.mu.Unlock()
@@ -563,6 +597,10 @@ func (u *UDP) retransmitLoop() {
 				}
 				continue
 			}
+			// Record the interval that just elapsed before this retransmit,
+			// then double it for the next one.
+			u.metrics.RetxBackoff().Observe(int64(p.wait))
+			retxPeers = append(retxPeers, p.to)
 			p.wait *= 2
 			if p.wait > u.retxCap {
 				p.wait = u.retxCap
@@ -578,7 +616,24 @@ func (u *UDP) retransmitLoop() {
 			}
 		}
 		report := u.peerDown
+		st, tb := u.stats, u.trace
 		u.mu.Unlock()
+		if n := len(retxPeers); n > 0 {
+			if st != nil {
+				st.Retransmits.Add(int64(n))
+			}
+			if tb.Enabled() {
+				for _, id := range retxPeers {
+					tb.Add(trace.Event{Worker: u.local, Kind: trace.EvRetransmit, Peer: id})
+				}
+			}
+		}
+		if len(gone) > 0 && tb.Enabled() {
+			for _, id := range gone {
+				tb.Add(trace.Event{Worker: u.local, Kind: trace.EvPeerGone, Peer: id,
+					Note: "retransmits exhausted"})
+			}
+		}
 		for _, f := range flushes {
 			u.writeOwned(f.data, f.dst, f.to)
 		}

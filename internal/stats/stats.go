@@ -53,6 +53,21 @@ type Counters struct {
 	// TasksRedone counts closures re-executed by the fault-tolerance
 	// machinery after a crash.
 	TasksRedone atomic.Int64
+	// Retransmits counts frames re-sent by the transport after an ack
+	// deadline expired.
+	Retransmits atomic.Int64
+	// PeerGoneReports counts peers this participant declared unreachable
+	// after exhausting retransmits.
+	PeerGoneReports atomic.Int64
+	// ReRegistrations counts registration retries sent after losing the
+	// clearinghouse (the re-register loop, not the initial register).
+	ReRegistrations atomic.Int64
+	// JournalRecords counts control-plane records appended to the
+	// clearinghouse journal.
+	JournalRecords atomic.Int64
+	// RedoBatches counts crash/departure events that produced at least one
+	// redone task (TasksRedone counts the tasks themselves).
+	RedoBatches atomic.Int64
 }
 
 // TaskCreated records a new live closure and maintains the high-water mark.
@@ -98,6 +113,11 @@ type Snapshot struct {
 	MessagesReceived int64
 	TasksMigrated    int64
 	TasksRedone      int64
+	Retransmits      int64
+	PeerGoneReports  int64
+	ReRegistrations  int64
+	JournalRecords   int64
+	RedoBatches      int64
 	// Orphans counts results dropped because their consumer task no
 	// longer exists (expected after crash recovery, zero otherwise).
 	Orphans int64
@@ -127,6 +147,11 @@ func (c *Counters) Snapshot() Snapshot {
 		MessagesReceived: c.MessagesReceived.Load(),
 		TasksMigrated:    c.TasksMigrated.Load(),
 		TasksRedone:      c.TasksRedone.Load(),
+		Retransmits:      c.Retransmits.Load(),
+		PeerGoneReports:  c.PeerGoneReports.Load(),
+		ReRegistrations:  c.ReRegistrations.Load(),
+		JournalRecords:   c.JournalRecords.Load(),
+		RedoBatches:      c.RedoBatches.Load(),
 	}
 }
 
@@ -151,6 +176,11 @@ func JobTotals(workers []Snapshot) Snapshot {
 		t.MessagesReceived += w.MessagesReceived
 		t.TasksMigrated += w.TasksMigrated
 		t.TasksRedone += w.TasksRedone
+		t.Retransmits += w.Retransmits
+		t.PeerGoneReports += w.PeerGoneReports
+		t.ReRegistrations += w.ReRegistrations
+		t.JournalRecords += w.JournalRecords
+		t.RedoBatches += w.RedoBatches
 		t.Orphans += w.Orphans
 		if w.MaxTasksInUse > t.MaxTasksInUse {
 			t.MaxTasksInUse = w.MaxTasksInUse
@@ -165,10 +195,110 @@ func JobTotals(workers []Snapshot) Snapshot {
 	return t
 }
 
-// String renders the snapshot in the layout of the paper's Table 2.
+// String renders the snapshot in the layout of the paper's Table 2, with a
+// fault-path suffix appended only when any fault counter fired (fault-free
+// runs keep the paper's exact layout).
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"tasks executed %d | max tasks in use %d | tasks stolen %d | synchronizations %d | non-local synchs %d | messages sent %d | time %v",
 		s.TasksExecuted, s.MaxTasksInUse, s.TasksStolen,
 		s.Synchronizations, s.NonLocalSynchs, s.MessagesSent, s.ExecTime.Round(time.Millisecond))
+	if s.Retransmits != 0 || s.PeerGoneReports != 0 || s.ReRegistrations != 0 ||
+		s.JournalRecords != 0 || s.RedoBatches != 0 {
+		out += fmt.Sprintf(
+			" | retransmits %d | peer-gone %d | re-registrations %d | journal records %d | redo batches %d",
+			s.Retransmits, s.PeerGoneReports, s.ReRegistrations, s.JournalRecords, s.RedoBatches)
+	}
+	return out
+}
+
+// OrderedNames lists every Snapshot counter in wire order. The order is
+// append-only: telemetry reports carry counters as a positional []int64, so
+// renumbering would silently misattribute values between versions. Names
+// double as Prometheus metric names (a "_total" suffix marks a counter;
+// everything else is a gauge).
+var OrderedNames = []string{
+	"tasks_spawned_total",
+	"tasks_executed_total",
+	"max_tasks_in_use",
+	"tasks_stolen_total",
+	"remote_steals_total",
+	"steal_attempts_total",
+	"steal_failures_total",
+	"synchronizations_total",
+	"nonlocal_synchs_total",
+	"messages_sent_total",
+	"messages_received_total",
+	"tasks_migrated_total",
+	"tasks_redone_total",
+	"retransmits_total",
+	"peer_gone_total",
+	"reregistrations_total",
+	"journal_records_total",
+	"redo_batches_total",
+	"orphan_results_total",
+	"exec_time_ns",
+	"wall_time_ns",
+}
+
+// Ordered flattens the snapshot into the positional form of OrderedNames.
+func (s Snapshot) Ordered() []int64 {
+	return []int64{
+		s.TasksSpawned,
+		s.TasksExecuted,
+		s.MaxTasksInUse,
+		s.TasksStolen,
+		s.RemoteSteals,
+		s.StealAttempts,
+		s.FailedSteals,
+		s.Synchronizations,
+		s.NonLocalSynchs,
+		s.MessagesSent,
+		s.MessagesReceived,
+		s.TasksMigrated,
+		s.TasksRedone,
+		s.Retransmits,
+		s.PeerGoneReports,
+		s.ReRegistrations,
+		s.JournalRecords,
+		s.RedoBatches,
+		s.Orphans,
+		int64(s.ExecTime),
+		int64(s.WallTime),
+	}
+}
+
+// FromOrdered rebuilds a Snapshot from the positional form. Short slices
+// (an older sender) leave the tail zero; extra entries (a newer sender) are
+// ignored — both directions stay decodable across versions.
+func FromOrdered(vals []int64) Snapshot {
+	at := func(i int) int64 {
+		if i < len(vals) {
+			return vals[i]
+		}
+		return 0
+	}
+	return Snapshot{
+		TasksSpawned:     at(0),
+		TasksExecuted:    at(1),
+		MaxTasksInUse:    at(2),
+		TasksStolen:      at(3),
+		RemoteSteals:     at(4),
+		StealAttempts:    at(5),
+		FailedSteals:     at(6),
+		Synchronizations: at(7),
+		NonLocalSynchs:   at(8),
+		MessagesSent:     at(9),
+		MessagesReceived: at(10),
+		TasksMigrated:    at(11),
+		TasksRedone:      at(12),
+		Retransmits:      at(13),
+		PeerGoneReports:  at(14),
+		ReRegistrations:  at(15),
+		JournalRecords:   at(16),
+		RedoBatches:      at(17),
+		Orphans:          at(18),
+		ExecTime:         time.Duration(at(19)),
+		WallTime:         time.Duration(at(20)),
+	}
 }

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"phish/internal/stats"
+	"phish/internal/wire"
+)
+
+// HistKind identifies one of the runtime's latency histograms. Kinds are
+// part of the StatReport wire format: append new kinds, never renumber.
+type HistKind int32
+
+const (
+	// HistStealRTT is the thief-side steal round trip: StealRequest sent
+	// to StealReply received.
+	HistStealRTT HistKind = iota
+	// HistTaskExec is the wall time of one task function body.
+	HistTaskExec
+	// HistWALAppend is one journal append including fsync.
+	HistWALAppend
+	// HistRetxBackoff is the backoff interval preceding each UDP
+	// retransmit.
+	HistRetxBackoff
+	// HistRegister is the time from first Register send to RegisterReply.
+	HistRegister
+	histKindCount
+)
+
+var histNames = [histKindCount]string{
+	"steal_rtt_ns", "task_exec_ns", "wal_append_ns",
+	"retransmit_backoff_ns", "register_latency_ns",
+}
+
+var histHelp = [histKindCount]string{
+	"Steal round-trip time, request sent to reply received (ns).",
+	"Task function body execution time (ns).",
+	"Clearinghouse journal append+fsync latency (ns).",
+	"Backoff interval preceding each UDP retransmit (ns).",
+	"Registration latency, first send to reply (ns).",
+}
+
+// Name returns the histogram's exposition name without the phish_ prefix.
+func (k HistKind) Name() string {
+	if k >= 0 && k < histKindCount {
+		return histNames[k]
+	}
+	return "unknown_hist"
+}
+
+// Prefix is prepended to every Phish metric name in exposition.
+const Prefix = "phish_"
+
+// Metrics bundles one participant's latency histograms and the registry
+// they live in. A nil *Metrics is the disabled plane: every Observe on a
+// nil bundle's histograms is a no-op behind one pointer check, so hot
+// paths pay nothing when telemetry is off.
+type Metrics struct {
+	Reg   *Registry
+	hists [histKindCount]*Histogram
+}
+
+// NewMetrics builds an enabled bundle with its own registry.
+func NewMetrics() *Metrics {
+	return NewMetricsIn(NewRegistry())
+}
+
+// NewMetricsIn builds a bundle whose histograms register in r (so a
+// process can expose scheduler histograms and daemon-specific instruments
+// from one endpoint).
+func NewMetricsIn(r *Registry) *Metrics {
+	m := &Metrics{Reg: r}
+	for k := HistKind(0); k < histKindCount; k++ {
+		m.hists[k] = r.Histogram(Prefix+histNames[k], histHelp[k], DefaultLatencyBounds())
+	}
+	return m
+}
+
+// Hist returns the histogram for kind k; nil on a nil bundle or unknown
+// kind, which Observe tolerates.
+func (m *Metrics) Hist(k HistKind) *Histogram {
+	if m == nil || k < 0 || k >= histKindCount {
+		return nil
+	}
+	return m.hists[k]
+}
+
+// StealRTT, TaskExec, WALAppend, RetxBackoff and Register are nil-safe
+// accessors for the five kinds.
+func (m *Metrics) StealRTT() *Histogram    { return m.Hist(HistStealRTT) }
+func (m *Metrics) TaskExec() *Histogram    { return m.Hist(HistTaskExec) }
+func (m *Metrics) WALAppend() *Histogram   { return m.Hist(HistWALAppend) }
+func (m *Metrics) RetxBackoff() *Histogram { return m.Hist(HistRetxBackoff) }
+func (m *Metrics) Register() *Histogram    { return m.Hist(HistRegister) }
+
+// Export snapshots every histogram with recorded samples into wire form
+// for a StatReport. Nil-safe: a disabled plane exports nothing.
+func (m *Metrics) Export() []wire.HistState {
+	if m == nil {
+		return nil
+	}
+	var out []wire.HistState
+	for k := HistKind(0); k < histKindCount; k++ {
+		s := m.hists[k].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		out = append(out, wire.HistState{Kind: int32(k), Count: s.Count, Sum: s.Sum, Counts: s.Counts})
+	}
+	return out
+}
+
+// StateSnapshot converts one wire histogram state back into a snapshot,
+// restoring the bounds both ends know for the kind. States whose bucket
+// count does not match the known layout (a different version) come back
+// with nil bounds; Quantile on them returns 0 rather than lying.
+func StateSnapshot(h wire.HistState) HistSnapshot {
+	s := HistSnapshot{Counts: h.Counts, Count: h.Count, Sum: h.Sum}
+	bounds := DefaultLatencyBounds()
+	if HistKind(h.Kind) < histKindCount && len(h.Counts) == len(bounds)+1 {
+		s.Bounds = bounds
+	}
+	return s
+}
+
+// MergeStates folds wire histogram states from many workers into
+// per-kind snapshots.
+func MergeStates(reports [][]wire.HistState) map[HistKind]HistSnapshot {
+	out := make(map[HistKind]HistSnapshot)
+	for _, states := range reports {
+		for _, h := range states {
+			k := HistKind(h.Kind)
+			s := out[k]
+			in := StateSnapshot(h)
+			if len(in.Bounds) == 0 && in.Count > 0 {
+				// Unknown layout: fold count/sum only so totals stay right.
+				s.Count += in.Count
+				s.Sum += in.Sum
+				out[k] = s
+				continue
+			}
+			s.Merge(in)
+			out[k] = s
+		}
+	}
+	return out
+}
+
+// RegisterStats bridges a stats snapshot source into r: every counter in
+// stats.OrderedNames becomes a phish_-prefixed scrape-time metric. Names
+// ending in "_total" expose as counters, the rest as gauges.
+func RegisterStats(r *Registry, src func() stats.Snapshot, labels ...Label) {
+	for i, name := range stats.OrderedNames {
+		i := i
+		read := func() int64 { return src().Ordered()[i] }
+		if isCounterName(name) {
+			r.CounterFunc(Prefix+name, "", read, labels...)
+		} else {
+			r.GaugeFunc(Prefix+name, "", read, labels...)
+		}
+	}
+}
+
+func isCounterName(name string) bool {
+	return len(name) > 6 && name[len(name)-6:] == "_total"
+}

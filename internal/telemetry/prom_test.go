@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phish/internal/stats"
+	"phish/internal/wire"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry is a deterministic registry covering every instrument
+// kind the exposition writer handles.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("phish_tasks_executed_total", "Tasks executed by this worker.", Label{"worker", "1"})
+	c.Add(42)
+	r.Counter("phish_tasks_executed_total", "Tasks executed by this worker.", Label{"worker", "2"}).Add(17)
+	r.Gauge("phish_deque_depth", "Ready-deque depth.").Set(7)
+	h := r.Histogram("phish_steal_rtt_ns", "Steal round-trip latency.", []int64{1000, 2000, 5000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(10000)
+	return r
+}
+
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// What WriteProm emits, ParseProm reads back with the same values.
+func TestPromParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	want := map[string]float64{
+		`phish_tasks_executed_total{worker="1"}`: 42,
+		`phish_tasks_executed_total{worker="2"}`: 17,
+		`phish_deque_depth`:                      7,
+		`phish_steal_rtt_ns_bucket{le="1000"}`:   1,
+		`phish_steal_rtt_ns_bucket{le="2000"}`:   2,
+		`phish_steal_rtt_ns_bucket{le="5000"}`:   2,
+		`phish_steal_rtt_ns_bucket{le="+Inf"}`:   3,
+		`phish_steal_rtt_ns_sum`:                 12000,
+		`phish_steal_rtt_ns_count`:               3,
+	}
+	for k, v := range want {
+		got, ok := byKey[k]
+		if !ok {
+			t.Errorf("sample %s missing from parsed exposition", k)
+		} else if got != v {
+			t.Errorf("sample %s = %v, want %v", k, got, v)
+		}
+	}
+}
+
+// The cluster rollup exposition parses back with whole-job totals,
+// per-worker series, and histogram quantile gauges present.
+func TestClusterPromParseBack(t *testing.T) {
+	m := NewMetrics()
+	m.StealRTT().Observe(int64(5000))
+	rows := []WorkerRow{
+		{Worker: 2, Live: true, Deque: 3, Stats: stats.Snapshot{TasksExecuted: 10, TasksStolen: 2, TasksRedone: 1}},
+		{Worker: 1, Live: false, Deque: 0, Stats: stats.Snapshot{TasksExecuted: 5, FailedSteals: 4}},
+	}
+	cs := BuildClusterSnapshot(7, "pfold", 3, 1, rows, [][]wire.HistState{m.Export()})
+	if cs.Workers[0].Worker != 1 {
+		t.Fatalf("rows not sorted by worker id: %+v", cs.Workers)
+	}
+	if cs.Totals.TasksExecuted != 15 {
+		t.Fatalf("totals = %d, want 15", cs.Totals.TasksExecuted)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteClusterProm(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatalf("%v\nexposition:\n%s", err, buf.String())
+	}
+	if v, ok := SampleValue(samples, "phish_tasks_executed_total"); !ok || v != 15 {
+		t.Errorf("phish_tasks_executed_total = %v (found %v), want 15", v, ok)
+	}
+	if v, ok := SampleValue(samples, "phish_tasks_redone_total"); !ok || v != 1 {
+		t.Errorf("phish_tasks_redone_total = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := SampleValue(samples, "phish_live_workers"); !ok || v != 1 {
+		t.Errorf("phish_live_workers = %v (found %v), want 1", v, ok)
+	}
+	perWorker := 0
+	for _, s := range samples {
+		if s.Name == "phish_worker_deque_depth" {
+			perWorker++
+			if s.Label("worker") == "" {
+				t.Error("per-worker sample without worker label")
+			}
+		}
+	}
+	if perWorker != 2 {
+		t.Errorf("per-worker deque series = %d, want 2", perWorker)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "phish_steal_rtt_ns_q" && s.Label("q") == "0.99" {
+			found = true
+			if s.Value <= 0 {
+				t.Errorf("steal-rtt p99 = %v, want > 0", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("steal-rtt quantile gauge missing from cluster exposition")
+	}
+}

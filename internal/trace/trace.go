@@ -39,6 +39,10 @@ const (
 	EvUnregister
 	EvCrash
 	EvShutdown
+	EvPeerGone
+	EvRetransmit
+	EvRecover
+	EvJournalReplay
 	kindCount
 )
 
@@ -46,6 +50,7 @@ var kindNames = [kindCount]string{
 	"spawn", "execute", "steal-req", "steal-grant", "steal-fail",
 	"steal-adopt", "synch", "migrate-out", "migrate-in", "redo",
 	"register", "unregister", "crash", "shutdown",
+	"peer-gone", "retransmit", "recover", "journal-replay",
 }
 
 func (k Kind) String() string {

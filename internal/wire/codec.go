@@ -93,6 +93,7 @@ const (
 	tAck
 	tNilPayload
 	tPeerGone
+	tStatReport
 	// tGobEnvelope carries a gob-encoded payload of a type this codec has
 	// no hand-rolled shape for (applications extending the protocol).
 	tGobEnvelope byte = 255
@@ -489,6 +490,14 @@ func appendJobSpec(b []byte, j JobSpec) ([]byte, error) {
 	return appendI32(b, j.Priority), nil
 }
 
+func appendI64s(b []byte, vs []int64) []byte {
+	b = appendLen(b, len(vs), vs == nil)
+	for _, v := range vs {
+		b = appendI64(b, v)
+	}
+	return b
+}
+
 func appendCounts(b []byte, m map[types.WorkerID]int64) []byte {
 	b = appendLen(b, len(m), m == nil)
 	for k, v := range m {
@@ -566,6 +575,8 @@ func payloadTag(p any) byte {
 		return tAck
 	case PeerGone:
 		return tPeerGone
+	case StatReport:
+		return tStatReport
 	case nil:
 		return tNilPayload
 	default:
@@ -586,7 +597,7 @@ var tagNames = map[byte]string{
 	tJobRequest: "JobRequest", tJobReply: "JobReply", tJobSubmit: "JobSubmit",
 	tJobSubmitReply: "JobSubmitReply", tJobDone: "JobDone", tJobList: "JobList",
 	tJobListReply: "JobListReply", tAck: "Ack", tNilPayload: "nil",
-	tPeerGone: "PeerGone", tGobEnvelope: "gob-fallback",
+	tPeerGone: "PeerGone", tStatReport: "StatReport", tGobEnvelope: "gob-fallback",
 }
 
 func tagName(t byte) string {
@@ -709,6 +720,19 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 		return appendU64(b, x.Seq), nil
 	case PeerGone:
 		return appendI32(b, int32(x.Worker)), nil
+	case StatReport:
+		b = appendI32(b, x.Ver)
+		b = appendI32(b, int32(x.Worker))
+		b = appendI32(b, x.Deque)
+		b = appendI64s(b, x.Counters)
+		b = appendLen(b, len(x.Hists), x.Hists == nil)
+		for _, h := range x.Hists {
+			b = appendI32(b, h.Kind)
+			b = appendI64(b, h.Count)
+			b = appendI64(b, h.Sum)
+			b = appendI64s(b, h.Counts)
+		}
+		return b, nil
 	case nil:
 		return b, nil
 	default:
@@ -821,6 +845,18 @@ func (r *reader) count(minElem int) int {
 		r.fail()
 		return -1
 	}
+}
+
+func (r *reader) i64s() []int64 {
+	n := r.count(8)
+	if n < 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.i64()
+	}
+	return out
 }
 
 func (r *reader) taskID() types.TaskID {
@@ -1079,6 +1115,18 @@ func readPayload(r *reader, tag byte) any {
 		return Ack{Seq: r.u64()}
 	case tPeerGone:
 		return PeerGone{Worker: r.worker()}
+	case tStatReport:
+		p := StatReport{Ver: r.i32(), Worker: r.worker(), Deque: r.i32()}
+		p.Counters = r.i64s()
+		// A histogram state is at least kind+count+sum+len = 25 bytes.
+		n := r.count(25)
+		if n >= 0 {
+			p.Hists = make([]HistState, n)
+			for i := range p.Hists {
+				p.Hists[i] = HistState{Kind: r.i32(), Count: r.i64(), Sum: r.i64(), Counts: r.i64s()}
+			}
+		}
+		return p
 	case tNilPayload:
 		return nil
 	case tGobEnvelope:

@@ -225,6 +225,40 @@ type Heartbeat struct {
 	Worker types.WorkerID
 }
 
+// StatReportVersion is the current StatReport layout version. Receivers
+// keep decoding older (or newer) reports: counters are positional and
+// append-only (see stats.OrderedNames), and unknown histogram kinds are
+// carried through untouched.
+const StatReportVersion = 1
+
+// HistState is the cumulative state of one latency histogram in a
+// StatReport: per-bucket counts (the last entry is the overflow bucket),
+// total count, and sum of samples in nanoseconds. Bucket bounds are not
+// sent — Kind identifies a histogram whose bounds both ends know.
+type HistState struct {
+	Kind   int32
+	Count  int64
+	Sum    int64
+	Counts []int64
+}
+
+// StatReport piggybacks one worker's telemetry on the periodic
+// worker→clearinghouse update: cumulative counters in stats.OrderedNames
+// order, the current ready-deque depth, and cumulative histogram states.
+// Values are cumulative rather than deltas so the report is idempotent —
+// duplication, loss, and worker restarts all resolve to "latest report
+// wins" at the clearinghouse. It is sent unreliably (like Ack): a
+// pre-telemetry clearinghouse drops the unknown frame without acking it,
+// and no retransmit state may accumulate for a message that will never be
+// acked.
+type StatReport struct {
+	Ver      int32
+	Worker   types.WorkerID
+	Deque    int32 // ready-deque depth at report time
+	Counters []int64
+	Hists    []HistState
+}
+
 // WorkerDown notifies workers that a participant crashed so they can redo
 // work recorded in their steal logs and drop orphaned consumers.
 type WorkerDown struct {
@@ -377,7 +411,7 @@ func registerPayloads() {
 		WorkerDown{}, IO{}, Shutdown{}, SpawnRoot{}, StayRequest{}, StayReply{},
 		Pause{}, PauseAck{}, SnapshotRequest{}, SnapshotReply{}, Resume{},
 		JobRequest{}, JobReply{}, JobSubmit{}, JobSubmitReply{}, JobDone{},
-		JobList{}, JobListReply{}, Ack{}, PeerGone{},
+		JobList{}, JobListReply{}, Ack{}, PeerGone{}, StatReport{},
 		// Common Value concrete types.
 		int64(0), int(0), int32(0), uint64(0), float64(0), "", true,
 		[]byte(nil), []int64(nil), []float64(nil), []types.Value(nil),

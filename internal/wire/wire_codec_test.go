@@ -82,6 +82,15 @@ func everyPayload() []any {
 		JobListReply{Jobs: []JobSpec{{ID: 1}, {ID: 2, RootArgs: []types.Value{"a", nil}}}},
 		JobListReply{},
 		Ack{Seq: 99},
+		StatReport{Ver: StatReportVersion, Worker: 5, Deque: 3,
+			Counters: []int64{10, 20, 0, -1, 1 << 40},
+			Hists: []HistState{
+				{Kind: 0, Count: 3, Sum: 4500, Counts: []int64{1, 2, 0}},
+				{Kind: 4, Count: 0, Sum: 0, Counts: []int64{}},
+				{Kind: 2},
+			}},
+		StatReport{Worker: 6, Counters: []int64{}, Hists: []HistState{}},
+		StatReport{},
 		nil,
 	}
 }
