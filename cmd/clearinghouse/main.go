@@ -37,6 +37,7 @@ func main() {
 	update := flag.Duration("update", 2*time.Minute, "membership update push interval (the paper's 2 minutes)")
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	journal := flag.String("journal", "", "journal file for crash recovery (an existing file resumes that job)")
+	shards := flag.Int("shards", 8, "lock stripes for clearinghouse state (1 = single flat shard)")
 	metricsAddr := flag.String("metrics", "", "serve the whole-job rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
 	flag.Usage = func() {
 		fmt.Println("usage: clearinghouse -program <name> [flags] [program args...]\nprograms:")
@@ -68,6 +69,7 @@ func main() {
 	}
 	cfg := clearinghouse.DefaultConfig()
 	cfg.UpdateEvery = *update
+	cfg.Shards = *shards
 	if *metricsAddr != "" {
 		cfg.Metrics = telemetry.NewMetrics()
 		cfg.Trace = trace.NewBuffer(4096)

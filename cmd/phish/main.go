@@ -49,6 +49,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval")
 	restore := flag.String("restore", "", "resume the job from this checkpoint file instead of starting fresh")
 	metricsAddr := flag.String("metrics", "", "serve the job's telemetry rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
+	shards := flag.Int("shards", 8, "lock stripes for clearinghouse state (1 = single flat shard)")
 	top := flag.String("top", "", "phishtop: poll a clearinghouse telemetry URL (e.g. http://host:9090) and render a live cluster table instead of running a job")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "phishtop poll interval")
 	flag.Usage = func() {
@@ -118,6 +119,7 @@ func main() {
 		CHAddr:   chConn.LocalAddr(),
 	}
 	chCfg := clearinghouse.DefaultConfig()
+	chCfg.Shards = *shards
 	chCfg.UpdateEvery = 15 * time.Second
 	chCfg.HeartbeatTimeout = 30 * time.Second
 	if *metricsAddr != "" {

@@ -25,9 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
-	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench JSON baseline")
+	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench/chbench JSON baseline")
+	chShards := flag.String("ch-shards", "", "chbench shard counts, e.g. 1,4,16,64")
+	chWorkers := flag.String("ch-workers", "", "chbench simulated worker populations, e.g. 1000,10000,100000")
+	chIters := flag.Int("ch-iters", 0, "chbench hot-path rounds per ingest goroutine")
 	fibN := flag.Int64("fib-n", 0, "fib input (0 = default)")
 	nqN := flag.Int("nqueens-n", 0, "nqueens input")
 	pfoldN := flag.Int("pfold-n", 0, "pfold polymer length")
@@ -60,15 +63,21 @@ func main() {
 	if *repeats > 0 {
 		o.Repeats = *repeats
 	}
-	if *psFlag != "" {
-		var ps []int
-		for _, s := range strings.Split(*psFlag, ",") {
-			p, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || p < 1 {
-				log.Fatalf("phishbench: bad -ps entry %q", s)
-			}
-			ps = append(ps, p)
+	parseInts := func(name, val string) []int {
+		if val == "" {
+			return nil
 		}
+		var ns []int
+		for _, s := range strings.Split(val, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				log.Fatalf("phishbench: bad %s entry %q", name, s)
+			}
+			ns = append(ns, n)
+		}
+		return ns
+	}
+	if ps := parseInts("-ps", *psFlag); ps != nil {
 		o.Ps = ps
 	}
 
@@ -147,7 +156,26 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *schedOut)
 	}
+	if run("chbench") {
+		did = true
+		cfg := harness.DefaultCHBenchConfig()
+		if s := parseInts("-ch-shards", *chShards); s != nil {
+			cfg.Shards = s
+		}
+		if w := parseInts("-ch-workers", *chWorkers); w != nil {
+			cfg.Workers = w
+		}
+		if *chIters > 0 {
+			cfg.Iters = *chIters
+		}
+		rs := harness.CHBench(cfg)
+		harness.PrintCHBench(os.Stdout, rs)
+		if err := harness.WriteCHBenchJSON(*schedOut, rs); err != nil {
+			log.Fatalf("phishbench: write %s: %v", *schedOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *schedOut)
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, all)", *exp)
 	}
 }

@@ -63,10 +63,8 @@ func (c *Clearinghouse) Checkpoint(timeout time.Duration) (*JobCheckpoint, error
 		return nil, errors.New("clearinghouse: checkpoint already in progress")
 	}
 	workers := make(map[types.WorkerID]bool)
-	for id, m := range c.members {
-		if !m.departed {
-			workers[id] = true
-		}
+	for _, id := range c.store.LiveIDs() {
+		workers[id] = true
 	}
 	if len(workers) == 0 {
 		c.mu.Unlock()

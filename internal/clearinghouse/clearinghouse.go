@@ -5,16 +5,28 @@
 // the Clearinghouse to see job output", arbitrates worker retirement when
 // parallelism shrinks, and holds the redundant state needed to restart a
 // job whose root lineage is lost to a crash.
+//
+// Worker-keyed state (membership, heartbeat liveness, per-worker stat
+// telemetry) lives in a sharded, lock-striped store (see shardstore) so
+// the hot path — heartbeats and piggybacked StatReports from tens of
+// thousands of workers — never contends on the job-level mutex, and a
+// drained burst of datagrams folds into each shard with one lock
+// acquisition per shard rather than one per message. Job-level state
+// (result, output, root location, checkpoint bookkeeping) stays behind
+// c.mu; membership mutations all happen on the Run goroutine, so the two
+// layers compose without writer-writer races. Lock order is always
+// c.mu → shard, never the reverse.
 package clearinghouse
 
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"phish/internal/clearinghouse/shardstore"
 	"phish/internal/clock"
 	"phish/internal/phishnet"
 	"phish/internal/stats"
@@ -37,6 +49,17 @@ type Config struct {
 	// heartbeats off must not be declared dead by a clearinghouse with
 	// them on.
 	HeartbeatTimeout time.Duration
+	// Shards is the lock-stripe count for the worker-keyed state store.
+	// Purely a performance knob: any value produces identical behavior,
+	// epochs, and rollups (shard count is not persisted and recovery may
+	// use a different value than the journal's writer). Zero or one means
+	// a single stripe — the pre-sharding flat layout.
+	Shards int
+	// ReportTTL evicts stat-telemetry rows of departed or never-registered
+	// workers once their last report is older than this (swept alongside
+	// heartbeat checking, so it needs HeartbeatTimeout > 0 to run). Live
+	// members are never evicted. Zero keeps rows forever.
+	ReportTTL time.Duration
 	// Journal, when non-nil, receives every control-plane state change so
 	// a restarted clearinghouse can resume the job (see journal.go).
 	Journal *Journal
@@ -59,18 +82,16 @@ func DefaultConfig() Config {
 	return Config{
 		UpdateEvery:      2 * time.Second,
 		HeartbeatTimeout: 6 * time.Second,
+		Shards:           1,
+		ReportTTL:        5 * time.Minute,
 		Clock:            clock.System,
 	}
 }
 
-// member is the clearinghouse's record of a (possibly departed)
-// participant.
-type member struct {
-	info      wire.MemberInfo
-	lastHeard time.Time
-	departed  bool
-	hbSeen    bool // has ever heartbeated; gates timeout-based crash calls
-}
+// hotBatchMax bounds how many drained hot messages accumulate before a
+// forced fold; it caps both batch memory and the staleness window of a
+// heartbeat sitting unfolded in the batch.
+const hotBatchMax = 256
 
 // Clearinghouse tracks one job. Create with New, then Run (usually in a
 // goroutine); WaitResult blocks until the job's root result arrives.
@@ -81,18 +102,25 @@ type Clearinghouse struct {
 	cfg  Config
 	clk  clock.Clock
 
+	// store holds all worker-keyed state: membership rows, heartbeat
+	// liveness, membership epoch, and per-worker StatReport telemetry.
+	// Hot-path folds bypass c.mu entirely; mutations happen only on the
+	// Run goroutine (plus construction-time recovery).
+	store *shardstore.Store
+	// hot batches drained heartbeats/StatReports between folds; owned by
+	// the Run goroutine.
+	hot shardstore.HotBatch
+
 	mu       sync.Mutex
-	members  map[types.WorkerID]*member
-	epoch    uint64
 	rootHost types.WorkerID
 	armRoot  bool // spawn the root at the next registration
 	done     bool
 	result   types.Value
 	output   strings.Builder
 	ioLines  int64
-	msgsSent int64
-	msgsRecv int64
-	synchs   int64
+	msgsSent atomic.Int64
+	msgsRecv atomic.Int64
+	synchs   atomic.Int64
 
 	// Checkpoint coordination (see checkpoint.go).
 	ckpt        *ckptState
@@ -103,12 +131,9 @@ type Clearinghouse struct {
 	// Crash-recovery journal (see journal.go); nil when not journaling.
 	journal *Journal
 
-	// Telemetry: the clearinghouse's own fault counters (journal records)
-	// and the latest piggybacked StatReport from each worker, cumulative
-	// and idempotent — a duplicate or reordered report just rewrites the
-	// same worker's row.
+	// counters is the clearinghouse's own telemetry (journal records,
+	// transport retransmits).
 	counters stats.Counters
-	reports  map[types.WorkerID]recvReport
 
 	doneCh chan struct{}
 	stopCh chan struct{}
@@ -128,11 +153,10 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		conn:     conn,
 		cfg:      cfg,
 		clk:      clk,
-		members:  make(map[types.WorkerID]*member),
+		store:    shardstore.New(cfg.Shards),
 		rootHost: types.NoWorker,
 		armRoot:  true,
 		journal:  cfg.Journal,
-		reports:  make(map[types.WorkerID]recvReport),
 		doneCh:   make(chan struct{}),
 		stopCh:   make(chan struct{}),
 		ranCh:    make(chan struct{}),
@@ -142,13 +166,6 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		c.journal.append(&journalRecord{Kind: jSpec, Spec: spec}, true)
 	}
 	return c
-}
-
-// recvReport is the latest StatReport from one worker plus its arrival
-// time (for staleness display in phishtop).
-type recvReport struct {
-	rep wire.StatReport
-	at  time.Time
 }
 
 // Run services the job until Stop is called or the job completes and all
@@ -171,7 +188,7 @@ func (c *Clearinghouse) Run() {
 			if !ok {
 				return
 			}
-			c.handle(env)
+			c.ingest(env)
 		case <-tick:
 			c.broadcastUpdate()
 			tick = c.clk.After(c.cfg.UpdateEvery)
@@ -180,6 +197,71 @@ func (c *Clearinghouse) Run() {
 			hbTick = c.clk.After(c.cfg.HeartbeatTimeout / 2)
 		}
 	}
+}
+
+// ingest processes one received envelope, then opportunistically drains
+// whatever else is already queued. Consecutive hot messages (heartbeats,
+// piggybacked StatReports) accumulate into one batch and fold with a
+// single lock acquisition per touched shard; any non-hot message flushes
+// the pending batch first, so the store always reflects arrival order by
+// the time a control message is handled. The drain is bounded: under
+// sustained traffic an unbounded drain would never return to the Run
+// select and the update/heartbeat ticks would starve — crash detection
+// must keep running no matter how busy the inbox is.
+func (c *Clearinghouse) ingest(env *wire.Envelope) {
+	defer c.flushHot()
+	for n := 0; ; n++ {
+		if !c.foldHot(env) {
+			c.flushHot()
+			c.handle(env)
+		}
+		if n >= hotBatchMax {
+			return
+		}
+		select {
+		case next, ok := <-c.conn.Recv():
+			if !ok {
+				return
+			}
+			env = next
+		default:
+			return
+		}
+	}
+}
+
+// foldHot absorbs env into the pending hot batch if it is a self-reported
+// heartbeat or stat report; anything else (including the vanishingly rare
+// relayed report with From ≠ Worker) takes the ordinary handle path.
+func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
+	switch p := env.Payload.(type) {
+	case wire.Heartbeat:
+		if p.Worker != env.From {
+			return false
+		}
+		c.msgsRecv.Add(1)
+		c.hot.Beats = append(c.hot.Beats, p.Worker)
+	case wire.StatReport:
+		if p.Worker != env.From {
+			return false
+		}
+		c.msgsRecv.Add(1)
+		c.hot.Reports = append(c.hot.Reports, p)
+	default:
+		return false
+	}
+	if c.hot.Len() >= hotBatchMax {
+		c.flushHot()
+	}
+	return true
+}
+
+func (c *Clearinghouse) flushHot() {
+	if c.hot.Len() == 0 {
+		return
+	}
+	c.store.FoldHot(&c.hot, c.clk.Now())
+	c.hot.Reset()
 }
 
 // Stop shuts the clearinghouse down.
@@ -229,25 +311,17 @@ func (c *Clearinghouse) Output() string {
 
 // LiveWorkers returns the ids of currently participating workers.
 func (c *Clearinghouse) LiveWorkers() []types.WorkerID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids := make([]types.WorkerID, 0, len(c.members))
-	for id, m := range c.members {
-		if !m.departed {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return c.store.LiveIDs()
 }
 
 // Messages returns (sent, received) message counts for Table 2 totals.
 func (c *Clearinghouse) Messages() (sent, recv int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgsSent, c.msgsRecv
+	return c.msgsSent.Load(), c.msgsRecv.Load()
 }
 
+// handle processes one non-hot envelope. Job-level state is guarded by
+// c.mu; store operations take shard locks underneath it (lock order
+// c.mu → shard).
 func (c *Clearinghouse) handle(env *wire.Envelope) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -258,26 +332,24 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 		c.crashLocked(p.Worker)
 		return
 	}
-	c.msgsRecv++
+	c.msgsRecv.Add(1)
 	// Any traffic from a live member proves it is alive; heartbeats are
 	// just the guaranteed minimum cadence.
-	if m, ok := c.members[env.From]; ok && !m.departed {
-		m.lastHeard = c.clk.Now()
-	}
+	c.store.Touch(env.From, c.clk.Now())
 	switch p := env.Payload.(type) {
 	case wire.Register:
 		c.onRegister(p)
 	case wire.Unregister:
 		c.onUnregister(p)
 	case wire.Heartbeat:
-		if m, ok := c.members[p.Worker]; ok {
-			m.lastHeard = c.clk.Now()
-			m.hbSeen = true
-		}
+		// Slow path (relayed, From ≠ Worker); the common case folds in
+		// batches via foldHot without touching c.mu.
+		c.store.Heartbeat(p.Worker, c.clk.Now())
 	case wire.StatReport:
-		// Latest-wins per worker: reports carry cumulative values, so
-		// duplicates and reordering (within one incarnation) are harmless.
-		c.reports[p.Worker] = recvReport{rep: p, at: c.clk.Now()}
+		// Latest-wins per worker by cumulative progress: reports carry
+		// cumulative values, so duplicates and reordering (within one
+		// incarnation) fold idempotently and stale arrivals lose.
+		c.store.FoldReport(p, c.clk.Now())
 	case wire.Arg:
 		c.onArg(p)
 	case wire.IO:
@@ -309,28 +381,18 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 }
 
 func (c *Clearinghouse) onRegister(p wire.Register) {
-	if c.ckpt != nil {
-		if _, already := c.members[p.Worker]; !already {
-			c.ckpt.aborted = true // a joiner mid-checkpoint invalidates the matrix
-		}
+	if c.ckpt != nil && !c.store.Contains(p.Worker) {
+		c.ckpt.aborted = true // a joiner mid-checkpoint invalidates the matrix
 	}
-	m, exists := c.members[p.Worker]
-	switch {
-	case !exists:
-		c.members[p.Worker] = &member{
-			info:      wire.MemberInfo{Worker: p.Worker, Addr: p.Addr, HostedBy: p.Worker, Site: p.Site},
-			lastHeard: c.clk.Now(),
-		}
-		c.epoch++
-	case m.departed:
-		// Worker ids are incarnation-unique (the JobManager mints a fresh
-		// one per start), so a departed id re-registering is a protocol
-		// violation; keep the tombstone and just answer.
-	default:
-		m.lastHeard = c.clk.Now() // duplicate Register retry
-	}
+	// Worker ids are incarnation-unique (the JobManager mints a fresh one
+	// per start), so a departed id re-registering is a protocol violation;
+	// the store keeps the tombstone and we just answer. A duplicate
+	// Register retry refreshes liveness.
+	c.store.Register(p.Worker, wire.MemberInfo{
+		Worker: p.Worker, Addr: p.Addr, HostedBy: p.Worker, Site: p.Site,
+	}, c.clk.Now())
 	c.conn.SetPeer(p.Worker, p.Addr)
-	c.send(p.Worker, wire.RegisterReply{Assigned: p.Worker, View: c.viewLocked()})
+	c.send(p.Worker, wire.RegisterReply{Assigned: p.Worker, View: c.view()})
 	if c.done {
 		// The job finished while this worker was still joining (easy on a
 		// fast job: the shutdown broadcast predates its membership). Tell
@@ -352,12 +414,10 @@ func (c *Clearinghouse) onRegister(p wire.Register) {
 			bundle := c.restore[idx]
 			c.restore = append(c.restore[:idx], c.restore[idx+1:]...)
 			if bundle.Worker != p.Worker {
-				c.members[bundle.Worker] = &member{
-					info:     wire.MemberInfo{Worker: bundle.Worker, HostedBy: p.Worker},
-					departed: true,
-				}
+				c.store.AddTombstone(bundle.Worker, wire.MemberInfo{Worker: bundle.Worker, HostedBy: p.Worker})
+			} else {
+				c.store.Bump(p.Worker)
 			}
-			c.epoch++
 			if bundle.Worker == c.restoreRoot {
 				c.rootHost = p.Worker
 			}
@@ -373,8 +433,7 @@ func (c *Clearinghouse) onRegister(p wire.Register) {
 }
 
 func (c *Clearinghouse) onUnregister(p wire.Unregister) {
-	m, ok := c.members[p.Worker]
-	if !ok || m.departed {
+	if !c.store.IsLive(p.Worker) {
 		return
 	}
 	if c.ckpt != nil && c.ckpt.workers[p.Worker] {
@@ -386,15 +445,10 @@ func (c *Clearinghouse) onUnregister(p wire.Unregister) {
 		return
 	case p.MigratedTo != types.NoWorker:
 		// Tombstone: the adopter now hosts the departed worker's tasks.
-		m.departed = true
-		m.info.HostedBy = p.MigratedTo
 		// Flatten chains: anything previously hosted by the leaver moves
 		// to the adopter too.
-		for _, other := range c.members {
-			if other.info.HostedBy == p.Worker {
-				other.info.HostedBy = p.MigratedTo
-			}
-		}
+		c.store.Depart(p.Worker, p.MigratedTo)
+		c.store.Rehost(p.Worker, p.MigratedTo)
 		if c.rootHost == p.Worker {
 			c.rootHost = p.MigratedTo
 		}
@@ -404,8 +458,7 @@ func (c *Clearinghouse) onUnregister(p wire.Unregister) {
 		// view is indistinguishable from one not yet announced, and the
 		// steal-record recovery sweep must be able to tell "departed"
 		// from "not seen yet".
-		m.departed = true
-		m.info.HostedBy = types.NoWorker
+		c.store.Depart(p.Worker, types.NoWorker)
 		if c.rootHost == p.Worker && !c.done {
 			// It left holding nothing while the job is unfinished; if the
 			// root's lineage really is gone (e.g., the root spawn was
@@ -416,30 +469,20 @@ func (c *Clearinghouse) onUnregister(p wire.Unregister) {
 			c.armRoot = true
 		}
 	}
-	c.epoch++
 	c.journalStateLocked()
 	c.broadcastUpdateLocked(types.NoWorker)
 }
 
 // crashLocked handles the definitive loss of a worker and its state.
 func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
-	m, ok := c.members[dead]
-	if !ok || m.departed {
+	if !c.store.Remove(dead) {
 		return
 	}
-	delete(c.members, dead)
 	// Anything hosted by the dead worker is gone with it.
-	for id, other := range c.members {
-		if other.info.HostedBy == dead {
-			delete(c.members, id)
-		}
-	}
-	c.epoch++
+	c.store.RemoveHostedBy(dead)
 	c.conn.DropPeer(dead)
-	for id, other := range c.members {
-		if other.departed {
-			continue
-		}
+	live := c.store.LiveIDs()
+	for _, id := range live {
 		c.send(id, wire.WorkerDown{Worker: dead})
 	}
 	c.broadcastUpdateLocked(types.NoWorker)
@@ -447,14 +490,10 @@ func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
 		// The root lineage died. Respawn on any live worker, or arm the
 		// respawn for the next registrant.
 		c.rootHost = types.NoWorker
-		for id, other := range c.members {
-			if !other.departed {
-				c.rootHost = id
-				c.send(id, wire.SpawnRoot{Fn: c.spec.RootFn, Args: c.spec.RootArgs})
-				break
-			}
-		}
-		if c.rootHost == types.NoWorker {
+		if len(live) > 0 {
+			c.rootHost = live[0]
+			c.send(c.rootHost, wire.SpawnRoot{Fn: c.spec.RootFn, Args: c.spec.RootArgs})
+		} else {
 			c.armRoot = true
 		}
 	}
@@ -465,7 +504,7 @@ func (c *Clearinghouse) onArg(p wire.Arg) {
 	if p.Cont.Task.Worker != types.ClearinghouseID {
 		return // misrouted
 	}
-	c.synchs++
+	c.synchs.Add(1)
 	if c.done {
 		return // duplicate root result after a redo; first one won
 	}
@@ -476,23 +515,15 @@ func (c *Clearinghouse) onArg(p wire.Arg) {
 		c.journal.append(&journalRecord{Kind: jResult, Result: p.Val}, true)
 	}
 	close(c.doneCh)
-	for id, m := range c.members {
-		if !m.departed {
-			c.send(id, wire.Shutdown{Reason: "job complete"})
-		}
+	for _, id := range c.store.LiveIDs() {
+		c.send(id, wire.Shutdown{Reason: "job complete"})
 	}
 }
 
 func (c *Clearinghouse) onStayRequest(p wire.StayRequest) {
-	live := 0
-	for _, m := range c.members {
-		if !m.departed {
-			live++
-		}
-	}
 	// Keep the last participant, and keep the root's host (its lineage
 	// base may still be in flight to it).
-	stay := !c.done && (live <= 1 || p.Worker == c.rootHost)
+	stay := !c.done && (c.store.LiveCount() <= 1 || p.Worker == c.rootHost)
 	c.send(p.Worker, wire.StayReply{Stay: stay})
 }
 
@@ -508,24 +539,20 @@ func (c *Clearinghouse) pickBundleLocked(registrant types.WorkerID) int {
 		if b.Worker == registrant {
 			return i
 		}
-		if fallback == -1 {
-			if m, ok := c.members[b.Worker]; !ok || m.departed {
-				fallback = i
-			}
+		if fallback == -1 && !c.store.IsLive(b.Worker) {
+			fallback = i
 		}
 	}
 	return fallback
 }
 
-func (c *Clearinghouse) viewLocked() wire.MembershipView {
-	v := wire.MembershipView{Epoch: c.epoch}
-	ids := make([]types.WorkerID, 0, len(c.members))
-	for id := range c.members {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		v.Members = append(v.Members, c.members[id].info)
+// view assembles the membership view by merging over shards. Mutations
+// only happen on the Run goroutine, so the epoch and the member rows are
+// mutually consistent whenever a view is built.
+func (c *Clearinghouse) view() wire.MembershipView {
+	v := wire.MembershipView{Epoch: c.store.Epoch()}
+	for _, m := range c.store.Members() {
+		v.Members = append(v.Members, m.Info)
 	}
 	return v
 }
@@ -540,37 +567,40 @@ func (c *Clearinghouse) broadcastUpdate() {
 // broadcastUpdateLocked pushes the view to all live members except skip
 // (a registrant that just got the same view in its RegisterReply).
 func (c *Clearinghouse) broadcastUpdateLocked(skip types.WorkerID) {
-	view := c.viewLocked()
-	for id, m := range c.members {
-		if m.departed || id == skip {
+	members := c.store.Members()
+	view := wire.MembershipView{Epoch: c.store.Epoch()}
+	for _, m := range members {
+		view.Members = append(view.Members, m.Info)
+	}
+	for _, m := range members {
+		if m.Departed || m.Info.Worker == skip {
 			continue
 		}
-		c.send(id, wire.Update{View: view})
+		c.send(m.Info.Worker, wire.Update{View: view})
 	}
 }
 
 func (c *Clearinghouse) checkHeartbeats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cutoff := c.clk.Now().Add(-c.cfg.HeartbeatTimeout)
-	var deadList []types.WorkerID
-	for id, m := range c.members {
-		// Only workers that have actually heartbeated are subject to the
-		// timeout: silence from a worker that never sent one means "not
-		// configured to heartbeat", not "dead".
-		if !m.departed && m.hbSeen && m.lastHeard.Before(cutoff) {
-			deadList = append(deadList, id)
-		}
-	}
-	for _, id := range deadList {
+	now := c.clk.Now()
+	// Only workers that have actually heartbeated are subject to the
+	// timeout: silence from a worker that never sent one means "not
+	// configured to heartbeat", not "dead".
+	for _, id := range c.store.SweepDead(now.Add(-c.cfg.HeartbeatTimeout)) {
+		c.mu.Lock()
 		c.crashLocked(id)
+		c.mu.Unlock()
+	}
+	// Telemetry TTL rides the sweep: departed or never-registered workers'
+	// stat rows age out shard by shard instead of accreting forever.
+	if c.cfg.ReportTTL > 0 {
+		c.store.EvictReports(now.Add(-c.cfg.ReportTTL))
 	}
 }
 
 func (c *Clearinghouse) send(to types.WorkerID, payload any) {
 	env := &wire.Envelope{Job: c.job, From: types.ClearinghouseID, To: to, Payload: payload}
 	if err := c.conn.Send(env); err == nil {
-		c.msgsSent++
+		c.msgsSent.Add(1)
 	}
 }
 
@@ -588,40 +618,36 @@ func (c *Clearinghouse) Stats() stats.Snapshot {
 // ClusterSnapshot assembles the whole-job telemetry rollup from the latest
 // piggybacked worker reports: per-worker rows, Table 2-style totals (plus
 // the clearinghouse's own journal counter), and merged latency histograms
-// including the clearinghouse's WAL-append histogram.
+// including the clearinghouse's WAL-append histogram. The assembly is a
+// merge over shards — it never takes the job-level mutex and never stalls
+// the hot path for more than one shard at a time.
 func (c *Clearinghouse) ClusterSnapshot() telemetry.ClusterSnapshot {
-	c.mu.Lock()
 	now := c.clk.Now()
-	live := 0
-	liveSet := make(map[types.WorkerID]bool, len(c.members))
-	for id, m := range c.members {
-		if !m.departed {
-			live++
-			liveSet[id] = true
-		}
+	liveIDs := c.store.LiveIDs()
+	liveSet := make(map[types.WorkerID]bool, len(liveIDs))
+	for _, id := range liveIDs {
+		liveSet[id] = true
 	}
-	rows := make([]telemetry.WorkerRow, 0, len(c.reports))
-	hists := make([][]wire.HistState, 0, len(c.reports)+1)
-	for id, r := range c.reports {
+	reports := c.store.Reports()
+	rows := make([]telemetry.WorkerRow, 0, len(reports))
+	hists := make([][]wire.HistState, 0, len(reports)+1)
+	for _, r := range reports {
 		rows = append(rows, telemetry.WorkerRow{
-			Worker: int(id),
-			Live:   liveSet[id],
-			Deque:  r.rep.Deque,
-			AgeMS:  now.Sub(r.at).Milliseconds(),
-			Stats:  stats.FromOrdered(r.rep.Counters),
+			Worker: int(r.Rep.Worker),
+			Live:   liveSet[r.Rep.Worker],
+			Deque:  r.Rep.Deque,
+			AgeMS:  now.Sub(r.At).Milliseconds(),
+			Stats:  stats.FromOrdered(r.Rep.Counters),
 		})
-		hists = append(hists, r.rep.Hists)
+		hists = append(hists, r.Rep.Hists)
 	}
-	job, program, epoch := int64(c.job), c.spec.Program, c.epoch
 	chStats := c.counters.Snapshot()
-	metrics := c.cfg.Metrics
-	c.mu.Unlock()
 
 	// The clearinghouse's own histograms (WAL append) join the merge.
-	if states := metrics.Export(); len(states) > 0 {
+	if states := c.cfg.Metrics.Export(); len(states) > 0 {
 		hists = append(hists, states)
 	}
-	cs := telemetry.BuildClusterSnapshot(job, program, epoch, live, rows, hists)
+	cs := telemetry.BuildClusterSnapshot(int64(c.job), c.spec.Program, c.store.Epoch(), len(liveIDs), rows, hists)
 	cs.Totals.JournalRecords += chStats.JournalRecords
 	return cs
 }
@@ -635,18 +661,13 @@ func (c *Clearinghouse) WriteMetrics(w io.Writer) error {
 // DebugMembers renders the membership table for post-mortem inspection.
 func (c *Clearinghouse) DebugMembers() string {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := fmt.Sprintf("clearinghouse: done=%v rootHost=%d epoch=%d armRoot=%v\n",
-		c.done, c.rootHost, c.epoch, c.armRoot)
-	ids := make([]types.WorkerID, 0, len(c.members))
-	for id := range c.members {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		m := c.members[id]
+	done, rootHost, armRoot := c.done, c.rootHost, c.armRoot
+	c.mu.Unlock()
+	out := fmt.Sprintf("clearinghouse: done=%v rootHost=%d epoch=%d shards=%d armRoot=%v\n",
+		done, rootHost, c.store.Epoch(), c.store.Shards(), armRoot)
+	for _, m := range c.store.Members() {
 		out += fmt.Sprintf("  member %d hostedBy=%d site=%d departed=%v\n",
-			id, m.info.HostedBy, m.info.Site, m.departed)
+			m.Info.Worker, m.Info.HostedBy, m.Info.Site, m.Departed)
 	}
 	return out
 }

@@ -224,14 +224,17 @@ func ReplayJournal(path string) (*RecoveredJob, error) {
 func NewFromRecovery(rec *RecoveredJob, conn phishnet.Conn, cfg Config) *Clearinghouse {
 	c := New(rec.Spec, conn, cfg)
 	now := c.clk.Now()
+	// The journal is shard-agnostic: records carry a flat member list and a
+	// single epoch, so cfg.Shards may differ from whatever the writing
+	// incarnation used. Recovered rows fold into the new store without
+	// epoch bumps; the journaled epoch (plus one) seeds the base.
 	for _, jm := range rec.Members {
-		m := &member{info: jm.Info, lastHeard: now, departed: jm.Departed, hbSeen: true}
-		c.members[jm.Info.Worker] = m
+		c.store.RestoreMember(jm.Info, jm.Departed, now)
 		if !jm.Departed && jm.Info.Addr != "" {
 			conn.SetPeer(jm.Info.Worker, jm.Info.Addr)
 		}
 	}
-	c.epoch = rec.Epoch + 1
+	c.store.SetEpochBase(rec.Epoch + 1)
 	c.rootHost = rec.RootHost
 	c.armRoot = rec.ArmRoot
 	c.restore = append([]wire.SnapshotReply(nil), rec.Restore...)
@@ -248,7 +251,7 @@ func NewFromRecovery(rec *RecoveredJob, conn phishnet.Conn, cfg Config) *Clearin
 			At:     now,
 			Worker: types.ClearinghouseID,
 			Kind:   trace.EvJournalReplay,
-			Note:   fmt.Sprintf("resumed job %d: %d member(s), epoch %d", rec.Spec.ID, len(rec.Members), c.epoch),
+			Note:   fmt.Sprintf("resumed job %d: %d member(s), epoch %d", rec.Spec.ID, len(rec.Members), c.store.Epoch()),
 		})
 	}
 	return c
@@ -265,12 +268,12 @@ func (c *Clearinghouse) journalStateLocked() {
 		Kind:        jState,
 		RootHost:    c.rootHost,
 		ArmRoot:     c.armRoot,
-		Epoch:       c.epoch,
+		Epoch:       c.store.Epoch(),
 		Restore:     c.restore,
 		RestoreRoot: c.restoreRoot,
 	}
-	for _, m := range c.members {
-		rec.Members = append(rec.Members, journalMember{Info: m.info, Departed: m.departed})
+	for _, m := range c.store.Members() {
+		rec.Members = append(rec.Members, journalMember{Info: m.Info, Departed: m.Departed})
 	}
 	c.journal.append(rec, true)
 }

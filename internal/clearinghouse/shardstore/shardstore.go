@@ -1,0 +1,572 @@
+// Package shardstore is the clearinghouse's sharded, lock-striped state
+// store. Workers are hashed by id into N independently locked shards, each
+// owning its slice of the membership table, heartbeat liveness, and the
+// latest piggybacked StatReport telemetry. The point is macro-level scale:
+// with one flat map behind one mutex, a job's control plane serializes
+// every heartbeat and stat fold through a single lock and stops scaling at
+// a few thousand workers; with N shards, registration and heartbeat
+// traffic for disjoint workers never contend, so throughput scales close
+// to linearly in shards (until the cores run out).
+//
+// Concurrency contract:
+//
+//   - Hot-path folds (Touch, Heartbeat, FoldReport, FoldHot) are safe from
+//     any number of goroutines and take only the owning shard's lock —
+//     FoldHot groups a whole datagram batch by shard so each shard's lock
+//     is taken once per batch, not once per message.
+//   - Membership mutations (Register, Depart, Remove, Rehost...) may run
+//     concurrently with folds and reads, but writers must be externally
+//     serialized with each other — in the clearinghouse they all happen on
+//     the Run goroutine, exactly as they did under the flat map.
+//   - Cross-shard reads (Members, LiveIDs, Rows, Epoch) are merge-over-
+//     shards: they lock one shard at a time, so they are cheap and never
+//     stall the whole store, at the cost of not being a point-in-time
+//     snapshot across shards. The epoch is monotonic regardless, which is
+//     all the membership protocol needs.
+//
+// Shard count is a runtime performance knob, never a semantic one: the
+// same operations applied to a 1-shard and a 64-shard store produce
+// identical membership, epochs, and rollups (a property test holds the
+// two byte-identical), and nothing about the shard count is persisted.
+package shardstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// Member is one (possibly departed) participant's record.
+type Member struct {
+	Info      wire.MemberInfo
+	LastHeard time.Time
+	Departed  bool
+	// HBSeen gates timeout-based crash detection: only a worker that has
+	// actually heartbeated may be declared dead by silence.
+	HBSeen bool
+}
+
+// Report is the latest StatReport accepted from one worker, its arrival
+// time (for staleness display), and the monotonic key that rejected stale
+// reorderings (see FoldReport).
+type Report struct {
+	Rep wire.StatReport
+	At  time.Time
+	key int64
+}
+
+// shard owns one stripe of the store. Members and reports for a worker id
+// always live in the same shard, so a heartbeat+report datagram touches
+// one lock per distinct shard in the batch.
+type shard struct {
+	mu      sync.Mutex
+	members map[types.WorkerID]*Member
+	reports map[types.WorkerID]Report
+	// epoch counts membership mutations applied to this shard; the store's
+	// epoch is the sum over shards plus the recovery base.
+	epoch uint64
+	// live caches the non-departed member count for O(shards) live totals.
+	live int
+	_    [24]byte // keep neighboring shards off one cache line's locks
+}
+
+// Store is the sharded clearinghouse state.
+type Store struct {
+	shards []shard
+	// epochBase carries the journaled epoch across recovery (the recovered
+	// store starts with zeroed shard epochs but must resume past the
+	// journaled value).
+	epochBase atomic.Uint64
+}
+
+// New builds a store with n shards (n < 1 is treated as 1). Shard count
+// does not affect semantics, only lock striping.
+func New(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].members = make(map[types.WorkerID]*Member)
+		s.shards[i].reports = make(map[types.WorkerID]Report)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardOf hashes a worker id onto its shard. splitmix64-style finalizer:
+// worker ids are often dense small integers, and we need them spread
+// evenly across shards rather than striped by low bits.
+func (s *Store) shardOf(id types.WorkerID) *shard {
+	if len(s.shards) == 1 {
+		return &s.shards[0]
+	}
+	h := uint64(uint32(id)) + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// ---- Epoch ----------------------------------------------------------------
+
+// Epoch returns the membership epoch: the recovery base plus every
+// mutation applied to any shard. It is monotonic; reading it concurrently
+// with a mutation may or may not see that mutation, exactly like reading
+// a flat epoch counter outside the mutating lock.
+func (s *Store) Epoch() uint64 {
+	e := s.epochBase.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		e += sh.epoch
+		sh.mu.Unlock()
+	}
+	return e
+}
+
+// SetEpochBase seeds the epoch after recovery; shard epochs must still be
+// zero (call it on a fresh store before folding recovered members without
+// bumps).
+func (s *Store) SetEpochBase(e uint64) { s.epochBase.Store(e) }
+
+// ---- Membership mutations (externally serialized writers) -----------------
+
+// Register inserts id as a live member if it is absent. It returns the
+// member's state after the call: created says a new row was added (and the
+// epoch bumped), departed reports a tombstone (a departed id
+// re-registering is a protocol violation; the tombstone is kept). An
+// existing live member just has its liveness refreshed (a duplicate
+// Register retry).
+func (s *Store) Register(id types.WorkerID, info wire.MemberInfo, now time.Time) (created, departed bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.members[id]
+	switch {
+	case !ok:
+		sh.members[id] = &Member{Info: info, LastHeard: now}
+		sh.epoch++
+		sh.live++
+		return true, false
+	case m.Departed:
+		return false, true
+	default:
+		m.LastHeard = now
+		return false, false
+	}
+}
+
+// AddTombstone inserts a departed member (a restore bundle's old id being
+// adopted under a new one) and bumps the epoch.
+func (s *Store) AddTombstone(id types.WorkerID, info wire.MemberInfo) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	sh.members[id] = &Member{Info: info, Departed: true}
+	sh.epoch++
+	sh.mu.Unlock()
+}
+
+// Contains reports whether id has a row (live or tombstoned).
+func (s *Store) Contains(id types.WorkerID) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	_, ok := sh.members[id]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Member returns a copy of id's row.
+func (s *Store) Member(id types.WorkerID) (Member, bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.members[id]; ok {
+		return *m, true
+	}
+	return Member{}, false
+}
+
+// IsLive reports whether id is a non-departed member.
+func (s *Store) IsLive(id types.WorkerID) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.members[id]
+	return ok && !m.Departed
+}
+
+// Depart tombstones a live member: it stops counting as live, its tasks
+// are served by hostedBy (NoWorker for a clean exit with no state), and
+// the epoch bumps. It reports whether the member was live.
+func (s *Store) Depart(id, hostedBy types.WorkerID) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.members[id]
+	if !ok || m.Departed {
+		return false
+	}
+	m.Departed = true
+	m.Info.HostedBy = hostedBy
+	sh.epoch++
+	sh.live--
+	return true
+}
+
+// Remove deletes a live member outright (a crash: its state is gone, not
+// hosted anywhere) and bumps the epoch. It reports whether the member was
+// present and live.
+func (s *Store) Remove(id types.WorkerID) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.members[id]
+	if !ok || m.Departed {
+		return false
+	}
+	delete(sh.members, id)
+	sh.epoch++
+	sh.live--
+	return true
+}
+
+// RemoveHostedBy deletes every member whose tasks were hosted by dead (the
+// crash cascade: state hosted by a dead worker died with it) and returns
+// the removed ids. Cross-shard: each shard's lock is taken once. No epoch
+// bump — the cascade is part of one crash event, and the Remove of the
+// dead worker itself already bumped (one bump per semantic event keeps the
+// epoch sequence identical to the pre-sharding flat map, and identical
+// across shard counts).
+func (s *Store) RemoveHostedBy(dead types.WorkerID) []types.WorkerID {
+	var removed []types.WorkerID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.members {
+			if id != dead && m.Info.HostedBy == dead {
+				if !m.Departed {
+					sh.live--
+				}
+				delete(sh.members, id)
+				removed = append(removed, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// Bump advances the epoch by one, attributed to id's shard, without any
+// row mutation (a membership-visible event that rewired existing rows,
+// e.g. a restore bundle adopted under its original id).
+func (s *Store) Bump(id types.WorkerID) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	sh.epoch++
+	sh.mu.Unlock()
+}
+
+// Rehost flattens hosting chains: every member hosted by from moves to to.
+// No epoch bump — the flat-map code mutated rows in place and bumped once
+// for the departure itself; callers do the same here.
+func (s *Store) Rehost(from, to types.WorkerID) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.members {
+			if m.Info.HostedBy == from {
+				m.Info.HostedBy = to
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// RestoreMember folds one recovered journal row into the store without an
+// epoch bump (recovery seeds the epoch via SetEpochBase). Recovered
+// members are heartbeat-known: the heartbeat machinery re-establishes who
+// actually survived the outage.
+func (s *Store) RestoreMember(info wire.MemberInfo, departed bool, now time.Time) {
+	sh := s.shardOf(info.Worker)
+	sh.mu.Lock()
+	sh.members[info.Worker] = &Member{Info: info, LastHeard: now, Departed: departed, HBSeen: true}
+	if !departed {
+		sh.live++
+	}
+	sh.mu.Unlock()
+}
+
+// ---- Hot-path folds (any goroutine) ---------------------------------------
+
+// Touch refreshes id's liveness: any traffic from a live member proves it
+// is alive.
+func (s *Store) Touch(id types.WorkerID, now time.Time) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	if m, ok := sh.members[id]; ok && !m.Departed {
+		m.LastHeard = now
+	}
+	sh.mu.Unlock()
+}
+
+// Heartbeat refreshes liveness and marks the member heartbeat-known.
+func (s *Store) Heartbeat(id types.WorkerID, now time.Time) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	if m, ok := sh.members[id]; ok && !m.Departed {
+		m.LastHeard = now
+		m.HBSeen = true
+	}
+	sh.mu.Unlock()
+}
+
+// reportKey is the monotonic ordering key of a cumulative StatReport: the
+// sum of its counters. Every counter in stats.OrderedNames is monotonic
+// within one worker incarnation (and worker ids are incarnation-unique),
+// so a later report never has a smaller sum. A delayed, reordered, or
+// duplicated report from earlier in the same incarnation has a strictly
+// smaller-or-equal sum and must not overwrite a newer row.
+func reportKey(rep *wire.StatReport) int64 {
+	var k int64
+	for _, v := range rep.Counters {
+		k += v
+	}
+	return k
+}
+
+// FoldReport folds one StatReport: latest-wins by cumulative progress, not
+// by arrival order. It reports whether the row was updated.
+func (s *Store) FoldReport(rep wire.StatReport, now time.Time) bool {
+	sh := s.shardOf(rep.Worker)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.foldReportLocked(rep, now)
+}
+
+func (sh *shard) foldReportLocked(rep wire.StatReport, now time.Time) bool {
+	// Any traffic from a live member proves it is alive (reports ride the
+	// heartbeat cadence, so this is the same worker's shard by
+	// construction).
+	if m, ok := sh.members[rep.Worker]; ok && !m.Departed {
+		m.LastHeard = now
+	}
+	key := reportKey(&rep)
+	if old, ok := sh.reports[rep.Worker]; ok && key < old.key {
+		return false // stale reordering: an older cumulative state arrived late
+	}
+	sh.reports[rep.Worker] = Report{Rep: rep, At: now, key: key}
+	return true
+}
+
+// HotBatch is the decoded hot content of one inbox drain: heartbeats and
+// stat reports to fold, in no particular order (they are commutative).
+// Reuse one HotBatch and Reset it between drains to keep the ingest loop
+// allocation-free.
+type HotBatch struct {
+	Beats   []types.WorkerID
+	Reports []wire.StatReport
+	// scratch: per-shard indexes, grown once and reused.
+	order []int32
+}
+
+// Reset empties the batch, keeping capacity.
+func (b *HotBatch) Reset() {
+	b.Beats = b.Beats[:0]
+	b.Reports = b.Reports[:0]
+}
+
+// Len returns the number of folds queued.
+func (b *HotBatch) Len() int { return len(b.Beats) + len(b.Reports) }
+
+// FoldHot applies a whole batch, taking each involved shard's lock exactly
+// once — the reason a datagram carrying dozens of piggybacked heartbeats
+// costs one lock word per shard instead of one per message. Order within
+// the batch does not matter: heartbeats and reports are commutative folds
+// (max of liveness, monotonic-latest report).
+func (s *Store) FoldHot(b *HotBatch, now time.Time) {
+	n := len(s.shards)
+	if n == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		for _, id := range b.Beats {
+			if m, ok := sh.members[id]; ok && !m.Departed {
+				m.LastHeard = now
+				m.HBSeen = true
+			}
+		}
+		for _, rep := range b.Reports {
+			sh.foldReportLocked(rep, now)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	// Tag every entry with its shard, then sweep shard by shard. The
+	// order slice holds beats first, then reports, so one pass covers
+	// both without interleaving bookkeeping.
+	total := len(b.Beats) + len(b.Reports)
+	if cap(b.order) < total {
+		b.order = make([]int32, total)
+	}
+	order := b.order[:total]
+	touched := make(map[int32]struct{}, n) // small; n shards max
+	for i, id := range b.Beats {
+		si := s.shardIndex(id)
+		order[i] = si
+		touched[si] = struct{}{}
+	}
+	for i := range b.Reports {
+		si := s.shardIndex(b.Reports[i].Worker)
+		order[len(b.Beats)+i] = si
+		touched[si] = struct{}{}
+	}
+	for si := range touched {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for i, id := range b.Beats {
+			if order[i] != si {
+				continue
+			}
+			if m, ok := sh.members[id]; ok && !m.Departed {
+				m.LastHeard = now
+				m.HBSeen = true
+			}
+		}
+		for i := range b.Reports {
+			if order[len(b.Beats)+i] != si {
+				continue
+			}
+			sh.foldReportLocked(b.Reports[i], now)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Store) shardIndex(id types.WorkerID) int32 {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	h := uint64(uint32(id)) + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int32(h % uint64(len(s.shards)))
+}
+
+// ---- Cross-shard reads ----------------------------------------------------
+
+// LiveCount returns the number of non-departed members (sum of per-shard
+// cached counts; no map iteration).
+func (s *Store) LiveCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.live
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// LiveIDs returns the sorted ids of non-departed members.
+func (s *Store) LiveIDs() []types.WorkerID {
+	var ids []types.WorkerID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.members {
+			if !m.Departed {
+				ids = append(ids, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Members returns every row (live and tombstoned), sorted by worker id —
+// the merge-over-shards view assembly. Each element is a copy.
+func (s *Store) Members() []Member {
+	var out []Member
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.members {
+			out = append(out, *m)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.Worker < out[j].Info.Worker })
+	return out
+}
+
+// SweepDead returns the live, heartbeat-known members not heard from since
+// cutoff — the per-shard dead-worker sweep. The caller (the Run goroutine)
+// turns each into a crash.
+func (s *Store) SweepDead(cutoff time.Time) []types.WorkerID {
+	var dead []types.WorkerID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.members {
+			if !m.Departed && m.HBSeen && m.LastHeard.Before(cutoff) {
+				dead = append(dead, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	return dead
+}
+
+// Reports returns every worker's latest report row, unsorted (the rollup
+// sorts after decorating). Each element is a copy.
+func (s *Store) Reports() []Report {
+	var out []Report
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.reports {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// EvictReports drops telemetry rows whose worker is no longer a live
+// member and whose last report predates cutoff — per-shard TTL eviction,
+// so a 100k-worker job with churn does not accrete dead workers' rows
+// forever. It returns the number evicted. Live members are never evicted
+// (their rows only go stale if they stop reporting, which the heartbeat
+// timeout turns into a crash first).
+func (s *Store) EvictReports(cutoff time.Time) int {
+	evicted := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, r := range sh.reports {
+			if r.At.After(cutoff) {
+				continue
+			}
+			if m, ok := sh.members[id]; ok && !m.Departed {
+				continue
+			}
+			delete(sh.reports, id)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}

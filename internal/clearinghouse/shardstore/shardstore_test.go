@@ -1,0 +1,366 @@
+package shardstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func info(id types.WorkerID) wire.MemberInfo {
+	return wire.MemberInfo{Worker: id, Addr: fmt.Sprintf("10.0.0.%d:7", id), HostedBy: id, Site: int32(id % 3)}
+}
+
+func TestRegisterDepartRemove(t *testing.T) {
+	s := New(4)
+	if created, departed := s.Register(1, info(1), t0); !created || departed {
+		t.Fatalf("first register: created=%v departed=%v", created, departed)
+	}
+	if created, departed := s.Register(1, info(1), t0); created || departed {
+		t.Fatalf("duplicate register: created=%v departed=%v", created, departed)
+	}
+	if e := s.Epoch(); e != 1 {
+		t.Fatalf("epoch after one insert = %d, want 1", e)
+	}
+	s.Register(2, info(2), t0)
+	if got := s.LiveCount(); got != 2 {
+		t.Fatalf("LiveCount = %d, want 2", got)
+	}
+	if !s.Depart(1, 2) {
+		t.Fatal("Depart(1) = false")
+	}
+	if s.Depart(1, 2) {
+		t.Fatal("second Depart(1) = true")
+	}
+	if created, departed := s.Register(1, info(1), t0); created || !departed {
+		t.Fatalf("re-register of tombstone: created=%v departed=%v", created, departed)
+	}
+	if s.IsLive(1) || !s.IsLive(2) {
+		t.Fatalf("IsLive: 1=%v 2=%v", s.IsLive(1), s.IsLive(2))
+	}
+	m, ok := s.Member(1)
+	if !ok || !m.Departed || m.Info.HostedBy != 2 {
+		t.Fatalf("tombstone row = %+v ok=%v", m, ok)
+	}
+	if !s.Remove(2) {
+		t.Fatal("Remove(2) = false")
+	}
+	if s.Remove(1) {
+		t.Fatal("Remove of tombstone = true; crashes only apply to live members")
+	}
+	if got := s.LiveCount(); got != 0 {
+		t.Fatalf("LiveCount after removals = %d, want 0", got)
+	}
+	// insert(1) + insert(2) + depart(1) + remove(2) = 4 bumps.
+	if e := s.Epoch(); e != 4 {
+		t.Fatalf("epoch = %d, want 4", e)
+	}
+}
+
+func TestRehostAndCascade(t *testing.T) {
+	s := New(8)
+	for id := types.WorkerID(0); id < 10; id++ {
+		s.Register(id, info(id), t0)
+	}
+	// 3 departs hosted by 7; 4 and 5 were already hosted by 3 (chain).
+	s.Depart(3, 7)
+	for _, id := range []types.WorkerID{4, 5} {
+		s.Depart(id, 3)
+	}
+	s.Rehost(3, 7)
+	for _, id := range []types.WorkerID{3, 4, 5} {
+		m, _ := s.Member(id)
+		if m.Info.HostedBy != 7 {
+			t.Fatalf("member %d hostedBy = %d, want 7", id, m.Info.HostedBy)
+		}
+	}
+	epochBefore := s.Epoch()
+	if !s.Remove(7) {
+		t.Fatal("Remove(7) = false")
+	}
+	removed := s.RemoveHostedBy(7)
+	if len(removed) != 3 {
+		t.Fatalf("cascade removed %v, want the 3 hosted tombstones", removed)
+	}
+	// A crash is one semantic event: Remove bumps once, the cascade not at all.
+	if e := s.Epoch(); e != epochBefore+1 {
+		t.Fatalf("epoch after crash = %d, want %d", e, epochBefore+1)
+	}
+	for _, id := range []types.WorkerID{3, 4, 5, 7} {
+		if s.Contains(id) {
+			t.Fatalf("member %d still present after cascade", id)
+		}
+	}
+}
+
+// opTrace applies a deterministic membership/fold workload to a store.
+func opTrace(s *Store, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	now := t0
+	for i := 0; i < 500; i++ {
+		id := types.WorkerID(rng.Intn(64))
+		now = now.Add(time.Millisecond)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			s.Register(id, info(id), now)
+		case 4:
+			s.Depart(id, types.WorkerID(rng.Intn(64)))
+		case 5:
+			if s.Remove(id) {
+				s.RemoveHostedBy(id)
+			}
+		case 6:
+			s.Heartbeat(id, now)
+		case 7:
+			s.Touch(id, now)
+		case 8:
+			s.FoldReport(wire.StatReport{Worker: id, Deque: int32(i), Counters: []int64{int64(i)}}, now)
+		case 9:
+			s.Rehost(id, types.WorkerID(rng.Intn(64)))
+		}
+	}
+}
+
+// TestShardCountInvariance is the core contract: the same operation
+// sequence produces identical members, epochs, live counts, and report
+// rollups at every shard count.
+func TestShardCountInvariance(t *testing.T) {
+	ref := New(1)
+	opTrace(ref, 42)
+	for _, n := range []int{2, 3, 4, 16, 64, 257} {
+		s := New(n)
+		opTrace(s, 42)
+		if got, want := s.Epoch(), ref.Epoch(); got != want {
+			t.Errorf("shards=%d: epoch %d, want %d", n, got, want)
+		}
+		if got, want := s.LiveCount(), ref.LiveCount(); got != want {
+			t.Errorf("shards=%d: live %d, want %d", n, got, want)
+		}
+		if got, want := s.Members(), ref.Members(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: members diverge from flat store", n)
+		}
+		if got, want := s.LiveIDs(), ref.LiveIDs(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: live ids %v, want %v", n, got, want)
+		}
+		if got, want := sortedReports(s), sortedReports(ref); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: reports diverge from flat store", n)
+		}
+	}
+}
+
+func sortedReports(s *Store) map[types.WorkerID]Report {
+	m := make(map[types.WorkerID]Report)
+	for _, r := range s.Reports() {
+		m[r.Rep.Worker] = r
+	}
+	return m
+}
+
+func TestFoldReportMonotonic(t *testing.T) {
+	s := New(4)
+	s.Register(5, info(5), t0)
+	newer := wire.StatReport{Worker: 5, Deque: 9, Counters: []int64{10, 20}}
+	older := wire.StatReport{Worker: 5, Deque: 1, Counters: []int64{10, 5}}
+	if !s.FoldReport(newer, t0) {
+		t.Fatal("first fold rejected")
+	}
+	// The delayed duplicate from earlier in the incarnation must not win.
+	if s.FoldReport(older, t0.Add(time.Second)) {
+		t.Fatal("stale report (smaller cumulative sum) accepted")
+	}
+	got := sortedReports(s)[5]
+	if got.Rep.Deque != 9 {
+		t.Fatalf("report row regressed to %+v", got.Rep)
+	}
+	// Equal sums (an exact duplicate) may re-fold: idempotent either way.
+	if !s.FoldReport(newer, t0.Add(2*time.Second)) {
+		t.Fatal("exact duplicate rejected; latest-wins should accept equal progress")
+	}
+}
+
+func TestFoldHotMatchesSingleFolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 4, 16} {
+		batched, single := New(n), New(n)
+		for id := types.WorkerID(0); id < 40; id++ {
+			batched.Register(id, info(id), t0)
+			single.Register(id, info(id), t0)
+		}
+		var b HotBatch
+		now := t0.Add(time.Minute)
+		for i := 0; i < 200; i++ {
+			id := types.WorkerID(rng.Intn(50)) // includes unknown workers
+			if rng.Intn(2) == 0 {
+				b.Beats = append(b.Beats, id)
+				single.Heartbeat(id, now)
+			} else {
+				rep := wire.StatReport{Worker: id, Deque: int32(i), Counters: []int64{int64(rng.Intn(5))}}
+				b.Reports = append(b.Reports, rep)
+				single.FoldReport(rep, now)
+			}
+		}
+		batched.FoldHot(&b, now)
+		if !reflect.DeepEqual(batched.Members(), single.Members()) {
+			t.Errorf("shards=%d: batched members diverge from single folds", n)
+		}
+		if !reflect.DeepEqual(sortedReports(batched), sortedReports(single)) {
+			t.Errorf("shards=%d: batched reports diverge from single folds", n)
+		}
+		b.Reset()
+		if b.Len() != 0 {
+			t.Fatal("Reset left entries behind")
+		}
+	}
+}
+
+func TestSweepDeadAndHBSeenGate(t *testing.T) {
+	s := New(4)
+	for id := types.WorkerID(0); id < 4; id++ {
+		s.Register(id, info(id), t0)
+	}
+	s.Heartbeat(0, t0)
+	s.Heartbeat(1, t0.Add(10*time.Second))
+	// 2 and 3 never heartbeated: exempt from the timeout.
+	dead := s.SweepDead(t0.Add(5 * time.Second))
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("SweepDead = %v, want [0]", dead)
+	}
+}
+
+func TestEvictReports(t *testing.T) {
+	s := New(4)
+	s.Register(1, info(1), t0)
+	s.FoldReport(wire.StatReport{Worker: 1, Counters: []int64{1}}, t0)
+	s.FoldReport(wire.StatReport{Worker: 2, Counters: []int64{1}}, t0) // never a member
+	s.Register(3, info(3), t0)
+	s.FoldReport(wire.StatReport{Worker: 3, Counters: []int64{1}}, t0)
+	s.Depart(3, types.NoWorker)
+	cutoff := t0.Add(time.Minute)
+	if n := s.EvictReports(cutoff); n != 2 {
+		t.Fatalf("evicted %d rows, want 2 (the non-member and the tombstone)", n)
+	}
+	reps := s.Reports()
+	if len(reps) != 1 || reps[0].Rep.Worker != 1 {
+		t.Fatalf("surviving reports = %v, want live member 1 only", reps)
+	}
+	// Fresh rows survive even for non-members (report may precede Register).
+	s.FoldReport(wire.StatReport{Worker: 9, Counters: []int64{1}}, cutoff.Add(time.Second))
+	if n := s.EvictReports(cutoff); n != 0 {
+		t.Fatalf("evicted %d fresh rows, want 0", n)
+	}
+}
+
+func TestEpochBaseRecovery(t *testing.T) {
+	s := New(4)
+	s.SetEpochBase(100)
+	s.RestoreMember(info(1), false, t0)
+	s.RestoreMember(info(2), true, t0)
+	if e := s.Epoch(); e != 100 {
+		t.Fatalf("epoch after restore = %d, want base 100 (restores do not bump)", e)
+	}
+	if got := s.LiveCount(); got != 1 {
+		t.Fatalf("live after restore = %d, want 1", got)
+	}
+	m, _ := s.Member(1)
+	if !m.HBSeen {
+		t.Fatal("restored member not heartbeat-known; outage survivors must be sweepable")
+	}
+	s.Register(3, info(3), t0)
+	if e := s.Epoch(); e != 101 {
+		t.Fatalf("epoch after post-recovery insert = %d, want 101", e)
+	}
+}
+
+// TestConcurrentFolds exercises reader/fold concurrency under -race: folds
+// from many goroutines against merge reads and externally-serialized
+// mutations.
+func TestConcurrentFolds(t *testing.T) {
+	s := New(8)
+	for id := types.WorkerID(0); id < 32; id++ {
+		s.Register(id, info(id), t0)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var b HotBatch
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Reset()
+				for j := 0; j < 16; j++ {
+					id := types.WorkerID((g*16 + i + j) % 32)
+					b.Beats = append(b.Beats, id)
+					b.Reports = append(b.Reports, wire.StatReport{Worker: id, Counters: []int64{int64(i)}})
+				}
+				s.FoldHot(&b, t0.Add(time.Duration(i)))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // one externally-serialized writer, as in the clearinghouse
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := types.WorkerID(32 + i%8)
+			s.Register(id, info(id), t0)
+			s.Depart(id, types.NoWorker)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s.Members()
+		s.Reports()
+		s.Epoch()
+		s.LiveCount()
+		s.SweepDead(t0.Add(-time.Hour))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkFoldHot measures the batched hot path at several shard counts:
+// each parallel worker folds a 64-entry heartbeat+report batch. On a
+// multi-core runner, throughput scales near-linearly in shards until the
+// cores run out; at GOMAXPROCS=1 the counts merely confirm that striping
+// adds no overhead.
+func BenchmarkFoldHot(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := New(shards)
+			const pop = 4096
+			for id := types.WorkerID(0); id < pop; id++ {
+				s.Register(id, info(id), t0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var hb HotBatch
+				rng := rand.New(rand.NewSource(1))
+				counters := []int64{1, 2, 3}
+				for pb.Next() {
+					hb.Reset()
+					for j := 0; j < 64; j++ {
+						id := types.WorkerID(rng.Intn(pop))
+						if j%2 == 0 {
+							hb.Beats = append(hb.Beats, id)
+						} else {
+							hb.Reports = append(hb.Reports, wire.StatReport{Worker: id, Counters: counters})
+						}
+					}
+					s.FoldHot(&hb, t0)
+				}
+			})
+		})
+	}
+}

@@ -169,9 +169,18 @@ func TestTelemetryRollupJSON(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cluster.json: %s", resp.Status)
 	}
-	cs := j.ClusterSnapshot()
-	// Reports ride the heartbeat cadence, so the rollup can trail the
-	// final task counts — but it must have seen real progress.
+	// Reports ride the heartbeat cadence plus a final flush at
+	// unregister; Wait returns on the root result, which races those
+	// last reports by a few milliseconds, so poll briefly.
+	var cs telemetry.ClusterSnapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs = j.ClusterSnapshot()
+		if cs.Totals.TasksExecuted > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if cs.Totals.TasksExecuted <= 0 || cs.Totals.TasksExecuted > fib.TaskCount(21) {
 		t.Fatalf("rollup tasks executed = %d, want in (0, %d]", cs.Totals.TasksExecuted, fib.TaskCount(21))
 	}

@@ -1327,6 +1327,14 @@ func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) 
 	if w.cfg.Trace.Enabled() {
 		w.tr(trace.EvUnregister, types.TaskID{}, migratedTo, reason.String())
 	}
+	// Flush the final telemetry state first, so the job-end rollup is
+	// complete even when the whole job fits inside one heartbeat
+	// interval. Sent unreliably like the cadence reports (and kept out
+	// of MessagesSent); over UDP it coalesces into the Unregister's
+	// datagram.
+	rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+		Payload: w.statReport()}
+	_ = w.conn.Send(rep)
 	w.sendTo(types.ClearinghouseID, wire.Unregister{
 		Worker: w.id, Reason: reason, MigratedTo: migratedTo,
 	})

@@ -85,9 +85,11 @@ func WireBench() []WireBenchResult {
 		}},
 		{"decode-arg", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := wire.Decode(argFrame); err != nil {
+				env, err := wire.Decode(argFrame)
+				if err != nil {
 					b.Fatal(err)
 				}
+				env.Free()
 			}
 		}},
 		{"encode-stolen-closure", func(b *testing.B) {
@@ -101,9 +103,11 @@ func WireBench() []WireBenchResult {
 		}},
 		{"decode-stolen-closure", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := wire.Decode(stealFrame); err != nil {
+				env, err := wire.Decode(stealFrame)
+				if err != nil {
 					b.Fatal(err)
 				}
+				env.Free()
 			}
 		}},
 		{"steal-sequence", func(b *testing.B) {
@@ -113,9 +117,11 @@ func WireBench() []WireBenchResult {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if _, err := wire.Decode(f.Bytes()); err != nil {
+					decoded, err := wire.Decode(f.Bytes())
+					if err != nil {
 						b.Fatal(err)
 					}
+					decoded.Free()
 					f.Free()
 				}
 			}
@@ -248,11 +254,3 @@ func PrintSchedBench(w io.Writer, rs []SchedBenchResult) {
 	}
 }
 
-// WriteSchedBenchJSON writes the measurements to path as JSON.
-func WriteSchedBenchJSON(path string, rs []SchedBenchResult) error {
-	data, err := json.MarshalIndent(rs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}

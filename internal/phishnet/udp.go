@@ -520,6 +520,7 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 			delete(u.pending, ack.Seq)
 		}
 		u.mu.Unlock()
+		env.Free() // consumed in-transport; the envelope never leaves here
 		return
 	}
 	// Acknowledge, learn the sender's address, and dedup.
@@ -539,7 +540,9 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 	u.mu.Unlock()
 	u.writeOwned(data, dst, env.From)
 	if fresh {
-		u.mbox.put(env)
+		u.mbox.put(env) // consumer-owned from here; never freed by us
+	} else {
+		env.Free() // dedup-suppressed duplicate: this was its final stop
 	}
 }
 

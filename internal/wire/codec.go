@@ -147,6 +147,53 @@ func (f *Frame) Free() {
 
 var framePool = sync.Pool{New: func() any { return &Frame{buf: make([]byte, 0, 512)} }}
 
+// envelopePool recycles decoded envelopes. Decode draws from it; a caller
+// that provably finishes with an envelope (the transport consuming an Ack,
+// dropping a dedup-suppressed duplicate, a benchmark loop) hands it back
+// with Free. Callers that pass envelopes on to consumers simply never
+// free them — the pool is an optimization, not an obligation.
+var envelopePool = sync.Pool{New: func() any { return new(Envelope) }}
+
+// Free returns a decoded envelope to the pool. The envelope and its
+// payload must not be referenced afterwards. Only call this when this
+// code path is the envelope's final owner.
+func (e *Envelope) Free() {
+	if e == nil {
+		return
+	}
+	*e = Envelope{}
+	envelopePool.Put(e)
+}
+
+// fnIntern deduplicates closure function names. A job invokes the same
+// handful of task functions billions of times, so the decode path would
+// otherwise allocate a fresh copy of "fib" or "pfold" for every stolen
+// closure. The table is append-only and bounded: past the cap, unseen
+// names fall back to plain allocation (a corrupt or adversarial stream
+// must not grow memory without bound).
+var fnIntern = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+const fnInternMax = 1024
+
+func internName(b []byte) string {
+	fnIntern.RLock()
+	s, ok := fnIntern.m[string(b)] // compiles to a zero-alloc map lookup
+	fnIntern.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	fnIntern.Lock()
+	if len(fnIntern.m) < fnInternMax {
+		fnIntern.m[s] = s
+	}
+	fnIntern.Unlock()
+	return s
+}
+
 // EncodeFrame serializes env into a pooled frame. It is the zero-steady-
 // state-allocation encode path: once the pool is warm, encoding a
 // fixed-shape message allocates nothing.
@@ -211,18 +258,19 @@ func Decode(frame []byte) (env *Envelope, err error) {
 		return nil, fmt.Errorf("%w %d", errFrameVersion, frame[4])
 	}
 	tag := frame[5]
-	e := &Envelope{
-		Job:  types.JobID(int64(binary.BigEndian.Uint64(frame[6:14]))),
-		From: types.WorkerID(int32(binary.BigEndian.Uint32(frame[14:18]))),
-		To:   types.WorkerID(int32(binary.BigEndian.Uint32(frame[18:22]))),
-		Seq:  binary.BigEndian.Uint64(frame[22:30]),
-	}
-	r := &reader{b: frame[frameHeaderLen:]}
-	e.Payload = readPayload(r, tag)
+	e := envelopePool.Get().(*Envelope)
+	e.Job = types.JobID(int64(binary.BigEndian.Uint64(frame[6:14])))
+	e.From = types.WorkerID(int32(binary.BigEndian.Uint32(frame[14:18])))
+	e.To = types.WorkerID(int32(binary.BigEndian.Uint32(frame[18:22])))
+	e.Seq = binary.BigEndian.Uint64(frame[22:30])
+	r := reader{b: frame[frameHeaderLen:]}
+	e.Payload = readPayload(&r, tag)
 	if r.err != nil {
+		e.Free()
 		return nil, fmt.Errorf("wire: decode %s: %w", tagName(tag), r.err)
 	}
 	if r.off != len(r.b) {
+		e.Free()
 		return nil, fmt.Errorf("wire: decode %s: %d trailing bytes", tagName(tag), len(r.b)-r.off)
 	}
 	return e, nil
@@ -826,6 +874,17 @@ func (r *reader) str() string {
 	return string(s)
 }
 
+// internStr reads a string through the function-name intern table —
+// used for fields drawn from a small closed set (closure Fn names).
+func (r *reader) internStr() string {
+	n := r.u32()
+	s := r.take(int(n))
+	if s == nil {
+		return ""
+	}
+	return internName(s)
+}
+
 // count reads a presence flag plus element count for a slice/map whose
 // elements occupy at least minElem bytes each; -1 means nil. Validating
 // the count against the bytes remaining stops corrupt frames from forcing
@@ -958,7 +1017,7 @@ func (r *reader) values(depth int) []types.Value {
 func (r *reader) closure() Closure {
 	return Closure{
 		ID:      r.taskID(),
-		Fn:      r.str(),
+		Fn:      r.internStr(),
 		Args:    r.values(0),
 		Missing: r.i32(),
 		Cont:    r.cont(),

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"phish/internal/types"
+)
+
+// TestDecodePooledEnvelopeIsolation: freeing a decoded envelope and
+// decoding again must not alias state between the two decodes — the pool
+// recycles the envelope struct, never the payload it carried.
+func TestDecodePooledEnvelopeIsolation(t *testing.T) {
+	mk := func(seq uint64, fn string, arg int64) []byte {
+		frame, err := Encode(&Envelope{
+			Job: 1, From: 2, To: 3, Seq: seq,
+			Payload: StealReply{OK: true, Task: Closure{
+				ID:   types.TaskID{Worker: 2, Seq: seq},
+				Fn:   fn,
+				Args: []types.Value{arg, []int64{arg, arg + 1}},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	fa, fb := mk(7, "fib", 10), mk(8, "pfold", 20)
+
+	a, err := Decode(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := a.Payload.(StealReply) // payload survives the envelope's Free
+	a.Free()
+	b, err := Decode(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 8 || b.Payload.(StealReply).Task.Fn != "pfold" {
+		t.Fatalf("second decode corrupted by pool reuse: %+v", b)
+	}
+	if keep.Task.Fn != "fib" || keep.Task.Args[0].(int64) != 10 {
+		t.Fatalf("retained payload mutated after Free: %+v", keep)
+	}
+	b.Free()
+
+	// A decode error must not poison later pooled decodes.
+	if _, err := Decode(fa[:len(fa)-2]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	c, err := Decode(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Payload.(StealReply).Task.Fn; got != "fib" {
+		t.Fatalf("decode after error path: Fn = %q", got)
+	}
+	c.Free()
+}
+
+// TestInternedFnNames: repeated decodes of the same closure share one Fn
+// string; the intern table is bounded so unbounded distinct names cannot
+// grow memory forever.
+func TestInternedFnNames(t *testing.T) {
+	frame, err := Encode(&Envelope{Job: 1, From: 2, To: 3, Seq: 1,
+		Payload: StealReply{OK: true, Task: Closure{ID: types.TaskID{Worker: 1, Seq: 1}, Fn: "intern-me"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Decode(frame)
+	b, _ := Decode(frame)
+	fa := a.Payload.(StealReply).Task.Fn
+	fb := b.Payload.(StealReply).Task.Fn
+	if fa != "intern-me" || fb != "intern-me" {
+		t.Fatalf("Fn = %q / %q", fa, fb)
+	}
+	ha := (*reflect.StringHeader)(reflect.ValueOf(&fa).UnsafePointer())
+	hb := (*reflect.StringHeader)(reflect.ValueOf(&fb).UnsafePointer())
+	if ha.Data != hb.Data {
+		t.Error("two decodes of the same Fn returned distinct backing arrays; intern table not used")
+	}
+
+	// Flood with distinct names: table must stay bounded, decodes must
+	// still work beyond the cap.
+	for i := 0; i < fnInternMax+64; i++ {
+		fr, err := Encode(&Envelope{Job: 1, From: 2, To: 3, Seq: uint64(i),
+			Payload: StealReply{OK: true, Task: Closure{ID: types.TaskID{Worker: 1, Seq: uint64(i)}, Fn: fmt.Sprintf("flood-%d", i)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := Decode(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("flood-%d", i); env.Payload.(StealReply).Task.Fn != want {
+			t.Fatalf("flooded decode %d: Fn = %q", i, env.Payload.(StealReply).Task.Fn)
+		}
+		env.Free()
+	}
+	fnIntern.RLock()
+	n := len(fnIntern.m)
+	fnIntern.RUnlock()
+	if n > fnInternMax {
+		t.Fatalf("intern table grew to %d entries, cap is %d", n, fnInternMax)
+	}
+}
