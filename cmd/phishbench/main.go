@@ -25,9 +25,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
 	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench/chbench JSON baseline")
+	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "output path for the migration soak JSON baseline")
+	check := flag.Bool("check", false, "migrate: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
 	chShards := flag.String("ch-shards", "", "chbench shard counts, e.g. 1,4,16,64")
 	chWorkers := flag.String("ch-workers", "", "chbench simulated worker populations, e.g. 1000,10000,100000")
 	chIters := flag.Int("ch-iters", 0, "chbench hot-path rounds per ingest goroutine")
@@ -175,7 +177,30 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *schedOut)
 	}
+	if run("migrate") {
+		did = true
+		f, err := harness.MigrateBench(harness.DefaultMigrateBenchConfig())
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintMigrateBench(os.Stdout, f)
+		if *check {
+			base, err := harness.ReadMigrateBenchJSON(*migrateOut)
+			if err != nil {
+				log.Fatalf("phishbench: read %s: %v", *migrateOut, err)
+			}
+			if err := harness.CheckMigrate(base, f); err != nil {
+				log.Fatalf("phishbench: %v", err)
+			}
+			fmt.Printf("\nmigration soak within baseline (%s)\n", *migrateOut)
+		} else {
+			if err := harness.WriteMigrateBenchJSON(*migrateOut, f); err != nil {
+				log.Fatalf("phishbench: write %s: %v", *migrateOut, err)
+			}
+			fmt.Printf("\nwrote %s\n", *migrateOut)
+		}
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, all)", *exp)
 	}
 }

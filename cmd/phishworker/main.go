@@ -1,7 +1,15 @@
 // Command phishworker runs one worker process of a parallel job over UDP:
 // it registers with the job's clearinghouse and participates under the
 // micro-level scheduler until the job ends, the owner returns (SIGTERM →
-// graceful migration), or its steal attempts keep failing (retirement).
+// graceful drain), or its steal attempts keep failing (retirement).
+//
+// On SIGTERM/SIGINT the worker runs the planned-drain sequence: the
+// in-flight task is preempted at its next Yield (keeping its checkpoint),
+// the deque is handed to a clearinghouse-chosen victim, a final StatReport
+// is flushed, and the worker unregisters — nothing is dropped on the
+// floor. -drain=false restores the legacy reclaim (migrate without
+// checkpoint preemption: the running task finishes first). A second signal
+// always escalates to the immediate reclaim path.
 //
 // It is normally started by phishjobmanager; run it by hand to add one
 // machine to a job:
@@ -55,6 +63,7 @@ func main() {
 	hb := flag.Duration("hb", 5*time.Second, "heartbeat interval (0 disables)")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/trace on this HTTP address (off when empty)")
+	drain := flag.Bool("drain", true, "on SIGTERM/SIGINT run the graceful drain (checkpointed handoff); false = legacy reclaim")
 	flag.Parse()
 
 	if *chAddr == "" || *program == "" {
@@ -102,11 +111,16 @@ func main() {
 		fmt.Printf("phishworker: telemetry on http://%s/metrics\n", srv.Addr())
 	}
 
-	// SIGTERM / SIGINT = the owner returned: migrate and leave.
-	sig := make(chan os.Signal, 1)
+	// SIGTERM / SIGINT = the owner returned: drain (or reclaim) and leave.
+	// A second signal escalates a stuck drain to the immediate reclaim.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
+		if *drain {
+			w.Drain()
+			<-sig
+		}
 		w.Reclaim()
 	}()
 

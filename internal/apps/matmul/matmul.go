@@ -15,7 +15,9 @@
 package matmul
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -42,19 +44,24 @@ func Random(n int, seed int64) []float64 {
 func mulLeaf(a, b []float64, n int) []float64 {
 	c := make([]float64, n*n)
 	for i := 0; i < n; i++ {
-		for k := 0; k < n; k++ {
-			aik := a[i*n+k]
-			if aik == 0 {
-				continue
-			}
-			row := b[k*n:]
-			ci := c[i*n:]
-			for j := 0; j < n; j++ {
-				ci[j] += aik * row[j]
-			}
-		}
+		mulRow(c, a, b, n, i)
 	}
 	return c
+}
+
+// mulRow computes output row i of C = A·B into c (row-major n×n).
+func mulRow(c, a, b []float64, n, i int) {
+	for k := 0; k < n; k++ {
+		aik := a[i*n+k]
+		if aik == 0 {
+			continue
+		}
+		row := b[k*n:]
+		ci := c[i*n:]
+		for j := 0; j < n; j++ {
+			ci[j] += aik * row[j]
+		}
+	}
 }
 
 // quadrant extracts quadrant (qi, qj) of an n×n matrix (half = n/2).
@@ -115,12 +122,22 @@ func TaskCount(n int) int64 {
 }
 
 // Task args: n, A (row-major), B (row-major).
+//
+// Leaves checkpoint per output row: the blob holds the rows of C computed
+// so far, so a preempted or redone leaf resumes at the next row.
 func mulTask(c phish.TaskCtx) {
 	n := int(c.Int(0))
 	a := c.Arg(1).([]float64)
 	b := c.Arg(2).([]float64)
 	if n <= LeafSize {
-		c.Return(mulLeaf(a, b, n))
+		cm, row := resumeLeaf(c.Checkpoint(), n)
+		for i := row; i < n; i++ {
+			mulRow(cm, a, b, n, i)
+			if c.Yield(packLeaf(cm, n, i+1)) {
+				return
+			}
+		}
+		c.Return(cm)
 		return
 	}
 	// Eight sub-multiplies; slot order is (qi, qj, half) with half the
@@ -137,6 +154,35 @@ func mulTask(c phish.TaskCtx) {
 			slot += 2
 		}
 	}
+}
+
+// packLeaf encodes a leaf checkpoint: the completed-row count, then those
+// rows of C as raw float64 bits.
+func packLeaf(cm []float64, n, rows int) []byte {
+	blob := make([]byte, 4+8*rows*n)
+	binary.BigEndian.PutUint32(blob, uint32(rows))
+	for i, v := range cm[:rows*n] {
+		binary.BigEndian.PutUint64(blob[4+8*i:], math.Float64bits(v))
+	}
+	return blob
+}
+
+// resumeLeaf decodes a leaf checkpoint, returning the output matrix and
+// the number of rows already computed (zero, with a fresh matrix, for a
+// missing or malformed blob).
+func resumeLeaf(ck []byte, n int) ([]float64, int) {
+	cm := make([]float64, n*n)
+	if len(ck) < 4 {
+		return cm, 0
+	}
+	rows := int(binary.BigEndian.Uint32(ck))
+	if rows <= 0 || rows > n || len(ck) != 4+8*rows*n {
+		return cm, 0
+	}
+	for i := 0; i < rows*n; i++ {
+		cm[i] = math.Float64frombits(binary.BigEndian.Uint64(ck[4+8*i:]))
+	}
+	return cm, rows
 }
 
 func combineTask(c phish.TaskCtx) {

@@ -18,6 +18,7 @@
 package pfold
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -134,8 +135,31 @@ func pfoldTask(c phish.TaskCtx) {
 		return
 	}
 	if n-int(idx) <= threshold {
-		// Small remainder: enumerate serially inside this task.
-		w.extend(idx, energy)
+		// Small remainder: enumerate serially inside this task, one
+		// first-level branch subtree at a time, checkpointing the partial
+		// histogram between branches so a preempted or redone leaf skips
+		// the subtrees it already summed.
+		done := resumeHist(c.Checkpoint(), w.hist)
+		last := w.path[idx-1]
+		branch := 0
+		for _, q := range neighbors(last) {
+			if _, taken := w.occ[q]; taken {
+				continue
+			}
+			branch++
+			if branch <= done {
+				continue
+			}
+			dc := w.contactsAt(q, idx)
+			w.occ[q] = idx
+			w.path = append(w.path, q)
+			w.extend(idx+1, energy+dc)
+			w.path = w.path[:idx]
+			delete(w.occ, q)
+			if c.Yield(packHist(branch, w.hist)) {
+				return
+			}
+		}
 		c.Return(w.hist)
 		return
 	}
@@ -164,6 +188,30 @@ func pfoldTask(c phish.TaskCtx) {
 		c.Spawn("pfold", s.Cont(slot),
 			int64(n), int64(threshold), int64(energy+e.dc), child)
 	}
+}
+
+// packHist encodes a serial leaf's checkpoint: the count of first-level
+// branches already summed, then the partial histogram.
+func packHist(done int, hist []int64) []byte {
+	blob := make([]byte, 1+8*len(hist))
+	blob[0] = byte(done)
+	for i, v := range hist {
+		binary.BigEndian.PutUint64(blob[1+8*i:], uint64(v))
+	}
+	return blob
+}
+
+// resumeHist decodes a leaf checkpoint into hist, returning the completed
+// branch count. A lattice cell has at most 4 neighbors, so a count outside
+// [1, 4] — like any size mismatch — means a foreign blob; restart clean.
+func resumeHist(ck []byte, hist []int64) int {
+	if len(ck) != 1+8*len(hist) || ck[0] == 0 || ck[0] > 4 {
+		return 0
+	}
+	for i := range hist {
+		hist[i] = int64(binary.BigEndian.Uint64(ck[1+8*i:]))
+	}
+	return int(ck[0])
 }
 
 func mergeTask(c phish.TaskCtx) {

@@ -12,6 +12,7 @@
 package ray
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"phish"
@@ -21,6 +22,10 @@ import (
 const DefaultBand = 8
 
 // Task args: scene name, w, h, y0, y1, band.
+//
+// Leaf bands checkpoint per rendered row: the blob is a row count followed
+// by the pixels rendered so far, so a preempted (or crashed-and-redone)
+// leaf resumes at the next row instead of re-rendering the band.
 func rayTask(c phish.TaskCtx) {
 	sceneName := c.String(0)
 	w := int(c.Int(1))
@@ -34,13 +39,37 @@ func rayTask(c phish.TaskCtx) {
 		panic(err) // all workers run the same binary; this cannot differ
 	}
 	if y1-y0 <= band {
-		c.Return(scene.RenderRows(w, h, y0, y1))
+		out, done := resumeRows(c.Checkpoint(), w, y1-y0)
+		for y := y0 + done; y < y1; y++ {
+			out = append(out, scene.RenderRows(w, h, y, y+1)...)
+			blob := make([]byte, 4+len(out))
+			binary.BigEndian.PutUint32(blob, uint32(y+1-y0))
+			copy(blob[4:], out)
+			if c.Yield(blob) {
+				return
+			}
+		}
+		c.Return(out)
 		return
 	}
 	mid := (y0 + y1) / 2
 	s := c.Successor("ray.join", 2)
 	c.Spawn("ray", s.Cont(0), sceneName, int64(w), int64(h), int64(y0), int64(mid), int64(band))
 	c.Spawn("ray", s.Cont(1), sceneName, int64(w), int64(h), int64(mid), int64(y1), int64(band))
+}
+
+// resumeRows decodes a leaf checkpoint blob: the count of completed rows
+// and their pixels. A malformed or out-of-range blob (never produced by
+// this task, but checkpoints travel the network) restarts from row zero.
+func resumeRows(ck []byte, w, rows int) (out []byte, done int) {
+	if len(ck) < 4 {
+		return nil, 0
+	}
+	n := int(binary.BigEndian.Uint32(ck))
+	if n <= 0 || n > rows || len(ck) != 4+n*w*3 {
+		return nil, 0
+	}
+	return append([]byte(nil), ck[4:]...), n
 }
 
 // joinTask concatenates a split band: slot 0 is the top half, slot 1 the

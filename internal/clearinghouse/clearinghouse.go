@@ -130,6 +130,10 @@ type Clearinghouse struct {
 
 	// Crash-recovery journal (see journal.go); nil when not journaling.
 	journal *Journal
+	// lastCkptJournal paces per-worker checkpoint journaling (Run
+	// goroutine only): blobs arrive on every StatReport but hit the disk
+	// at most once per UpdateEvery per worker.
+	lastCkptJournal map[types.WorkerID]time.Time
 
 	// counters is the clearinghouse's own telemetry (journal records,
 	// transport retransmits).
@@ -148,18 +152,19 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		clk = clock.System
 	}
 	c := &Clearinghouse{
-		job:      spec.ID,
-		spec:     spec,
-		conn:     conn,
-		cfg:      cfg,
-		clk:      clk,
-		store:    shardstore.New(cfg.Shards),
-		rootHost: types.NoWorker,
-		armRoot:  true,
-		journal:  cfg.Journal,
-		doneCh:   make(chan struct{}),
-		stopCh:   make(chan struct{}),
-		ranCh:    make(chan struct{}),
+		job:             spec.ID,
+		spec:            spec,
+		conn:            conn,
+		cfg:             cfg,
+		clk:             clk,
+		store:           shardstore.New(cfg.Shards),
+		rootHost:        types.NoWorker,
+		armRoot:         true,
+		journal:         cfg.Journal,
+		lastCkptJournal: make(map[types.WorkerID]time.Time),
+		doneCh:          make(chan struct{}),
+		stopCh:          make(chan struct{}),
+		ranCh:           make(chan struct{}),
 	}
 	if c.journal != nil {
 		c.journal.instrument(&c.counters, cfg.Metrics.WALAppend())
@@ -247,6 +252,7 @@ func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
 		}
 		c.msgsRecv.Add(1)
 		c.hot.Reports = append(c.hot.Reports, p)
+		c.maybeJournalCkpts(&p)
 	default:
 		return false
 	}
@@ -314,6 +320,16 @@ func (c *Clearinghouse) LiveWorkers() []types.WorkerID {
 	return c.store.LiveIDs()
 }
 
+// RootHost returns the worker currently hosting the root task's lineage
+// (types.NoWorker before the first registration or while a respawn is
+// armed). Fault injectors use it to aim — or avoid — the one worker whose
+// crash forces a full root redo.
+func (c *Clearinghouse) RootHost() types.WorkerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rootHost
+}
+
 // Messages returns (sent, received) message counts for Table 2 totals.
 func (c *Clearinghouse) Messages() (sent, recv int64) {
 	return c.msgsSent.Load(), c.msgsRecv.Load()
@@ -350,6 +366,7 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 		// cumulative values, so duplicates and reordering (within one
 		// incarnation) fold idempotently and stale arrivals lose.
 		c.store.FoldReport(p, c.clk.Now())
+		c.maybeJournalCkpts(&p)
 	case wire.Arg:
 		c.onArg(p)
 	case wire.IO:
@@ -367,6 +384,8 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 		}
 	case wire.StayRequest:
 		c.onStayRequest(p)
+	case wire.DrainRequest:
+		c.onDrainRequest(p)
 	case wire.PauseAck:
 		if c.ckpt != nil && p.Seq == c.ckpt.seq && c.ckpt.workers[p.Worker] {
 			c.ckpt.acks[p.Worker] = p
@@ -475,15 +494,23 @@ func (c *Clearinghouse) onUnregister(p wire.Unregister) {
 
 // crashLocked handles the definitive loss of a worker and its state.
 func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
+	// Salvage the dead worker's last published checkpoints before its rows
+	// go: the WorkerDown broadcast carries them so the victims' redos
+	// resume from the blobs instead of from zero.
+	var ckpts []wire.TaskCkpt
+	if r, ok := c.store.ReportOf(dead); ok {
+		ckpts = r.Rep.Ckpts
+	}
 	if !c.store.Remove(dead) {
 		return
 	}
+	delete(c.lastCkptJournal, dead)
 	// Anything hosted by the dead worker is gone with it.
 	c.store.RemoveHostedBy(dead)
 	c.conn.DropPeer(dead)
 	live := c.store.LiveIDs()
 	for _, id := range live {
-		c.send(id, wire.WorkerDown{Worker: dead})
+		c.send(id, wire.WorkerDown{Worker: dead, Ckpts: ckpts})
 	}
 	c.broadcastUpdateLocked(types.NoWorker)
 	if c.rootHost == dead && !c.done {
@@ -518,6 +545,35 @@ func (c *Clearinghouse) onArg(p wire.Arg) {
 	for _, id := range c.store.LiveIDs() {
 		c.send(id, wire.Shutdown{Reason: "job complete"})
 	}
+}
+
+// onDrainRequest picks the migration target for a draining worker: the
+// live participant (other than the requester) with the shallowest reported
+// deque, so handed-off work lands where it runs soonest. A worker that has
+// never reported counts as empty. With no other live participant the ack
+// says so and the drainer falls back to the crash-recovery redo path.
+func (c *Clearinghouse) onDrainRequest(p wire.DrainRequest) {
+	depth := make(map[types.WorkerID]int32)
+	for _, r := range c.store.Reports() {
+		depth[r.Rep.Worker] = r.Rep.Deque
+	}
+	victim := types.NoWorker
+	var best int32
+	for _, id := range c.store.LiveIDs() {
+		if id == p.Worker {
+			continue
+		}
+		if d := depth[id]; victim == types.NoWorker || d < best {
+			victim, best = id, d
+		}
+	}
+	ack := wire.DrainAck{OK: victim != types.NoWorker, Victim: victim}
+	if m, ok := c.store.Member(victim); ok {
+		// The drainer's view may predate the victim's arrival; ship the
+		// address so the handoff can route anyway.
+		ack.Addr = m.Info.Addr
+	}
+	c.send(p.Worker, ack)
 }
 
 func (c *Clearinghouse) onStayRequest(p wire.StayRequest) {
@@ -578,6 +634,26 @@ func (c *Clearinghouse) broadcastUpdateLocked(skip types.WorkerID) {
 		}
 		c.send(m.Info.Worker, wire.Update{View: view})
 	}
+}
+
+// maybeJournalCkpts journals a report's checkpoint blobs (latest set per
+// worker, unsynced — losing the tail to a crash only costs a slightly
+// older resume point). Rate-limited per worker so the journal grows with
+// membership churn, not with Yield frequency. Run goroutine only.
+func (c *Clearinghouse) maybeJournalCkpts(rep *wire.StatReport) {
+	if c.journal == nil || len(rep.Ckpts) == 0 {
+		return
+	}
+	every := c.cfg.UpdateEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	now := c.clk.Now()
+	if last, ok := c.lastCkptJournal[rep.Worker]; ok && now.Sub(last) < every {
+		return
+	}
+	c.lastCkptJournal[rep.Worker] = now
+	c.journal.append(&journalRecord{Kind: jCkpt, CkptWorker: rep.Worker, Ckpts: rep.Ckpts}, false)
 }
 
 func (c *Clearinghouse) checkHeartbeats() {

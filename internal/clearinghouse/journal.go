@@ -38,6 +38,7 @@ const (
 	jState
 	jResult
 	jIO
+	jCkpt
 )
 
 // journalMember is one row of the persisted membership table.
@@ -67,6 +68,11 @@ type journalRecord struct {
 
 	// jIO
 	Text string
+
+	// jCkpt — one worker's latest published checkpoint set (replaces any
+	// earlier jCkpt for the same worker on replay).
+	CkptWorker types.WorkerID
+	Ckpts      []wire.TaskCkpt
 }
 
 // Journal appends clearinghouse state changes to a file. Writes are
@@ -170,6 +176,12 @@ type RecoveredJob struct {
 	Result      types.Value
 	Output      string
 	IOLines     int64
+	// Ckpts holds the latest journaled checkpoint set per worker,
+	// restricted to workers live in the recovered membership: a jCkpt can
+	// postdate its worker's Unregister (a final StatReport flushed racing
+	// the departure), and resurrecting such a blob would advertise work
+	// that already migrated or completed elsewhere.
+	Ckpts map[types.WorkerID][]wire.TaskCkpt
 }
 
 // ReplayJournal reads the journal at path and folds its records into the
@@ -201,6 +213,11 @@ func ReplayJournal(path string) (*RecoveredJob, error) {
 		case jIO:
 			rec.Output += r.Text
 			rec.IOLines++
+		case jCkpt:
+			if rec.Ckpts == nil {
+				rec.Ckpts = make(map[types.WorkerID][]wire.TaskCkpt)
+			}
+			rec.Ckpts[r.CkptWorker] = r.Ckpts
 		}
 		return nil
 	})
@@ -209,6 +226,23 @@ func ReplayJournal(path string) (*RecoveredJob, error) {
 	}
 	if !haveSpec {
 		return nil, fmt.Errorf("clearinghouse: journal %s holds no job spec", path)
+	}
+	// Discard checkpoints of workers absent from (or departed in) the
+	// recovered membership: a worker that unregistered cleanly handed its
+	// work off, so a checkpoint journaled after its departure is stale by
+	// construction.
+	if len(rec.Ckpts) > 0 {
+		live := make(map[types.WorkerID]bool, len(rec.Members))
+		for _, jm := range rec.Members {
+			if !jm.Departed {
+				live[jm.Info.Worker] = true
+			}
+		}
+		for id := range rec.Ckpts {
+			if !live[id] {
+				delete(rec.Ckpts, id)
+			}
+		}
 	}
 	return rec, nil
 }
@@ -235,6 +269,14 @@ func NewFromRecovery(rec *RecoveredJob, conn phishnet.Conn, cfg Config) *Clearin
 		}
 	}
 	c.store.SetEpochBase(rec.Epoch + 1)
+	// Re-seed the recovered checkpoint blobs as synthetic reports: their
+	// ordering key (all-zero counters) loses to any real report, so a
+	// surviving worker's first live StatReport replaces the recovered row,
+	// while a worker that died during the outage still has its blobs
+	// attached to the WorkerDown when the heartbeat sweep declares it.
+	for id, cks := range rec.Ckpts {
+		c.store.FoldReport(wire.StatReport{Ver: wire.StatReportVersion, Worker: id, Ckpts: cks}, now)
+	}
 	c.rootHost = rec.RootHost
 	c.armRoot = rec.ArmRoot
 	c.restore = append([]wire.SnapshotReply(nil), rec.Restore...)

@@ -530,6 +530,17 @@ func (s *Store) SweepDead(cutoff time.Time) []types.WorkerID {
 	return dead
 }
 
+// ReportOf returns one worker's latest report row (a copy), if any. Used
+// by the crash path to salvage a dead worker's last published checkpoints
+// before its rows are removed.
+func (s *Store) ReportOf(id types.WorkerID) (Report, bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.reports[id]
+	return r, ok
+}
+
 // Reports returns every worker's latest report row, unsorted (the rollup
 // sorts after decorating). Each element is a copy.
 func (s *Store) Reports() []Report {

@@ -100,6 +100,7 @@ type Job struct {
 
 	mu      sync.Mutex
 	workers map[types.WorkerID]*core.Worker // every participant ever
+	wdone   map[types.WorkerID]chan struct{}
 	started time.Time
 }
 
@@ -242,6 +243,7 @@ func (c *Cluster) Submit(prog *core.Program, rootFn string, rootArgs []types.Val
 		journal: jnl,
 		jnlPath: jnlPath,
 		workers: make(map[types.WorkerID]*core.Worker),
+		wdone:   make(map[types.WorkerID]chan struct{}),
 		started: time.Now(),
 	}
 	c.jobs[id] = j
@@ -372,6 +374,11 @@ func (j *Job) Output() string { return j.clearinghouse().Output() }
 // LiveWorkers lists currently participating worker ids.
 func (j *Job) LiveWorkers() []types.WorkerID { return j.clearinghouse().LiveWorkers() }
 
+// RootHost names the worker hosting the root task's lineage (NoWorker while
+// a respawn is armed). Crashing it costs a full root redo; draining or
+// reclaiming it merely migrates the lineage.
+func (j *Job) RootHost() types.WorkerID { return j.clearinghouse().RootHost() }
+
 // CrashClearinghouse kills the job's clearinghouse abruptly (fault
 // injection): no shutdown messages, the fabric port detaches so worker
 // traffic to it fails, and the journal file is closed the way a dead
@@ -469,6 +476,45 @@ func (j *Job) Crash(id types.WorkerID) bool {
 	return true
 }
 
+// ReclaimWorker simulates the workstation owner's return for one live
+// worker (fault/churn injection): the worker migrates its tasks to another
+// participant and unregisters. Returns false if the worker was never part
+// of the job.
+func (j *Job) ReclaimWorker(id types.WorkerID) bool {
+	j.mu.Lock()
+	w, ok := j.workers[id]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	w.Reclaim()
+	return true
+}
+
+// DrainWorker starts a planned drain of one worker: its in-flight task is
+// offered preemption at its next Yield, the deque (with checkpoints) is
+// handed to a clearinghouse-chosen victim, and the worker unregisters.
+// Returns false if the worker was never part of the job.
+func (j *Job) DrainWorker(id types.WorkerID) bool {
+	j.mu.Lock()
+	w, ok := j.workers[id]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	w.Drain()
+	return true
+}
+
+// WorkerDone returns a channel closed when the worker's Run loop has
+// exited (nil for ids the job never started) — how tests and benchmarks
+// time a drain handoff end to end.
+func (j *Job) WorkerDone(id types.WorkerID) <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wdone[id]
+}
+
 // poolSource adapts the in-process pool to the manager's JobSource. It
 // goes through the cluster on every request so it tracks pool swaps
 // (RestartJobQ) and surfaces an error while the PhishJobQ is down — the
@@ -515,14 +561,28 @@ func (r *runner) Start(spec wire.JobSpec, id types.WorkerID) (jobmanager.WorkerP
 	if r.c.opts.Telemetry {
 		wcfg.Metrics = telemetry.NewMetrics()
 	}
+	var ckl *core.CkptLog
+	if dir := r.c.opts.StateDir; dir != "" {
+		// Best-effort: a worker whose checkpoint WAL cannot be opened
+		// still runs, it just cannot republish blobs after a process
+		// restart.
+		if l, err := core.OpenCkptLog(filepath.Join(dir, fmt.Sprintf("worker-%d.ckpt", id))); err == nil {
+			ckl = l
+			wcfg.CkptLog = l
+		}
+	}
 	w := core.NewWorker(spec.ID, id, j.prog, port, wcfg, clock.System)
+	proc := &workerProc{w: w, done: make(chan struct{})}
 	j.mu.Lock()
 	j.workers[id] = w
+	j.wdone[id] = proc.done
 	j.mu.Unlock()
-	proc := &workerProc{w: w, done: make(chan struct{})}
 	go func() {
 		defer close(proc.done)
 		_ = w.Run()
+		if ckl != nil {
+			_ = ckl.Close()
+		}
 	}()
 	return proc, nil
 }

@@ -11,6 +11,7 @@ import (
 	"phish/internal/idlesim"
 	"phish/internal/phishnet"
 	"phish/internal/telemetry"
+	"phish/internal/types"
 )
 
 // scrape GETs the endpoint's /metrics and parses the exposition.
@@ -63,12 +64,32 @@ func TestMetricsScrapeUnderFaults(t *testing.T) {
 	// work from their steal records.
 	crashes := 0
 	deadline := time.Now().Add(60 * time.Second)
-	for crashes < 3 && time.Now().Before(deadline) && !j.Done() {
+	for crashes < 3 && time.Now().Before(deadline) && !j.Done() && j.Totals().TasksRedone == 0 {
 		live := j.LiveWorkers()
-		// Crash thieves, not the first worker: a dead thief's stolen tasks
-		// are what the survivors' steal records get redone from.
+		// Crash an active thief: a worker that stole work and is mid-subtree
+		// is the one whose death leaves an outstanding steal record for a
+		// survivor to redo. Crashing the root-lineage host (full respawn) or
+		// an idle worker that never managed a steal proves nothing about the
+		// redo sweep — and on a single-core runner most workers are exactly
+		// that.
 		if len(live) >= 3 && j.Totals().TasksExecuted > 5000 {
-			if j.Crash(live[1+crashes%(len(live)-1)]) {
+			target := types.NoWorker
+			for _, s := range j.WorkerStats() {
+				id := types.WorkerID(s.Worker)
+				if id == j.RootHost() || s.TasksStolen == 0 || s.TasksExecuted == 0 {
+					continue
+				}
+				for _, l := range live {
+					if l == id {
+						target = id
+						break
+					}
+				}
+				if target != types.NoWorker {
+					break
+				}
+			}
+			if target != types.NoWorker && j.Crash(target) {
 				crashes++
 				// Past the heartbeat timeout, so the crash is detected and
 				// the redo sweep runs while the job is still computing.
@@ -114,6 +135,10 @@ func TestMetricsScrapeUnderFaults(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	if !redoSeen {
+		t.Logf("ground truth: totals=%+v", j.Totals())
+		for _, s := range j.WorkerStats() {
+			t.Logf("  worker: exec=%d stolen=%d redone=%d", s.TasksExecuted, s.TasksStolen, s.TasksRedone)
+		}
 		t.Fatalf("phish_tasks_redone_total stayed zero after %d worker crashes", crashes)
 	}
 	mustPositive(samples, "phish_tasks_executed_total")

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"phish/internal/types"
+	"phish/internal/wal"
+	"phish/internal/wire"
+)
+
+// CkptLog is a worker-local write-ahead log of checkpoint blobs: every
+// Yield that saves a blob appends one record. A worker process restarted
+// on the same machine can ReplayCkptLog to recover the last blob per task
+// and republish it, so even checkpoints that never reached the
+// clearinghouse (rate-limited, or the network ate the datagram) survive a
+// process crash.
+//
+// The log is append-only across process incarnations (the wal package
+// frames each record independently) and is small in practice: blobs are
+// capped at MaxCkptBlob and only in-flight tasks have live entries.
+type CkptLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// ckptRec is one journaled checkpoint (gob-encoded by the wal framing).
+type ckptRec struct {
+	Worker types.WorkerID
+	Task   types.TaskID
+	Seq    uint64
+	Data   []byte
+}
+
+// OpenCkptLog opens (creating if necessary) the checkpoint log at path for
+// appending.
+func OpenCkptLog(path string) (*CkptLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open ckpt log: %w", err)
+	}
+	return &CkptLog{f: f}, nil
+}
+
+// Append journals one checkpoint. Appends are buffered by the OS — the log
+// trades an fsync per Yield for "good enough" durability: losing the last
+// few blobs to a machine crash only costs a slightly older resume point,
+// never correctness. Safe for concurrent use.
+func (l *CkptLog) Append(worker types.WorkerID, ck wire.TaskCkpt) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return wal.Append(l.f, &ckptRec{Worker: worker, Task: ck.Task, Seq: ck.Seq, Data: ck.Data})
+}
+
+// Close closes the underlying file. Appends after Close are no-ops.
+func (l *CkptLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// ReplayCkptLog reads a checkpoint log and returns the newest blob per
+// task (latest sequence wins). A missing file is an empty log; a torn tail
+// from a crash mid-append is silently dropped, exactly like the
+// clearinghouse journal.
+func ReplayCkptLog(path string) (map[types.TaskID]wire.TaskCkpt, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("core: open ckpt log: %w", err)
+	}
+	defer f.Close()
+	out := make(map[types.TaskID]wire.TaskCkpt)
+	err = wal.Replay(f, func(r *ckptRec) error {
+		if have, ok := out[r.Task]; !ok || r.Seq > have.Seq {
+			out[r.Task] = wire.TaskCkpt{Task: r.Task, Seq: r.Seq, Data: r.Data}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

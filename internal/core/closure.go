@@ -19,6 +19,17 @@ type Closure struct {
 	Cont    types.Continuation
 	// NoSteal pins the closure to its worker (set on the root task).
 	NoSteal bool
+	// Ckpt is the task's latest checkpoint blob (nil unless the body
+	// yielded one). It travels with the closure on steal, migration, and
+	// redo; the body reads it back through Ctx.Checkpoint.
+	Ckpt []byte
+	// CkptSeq orders blobs for the same task: higher wins.
+	CkptSeq uint64
+	// preempted marks a closure vacated at a Yield on this worker and
+	// requeued locally; its next execute is a continuation of the same
+	// attempt, not a fresh execution, so the counters don't recount it.
+	// Local-only: it does not travel the wire.
+	preempted bool
 }
 
 // ready reports whether all argument slots are filled.
@@ -68,18 +79,30 @@ func (c *Closure) free() {
 	closurePool.Put(c)
 }
 
+// setCkpt installs a newer checkpoint blob, copying it so the closure
+// never aliases application memory.
+func (c *Closure) setCkpt(blob []byte, seq uint64) {
+	c.Ckpt = append(c.Ckpt[:0], blob...)
+	c.CkptSeq = seq
+}
+
 // toWire converts for transmission (steal, migration, redo copies).
 func (c *Closure) toWire() wire.Closure {
 	args := make([]types.Value, len(c.Args))
 	copy(args, c.Args)
-	return wire.Closure{
+	wc := wire.Closure{
 		ID:      c.ID,
 		Fn:      c.Fn,
 		Args:    args,
 		Missing: c.Missing,
 		Cont:    c.Cont,
 		NoSteal: c.NoSteal,
+		CkptSeq: c.CkptSeq,
 	}
+	if c.Ckpt != nil {
+		wc.Ckpt = append([]byte(nil), c.Ckpt...)
+	}
+	return wc
 }
 
 // closureFromWire converts an inbound wire closure into a pooled closure.
@@ -91,6 +114,11 @@ func closureFromWire(w wire.Closure) *Closure {
 	c.Missing = w.Missing
 	c.Cont = w.Cont
 	c.NoSteal = w.NoSteal
+	if w.Ckpt != nil {
+		c.setCkpt(w.Ckpt, w.CkptSeq)
+	} else {
+		c.CkptSeq = w.CkptSeq
+	}
 	return c
 }
 

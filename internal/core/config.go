@@ -143,7 +143,26 @@ type Config struct {
 	// site-aware thief tolerates before it tries the whole network
 	// (default 4 when zero).
 	LocalStealTries int
+
+	// CkptLog, when non-nil, durably appends every checkpoint blob a task
+	// yields on this worker, so a restarted worker process can republish
+	// the last known blobs (see OpenCkptLog).
+	CkptLog *CkptLog
+	// CkptEvery rate-limits unsolicited checkpoint publication to the
+	// clearinghouse between heartbeats: at most one extra StatReport per
+	// interval, sent only when a task yields a fresh blob. Zero means the
+	// 50 ms default; negative disables unsolicited publishes (blobs then
+	// ride only on the heartbeat cadence).
+	CkptEvery time.Duration
+	// NoCkpt disables the checkpoint surface: Yield saves nothing and
+	// never preempts, so checkpointable tasks degrade to the redo-from-
+	// scratch behavior (the benchmark baseline).
+	NoCkpt bool
 }
+
+// defaultCkptEvery is the unsolicited checkpoint publication interval used
+// when Config.CkptEvery is zero.
+const defaultCkptEvery = 50 * time.Millisecond
 
 // DefaultConfig is the paper's discipline with timeouts suitable for a LAN
 // or an in-process fabric.

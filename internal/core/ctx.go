@@ -20,6 +20,9 @@ var _ model.Ctx = (*TaskCtx)(nil)
 type TaskCtx struct {
 	w *Worker
 	c *Closure
+	// yielded is set when Yield told the body to vacate: the scheduler
+	// requeues the closure instead of retiring it.
+	yielded bool
 }
 
 // NArgs returns the number of argument slots.
@@ -152,4 +155,64 @@ func (t *TaskCtx) Spawn(fn string, cont types.Continuation, args ...types.Value)
 // asynchronously.
 func (t *TaskCtx) Print(format string, args ...any) {
 	t.w.print(fmt.Sprintf(format, args...))
+}
+
+// MaxCkptBlob caps a single checkpoint blob. Blobs piggyback on StatReport
+// datagrams and ride in the clearinghouse journal, so they must stay
+// compact; Yield refuses (but does not fail) larger blobs.
+const MaxCkptBlob = 64 << 10
+
+// Checkpoint returns the task's last saved checkpoint blob, or nil when
+// the task starts from scratch. The returned slice is owned by the runtime
+// and valid only until the next Yield; treat it as read-only.
+func (t *TaskCtx) Checkpoint() []byte { return t.c.Ckpt }
+
+// Yield offers the runtime a checkpoint of the task's partial progress and
+// asks whether the body must vacate the processor. The blob (copied, so
+// the caller may reuse its buffer) replaces any previous checkpoint for
+// this task, is appended to the worker's checkpoint WAL when one is
+// configured, and is published to the clearinghouse on the piggybacked
+// StatReport path (rate-limited, latest-wins). Yield returns true when the
+// worker is draining, being reclaimed, or crashing — the body must then
+// return immediately without calling Return; the closure is requeued with
+// the blob attached and re-executed later, possibly on another worker.
+//
+// Yield is also the worker's cooperative scheduling point: a long
+// checkpointable body would otherwise leave the worker deaf to steal
+// requests and drain traffic until it completed. When a message is waiting,
+// Yield preempts the body (returning true); the scheduler loop services the
+// mailbox and then resumes the closure from the blob it just saved. Tasks
+// that never Yield keep the old run-to-completion behavior.
+//
+// Blobs larger than MaxCkptBlob are not saved (the previous checkpoint
+// stands), but the preemption answer is still accurate.
+func (t *TaskCtx) Yield(blob []byte) bool {
+	w := t.w
+	if w.cfg.NoCkpt {
+		return false
+	}
+	if len(blob) <= MaxCkptBlob {
+		t.c.setCkpt(blob, t.c.CkptSeq+1)
+		w.counters.CkptSaves.Add(1)
+		w.noteCkpt(t.c)
+	}
+	if w.stopReq.Load() || w.drainReq.Load() || w.crashReq.Load() {
+		t.yielded = true
+		return true
+	}
+	// Pending traffic: pull one envelope off the wire (handling it here
+	// would re-enter the scheduler mid-body, so it is stashed for the
+	// loop) and vacate.
+	select {
+	case env, ok := <-w.conn.Recv():
+		if !ok {
+			w.shutdownMsg = true
+		} else {
+			w.stash = append(w.stash, env)
+		}
+		t.yielded = true
+		return true
+	default:
+	}
+	return false
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,10 +82,10 @@ type Worker struct {
 	// root result is retained so it can be re-sent after a reconnect — the
 	// clearinghouse deduplicates, so a crash between receiving the result
 	// and persisting it loses nothing.
-	chDown     bool
-	chWait     time.Duration
-	chNextTry  time.Time
-	rootResult *wire.Arg
+	chDown      bool
+	chWait      time.Duration
+	chNextTry   time.Time
+	rootResult  *wire.Arg
 	msgSentTo   map[types.WorkerID]int64
 	msgRecvFr   map[types.WorkerID]int64
 	migrateAck  bool
@@ -92,8 +93,27 @@ type Worker struct {
 	forwardTo   types.WorkerID
 	leaveReason wire.LeaveReason
 
+	// Drain coordination: the clearinghouse's answer to our DrainRequest
+	// (scheduler goroutine only).
+	drainAcked  bool
+	drainVictim types.WorkerID
+
+	// stash holds envelopes a Yield pulled off the wire mid-task: the body
+	// is preempted so the scheduler loop can handle them, and drainAll
+	// consumes the stash before the connection (scheduler goroutine only).
+	stash []*wire.Envelope
+
+	// Checkpoint publication. ckptPub holds the latest blob per in-flight
+	// task, mirrored to StatReports; the mutex is needed because the
+	// heartbeat goroutine reads it while the scheduler goroutine updates
+	// it. ckptLastPub paces unsolicited reports (scheduler only).
+	ckptMu      sync.Mutex
+	ckptPub     map[types.TaskID]wire.TaskCkpt
+	ckptLastPub time.Time
+
 	stopReq  atomic.Bool
 	crashReq atomic.Bool
+	drainReq atomic.Bool
 	wakeCh   chan struct{}
 
 	hbStop chan struct{}
@@ -138,6 +158,7 @@ func NewWorker(job types.JobID, id types.WorkerID, prog *Program, conn phishnet.
 		msgRecvFr: make(map[types.WorkerID]int64),
 		dead:      make(map[types.WorkerID]bool),
 		forwardTo: types.NoWorker,
+		ckptPub:   make(map[types.TaskID]wire.TaskCkpt),
 		wakeCh:    make(chan struct{}, 1),
 		hbStop:    make(chan struct{}),
 	}
@@ -195,6 +216,16 @@ func (w *Worker) Reclaim() {
 // fault injection for the recovery machinery. Safe from any goroutine.
 func (w *Worker) Crash() {
 	w.crashReq.Store(true)
+	w.wake()
+}
+
+// Drain asks the worker to leave gracefully on a planned schedule: the
+// in-flight task is offered preemption at its next Yield, the deque (with
+// any checkpoints) is handed to a victim chosen by the clearinghouse, a
+// final StatReport is flushed, and the worker unregisters. Work moves in
+// milliseconds instead of being redone. Safe from any goroutine.
+func (w *Worker) Drain() {
+	w.drainReq.Store(true)
 	w.wake()
 }
 
@@ -353,7 +384,7 @@ func (w *Worker) onPeerGone(peer types.WorkerID) {
 		}
 		return
 	}
-	w.onWorkerDown(peer)
+	w.onWorkerDown(peer, nil)
 }
 
 func (w *Worker) heartbeatLoop() {
@@ -379,8 +410,9 @@ func (w *Worker) heartbeatLoop() {
 }
 
 // statReport assembles the piggybacked telemetry record. Everything read
-// here is atomic (counters, the deque-depth mirror, histogram buckets), so
-// the heartbeat goroutine can build it without touching scheduler state.
+// here is atomic (counters, the deque-depth mirror, histogram buckets) or
+// mutex-guarded (the checkpoint table), so the heartbeat goroutine can
+// build it without touching scheduler state.
 func (w *Worker) statReport() wire.StatReport {
 	return wire.StatReport{
 		Ver:      wire.StatReportVersion,
@@ -388,7 +420,60 @@ func (w *Worker) statReport() wire.StatReport {
 		Deque:    w.readyDepth.Load(),
 		Counters: w.Stats().Ordered(),
 		Hists:    w.cfg.Metrics.Export(),
+		Ckpts:    w.ckptSnapshot(),
 	}
+}
+
+// ckptSnapshot copies the publication table for a StatReport. Blob slices
+// are immutable once in the table (noteCkpt copies on insert), so sharing
+// them across reports is safe.
+func (w *Worker) ckptSnapshot() []wire.TaskCkpt {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	if len(w.ckptPub) == 0 {
+		return nil
+	}
+	out := make([]wire.TaskCkpt, 0, len(w.ckptPub))
+	for _, ck := range w.ckptPub {
+		out = append(out, ck)
+	}
+	return out
+}
+
+// noteCkpt records a task's fresh checkpoint blob: durably in the
+// checkpoint WAL when configured, in the publication table the StatReports
+// mirror, and — rate-limited — in an immediate unsolicited StatReport so
+// the clearinghouse journal stays near the live frontier even between
+// heartbeats. Called from the scheduler goroutine (inside Yield).
+func (w *Worker) noteCkpt(c *Closure) {
+	ck := wire.TaskCkpt{Task: c.ID, Seq: c.CkptSeq, Data: append([]byte(nil), c.Ckpt...)}
+	if w.cfg.CkptLog != nil {
+		_ = w.cfg.CkptLog.Append(w.id, ck)
+	}
+	w.ckptMu.Lock()
+	w.ckptPub[c.ID] = ck
+	w.ckptMu.Unlock()
+	w.tr(trace.EvCkpt, c.ID, types.NoWorker, "")
+	every := w.cfg.CkptEvery
+	if every == 0 {
+		every = defaultCkptEvery
+	}
+	if every < 0 || time.Since(w.ckptLastPub) < every {
+		return
+	}
+	w.ckptLastPub = time.Now()
+	// Unsolicited and unreliable, exactly like the heartbeat piggyback.
+	rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+		Payload: w.statReport()}
+	_ = w.conn.Send(rep)
+}
+
+// dropCkptPub removes a completed task's entry so later StatReports stop
+// advertising a blob nobody can ever resume.
+func (w *Worker) dropCkptPub(id types.TaskID) {
+	w.ckptMu.Lock()
+	delete(w.ckptPub, id)
+	w.ckptMu.Unlock()
 }
 
 // loop is the scheduler: drain messages, run ready work, thieve when idle.
@@ -404,7 +489,7 @@ func (w *Worker) loop() {
 		if w.shutdownMsg || w.crashReq.Load() {
 			return
 		}
-		if w.stopReq.Load() {
+		if w.stopReq.Load() || w.drainReq.Load() {
 			w.migrateAndLeave(wire.LeaveReclaimed)
 			return
 		}
@@ -434,7 +519,15 @@ func (w *Worker) popNext() (*Closure, bool) {
 }
 
 func (w *Worker) execute(cl *Closure) {
-	w.counters.TasksExecuted.Add(1)
+	if cl.preempted {
+		// Resuming a locally preempted body: same attempt, already counted.
+		cl.preempted = false
+	} else {
+		w.counters.TasksExecuted.Add(1)
+		if len(cl.Ckpt) > 0 {
+			w.counters.CkptResumes.Add(1)
+		}
+	}
 	fn, ok := w.fnCache[cl.Fn]
 	if !ok {
 		fn = w.prog.Funcs.MustLookup(cl.Fn)
@@ -461,6 +554,7 @@ func (w *Worker) execute(cl *Closure) {
 		}()
 		w.ctx.w = w
 		w.ctx.c = cl
+		w.ctx.yielded = false
 		fn(&w.ctx)
 		w.ctx.c = nil
 		completed = true
@@ -468,8 +562,24 @@ func (w *Worker) execute(cl *Closure) {
 	if m != nil {
 		m.TaskExec().ObserveSince(execT0)
 	}
+	if completed && w.ctx.yielded {
+		// The body vacated at a Yield: the closure stays live with its
+		// checkpoint attached, at the head so a drain packs it first (and
+		// so a message-pending preemption resumes it right after the
+		// mailbox is serviced).
+		w.ctx.yielded = false
+		w.counters.TasksPreempted.Add(1)
+		w.tr(trace.EvPreempt, cl.ID, types.NoWorker, "")
+		cl.preempted = true
+		w.dq.PushHead(cl)
+		return
+	}
+	w.ctx.yielded = false
 	w.counters.TaskRetired()
 	if completed {
+		if cl.CkptSeq > 0 {
+			w.dropCkptPub(cl.ID)
+		}
 		cl.free() // the body ran to completion; nothing references cl now
 	}
 }
@@ -586,8 +696,16 @@ func (w *Worker) removeVictim(v types.WorkerID) {
 	}
 }
 
-// drainAll handles every queued message without blocking.
+// drainAll handles every queued message without blocking, starting with
+// envelopes a Yield pulled off the wire while a task body held the
+// processor (see TaskCtx.Yield).
 func (w *Worker) drainAll() {
+	for len(w.stash) > 0 {
+		env := w.stash[0]
+		w.stash[0] = nil
+		w.stash = w.stash[1:]
+		w.handle(env)
+	}
 	for {
 		select {
 		case env, ok := <-w.conn.Recv():
@@ -607,7 +725,7 @@ func (w *Worker) drainAll() {
 // drainOne blocks up to d for one message (then drains the rest without
 // blocking). A wake (Reclaim/Crash/retire verdict) also unblocks it.
 func (w *Worker) drainOne(d time.Duration) {
-	if d <= 0 {
+	if d <= 0 || len(w.stash) > 0 {
 		w.drainAll()
 		return
 	}
@@ -693,7 +811,19 @@ func (w *Worker) handle(env *wire.Envelope) {
 	case wire.MigrateAck:
 		w.migrateAck = true
 	case wire.WorkerDown:
-		w.onWorkerDown(p.Worker)
+		w.onWorkerDown(p.Worker, p.Ckpts)
+	case wire.DrainAck:
+		w.drainAcked = true
+		if p.OK {
+			w.drainVictim = p.Victim
+			// The chosen victim may postdate our last membership view;
+			// install its address so the handoff routes (no-op for
+			// in-memory fabrics or an empty address).
+			w.conn.SetPeer(p.Victim, p.Addr)
+			w.hostOf[p.Victim] = p.Victim
+		} else {
+			w.drainVictim = types.NoWorker
+		}
 	case wire.StayReply:
 		w.stayAsked = false
 		if p.Stay {
@@ -1053,8 +1183,11 @@ func (w *Worker) redoRecord(rec *stealRecord) {
 }
 
 // onWorkerDown redoes work recorded against a crashed thief and drops
-// state whose consumers died with it.
-func (w *Worker) onWorkerDown(dead types.WorkerID) {
+// state whose consumers died with it. ckpts carries the dead worker's last
+// published checkpoints (when the clearinghouse announced the crash): a
+// steal-record copy older than a published blob is refreshed before the
+// redo, so re-execution resumes from the blob instead of from zero.
+func (w *Worker) onWorkerDown(dead types.WorkerID, ckpts []wire.TaskCkpt) {
 	if dead == w.id {
 		return // a false positive about ourselves; the clearinghouse
 		// already dropped us, so we will fail to matter either way
@@ -1062,6 +1195,21 @@ func (w *Worker) onWorkerDown(dead types.WorkerID) {
 	w.dead[dead] = true
 	w.removeVictim(dead)
 	w.conn.DropPeer(dead)
+	if len(ckpts) > 0 {
+		byTask := make(map[types.TaskID]wire.TaskCkpt, len(ckpts))
+		for _, ck := range ckpts {
+			byTask[ck.Task] = ck
+		}
+		for _, rec := range w.records {
+			if rec.thief != dead {
+				continue
+			}
+			if ck, ok := byTask[rec.task.ID]; ok && ck.Seq > rec.task.CkptSeq {
+				rec.task.Ckpt = append([]byte(nil), ck.Data...)
+				rec.task.CkptSeq = ck.Seq
+			}
+		}
+	}
 	// Redo: re-enqueue the copy of every task we lent that thief. The
 	// record stays; the redone task's result still funnels through it.
 	redone := 0
@@ -1136,9 +1284,21 @@ func (w *Worker) migrateAndLeave(reason wire.LeaveReason) {
 		return
 	}
 	w.migrating = true
+	// Ask the clearinghouse to pick the least-loaded adopter first (the
+	// drain protocol). If the clearinghouse is down or slow, fall back to
+	// the random local choice — the handoff still works, it just loses the
+	// load-aware placement.
+	preferred, havePref := w.requestDrainVictim()
 	tried := make(map[types.WorkerID]bool)
 	for attempt := 0; attempt < 8; attempt++ {
-		target, ok := w.pickUntried(tried)
+		var target types.WorkerID
+		var ok bool
+		if havePref && !tried[preferred] && !w.dead[preferred] {
+			target, ok = preferred, true
+			havePref = false
+		} else {
+			target, ok = w.pickUntried(tried)
+		}
 		if !ok {
 			break
 		}
@@ -1285,9 +1445,56 @@ func (w *Worker) shipStateTo(target types.WorkerID) shipResult {
 	for _, cl := range packed {
 		w.counters.TaskRetired()
 		w.counters.TasksMigrated.Add(1)
+		if cl.CkptSeq > 0 {
+			// The adopter republishes the blob itself once the task yields
+			// there; stop advertising it from a worker that no longer hosts
+			// the task.
+			w.dropCkptPub(cl.ID)
+		}
 		cl.free() // the adopter acknowledged its own copy
 	}
 	return shipOK
+}
+
+// drainAckWait bounds how long a departing worker waits for the
+// clearinghouse's victim choice before falling back to picking its own:
+// proportional to the steal timeout, clamped to keep drains snappy even
+// under benchmark-scale timeouts.
+func (w *Worker) drainAckWait() time.Duration {
+	d := 2 * w.cfg.StealTimeout
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// requestDrainVictim asks the clearinghouse to choose the migration target
+// (it sees every participant's deque depth, so it picks the least loaded).
+// Returns false — and the caller falls back to a random local choice —
+// when the clearinghouse is unreachable, answers with no victim, or does
+// not answer inside drainAckWait. This bounded wait is what keeps a drain
+// racing a clearinghouse crash safe: the handoff still completes, just
+// without the load-aware placement.
+func (w *Worker) requestDrainVictim() (types.WorkerID, bool) {
+	if w.chDown {
+		return types.NoWorker, false
+	}
+	w.drainAcked = false
+	w.drainVictim = types.NoWorker
+	if w.sendTo(types.ClearinghouseID, wire.DrainRequest{Worker: w.id}) != nil {
+		return types.NoWorker, false
+	}
+	deadline := time.Now().Add(w.drainAckWait())
+	for time.Now().Before(deadline) && !w.drainAcked && !w.crashReq.Load() && !w.shutdownMsg {
+		w.drainOne(time.Until(deadline))
+	}
+	if !w.drainAcked || w.drainVictim == types.NoWorker {
+		return types.NoWorker, false
+	}
+	return w.drainVictim, true
 }
 
 // lingerForward flushes parked results to the adopter and keeps relaying

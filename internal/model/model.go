@@ -56,4 +56,20 @@ type Ctx interface {
 	Spawn(fn string, cont types.Continuation, args ...types.Value)
 	// Print emits output through the job's I/O channel.
 	Print(format string, args ...any)
+
+	// Checkpoint returns the task's last saved checkpoint blob, or nil if
+	// the task is starting from scratch. A long-running leaf that wants to
+	// survive preemption reads it at entry and resumes mid-computation.
+	Checkpoint() []byte
+	// Yield offers the runtime a checkpoint of the task's partial progress
+	// (a compact binary blob the task itself knows how to decode; see
+	// DESIGN.md for the size cap and crash-consistency rules). When Yield
+	// returns true the runtime wants the task off the processor — the body
+	// must return immediately without calling Return; it will be
+	// re-executed later (possibly on another worker) with Checkpoint
+	// returning the saved blob. When Yield returns false the task keeps
+	// running. Runtimes without preemption always return false and may
+	// discard the blob. Tasks that never call Yield behave exactly as
+	// before this interface existed.
+	Yield(blob []byte) bool
 }

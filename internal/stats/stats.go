@@ -68,6 +68,14 @@ type Counters struct {
 	// RedoBatches counts crash/departure events that produced at least one
 	// redone task (TasksRedone counts the tasks themselves).
 	RedoBatches atomic.Int64
+	// TasksPreempted counts executing tasks that yielded a checkpoint and
+	// requeued because the worker was draining or being reclaimed.
+	TasksPreempted atomic.Int64
+	// CkptSaves counts checkpoint blobs accepted from yielding tasks.
+	CkptSaves atomic.Int64
+	// CkptResumes counts task executions that started from a checkpoint
+	// blob instead of from scratch.
+	CkptResumes atomic.Int64
 }
 
 // TaskCreated records a new live closure and maintains the high-water mark.
@@ -118,6 +126,9 @@ type Snapshot struct {
 	ReRegistrations  int64
 	JournalRecords   int64
 	RedoBatches      int64
+	TasksPreempted   int64
+	CkptSaves        int64
+	CkptResumes      int64
 	// Orphans counts results dropped because their consumer task no
 	// longer exists (expected after crash recovery, zero otherwise).
 	Orphans int64
@@ -152,6 +163,9 @@ func (c *Counters) Snapshot() Snapshot {
 		ReRegistrations:  c.ReRegistrations.Load(),
 		JournalRecords:   c.JournalRecords.Load(),
 		RedoBatches:      c.RedoBatches.Load(),
+		TasksPreempted:   c.TasksPreempted.Load(),
+		CkptSaves:        c.CkptSaves.Load(),
+		CkptResumes:      c.CkptResumes.Load(),
 	}
 }
 
@@ -181,6 +195,9 @@ func JobTotals(workers []Snapshot) Snapshot {
 		t.ReRegistrations += w.ReRegistrations
 		t.JournalRecords += w.JournalRecords
 		t.RedoBatches += w.RedoBatches
+		t.TasksPreempted += w.TasksPreempted
+		t.CkptSaves += w.CkptSaves
+		t.CkptResumes += w.CkptResumes
 		t.Orphans += w.Orphans
 		if w.MaxTasksInUse > t.MaxTasksInUse {
 			t.MaxTasksInUse = w.MaxTasksInUse
@@ -239,6 +256,9 @@ var OrderedNames = []string{
 	"orphan_results_total",
 	"exec_time_ns",
 	"wall_time_ns",
+	"tasks_preempted_total",
+	"ckpt_saves_total",
+	"ckpt_resumes_total",
 }
 
 // Ordered flattens the snapshot into the positional form of OrderedNames.
@@ -265,6 +285,9 @@ func (s Snapshot) Ordered() []int64 {
 		s.Orphans,
 		int64(s.ExecTime),
 		int64(s.WallTime),
+		s.TasksPreempted,
+		s.CkptSaves,
+		s.CkptResumes,
 	}
 }
 
@@ -300,5 +323,8 @@ func FromOrdered(vals []int64) Snapshot {
 		Orphans:          at(18),
 		ExecTime:         time.Duration(at(19)),
 		WallTime:         time.Duration(at(20)),
+		TasksPreempted:   at(21),
+		CkptSaves:        at(22),
+		CkptResumes:      at(23),
 	}
 }

@@ -431,3 +431,9 @@ func (t *ctx) Print(format string, args ...any) {
 	t.p.rt.output = append(t.p.rt.output, fmt.Sprintf(format, args...))
 	t.p.rt.outMu.Unlock()
 }
+
+// Checkpoint and Yield are the no-preemption degenerate case of the
+// checkpoint surface: Strata procs are never reclaimed, so there is never
+// a prior blob and never a reason to vacate the processor.
+func (t *ctx) Checkpoint() []byte     { return nil }
+func (t *ctx) Yield(blob []byte) bool { return false }

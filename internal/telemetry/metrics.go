@@ -130,8 +130,10 @@ func MergeStates(reports [][]wire.HistState) map[HistKind]HistSnapshot {
 			k := HistKind(h.Kind)
 			s := out[k]
 			in := StateSnapshot(h)
-			if len(in.Bounds) == 0 && in.Count > 0 {
-				// Unknown layout: fold count/sum only so totals stay right.
+			if len(in.Bounds) == 0 {
+				// Unknown layout: the bucket counts are uninterpretable, so
+				// fold count/sum only — totals stay right, and the result
+				// does not depend on report order.
 				s.Count += in.Count
 				s.Sum += in.Sum
 				out[k] = s

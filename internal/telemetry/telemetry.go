@@ -167,7 +167,10 @@ func (s *HistSnapshot) Merge(other HistSnapshot) {
 	if other.Count == 0 && other.Sum == 0 {
 		return
 	}
-	if len(s.Bounds) == 0 {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		// Adopt the other side's layout only when s is truly empty — a
+		// bare len(Bounds) check would re-zero Counts on every merge of
+		// layoutless snapshots, making the fold order-dependent.
 		s.Bounds = append([]int64(nil), other.Bounds...)
 		s.Counts = make([]int64, len(other.Counts))
 	}

@@ -43,6 +43,8 @@ const (
 	EvRetransmit
 	EvRecover
 	EvJournalReplay
+	EvPreempt
+	EvCkpt
 	kindCount
 )
 
@@ -51,6 +53,7 @@ var kindNames = [kindCount]string{
 	"steal-adopt", "synch", "migrate-out", "migrate-in", "redo",
 	"register", "unregister", "crash", "shutdown",
 	"peer-gone", "retransmit", "recover", "journal-replay",
+	"preempt", "ckpt",
 }
 
 func (k Kind) String() string {

@@ -94,6 +94,8 @@ const (
 	tNilPayload
 	tPeerGone
 	tStatReport
+	tDrainRequest
+	tDrainAck
 	// tGobEnvelope carries a gob-encoded payload of a type this codec has
 	// no hand-rolled shape for (applications extending the protocol).
 	tGobEnvelope byte = 255
@@ -499,7 +501,26 @@ func appendClosure(b []byte, c Closure) ([]byte, error) {
 	}
 	b = appendI32(b, c.Missing)
 	b = appendCont(b, c.Cont)
-	return appendBool(b, c.NoSteal), nil
+	b = appendBool(b, c.NoSteal)
+	b = appendBlob(b, c.Ckpt)
+	return appendU64(b, c.CkptSeq), nil
+}
+
+// appendBlob writes a presence-flagged byte slice (nil and empty are
+// distinct, like appendLen elsewhere).
+func appendBlob(b, data []byte) []byte {
+	b = appendLen(b, len(data), data == nil)
+	return append(b, data...)
+}
+
+func appendTaskCkpts(b []byte, cs []TaskCkpt) []byte {
+	b = appendLen(b, len(cs), cs == nil)
+	for _, c := range cs {
+		b = appendTaskID(b, c.Task)
+		b = appendU64(b, c.Seq)
+		b = appendBlob(b, c.Data)
+	}
+	return b
 }
 
 func appendRecord(b []byte, r Record) ([]byte, error) {
@@ -625,6 +646,10 @@ func payloadTag(p any) byte {
 		return tPeerGone
 	case StatReport:
 		return tStatReport
+	case DrainRequest:
+		return tDrainRequest
+	case DrainAck:
+		return tDrainAck
 	case nil:
 		return tNilPayload
 	default:
@@ -645,7 +670,9 @@ var tagNames = map[byte]string{
 	tJobRequest: "JobRequest", tJobReply: "JobReply", tJobSubmit: "JobSubmit",
 	tJobSubmitReply: "JobSubmitReply", tJobDone: "JobDone", tJobList: "JobList",
 	tJobListReply: "JobListReply", tAck: "Ack", tNilPayload: "nil",
-	tPeerGone: "PeerGone", tStatReport: "StatReport", tGobEnvelope: "gob-fallback",
+	tPeerGone: "PeerGone", tStatReport: "StatReport",
+	tDrainRequest: "DrainRequest", tDrainAck: "DrainAck",
+	tGobEnvelope: "gob-fallback",
 }
 
 func tagName(t byte) string {
@@ -704,7 +731,8 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 	case Heartbeat:
 		return appendI32(b, int32(x.Worker)), nil
 	case WorkerDown:
-		return appendI32(b, int32(x.Worker)), nil
+		b = appendI32(b, int32(x.Worker))
+		return appendTaskCkpts(b, x.Ckpts), nil
 	case IO:
 		return appendStr(appendI32(b, int32(x.Worker)), x.Text), nil
 	case Shutdown:
@@ -780,7 +808,11 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 			b = appendI64(b, h.Sum)
 			b = appendI64s(b, h.Counts)
 		}
-		return b, nil
+		return appendTaskCkpts(b, x.Ckpts), nil
+	case DrainRequest:
+		return appendI32(b, int32(x.Worker)), nil
+	case DrainAck:
+		return appendStr(appendI32(appendBool(b, x.OK), int32(x.Victim)), x.Addr), nil
 	case nil:
 		return b, nil
 	default:
@@ -1022,7 +1054,38 @@ func (r *reader) closure() Closure {
 		Missing: r.i32(),
 		Cont:    r.cont(),
 		NoSteal: r.bool(),
+		Ckpt:    r.blob(),
+		CkptSeq: r.u64(),
 	}
+}
+
+// blob reads a presence-flagged byte slice written by appendBlob, copying
+// out of the frame buffer so the result survives envelope reuse.
+func (r *reader) blob() []byte {
+	n := r.count(1)
+	if n < 0 {
+		return nil
+	}
+	s := r.take(n)
+	if s == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s)
+	return out
+}
+
+func (r *reader) taskCkpts() []TaskCkpt {
+	// A checkpoint entry is at least taskID + seq + blob flag = 21 bytes.
+	n := r.count(21)
+	if n < 0 {
+		return nil
+	}
+	out := make([]TaskCkpt, n)
+	for i := range out {
+		out[i] = TaskCkpt{Task: r.taskID(), Seq: r.u64(), Data: r.blob()}
+	}
+	return out
 }
 
 func (r *reader) closures() []Closure {
@@ -1127,7 +1190,7 @@ func readPayload(r *reader, tag byte) any {
 	case tHeartbeat:
 		return Heartbeat{Worker: r.worker()}
 	case tWorkerDown:
-		return WorkerDown{Worker: r.worker()}
+		return WorkerDown{Worker: r.worker(), Ckpts: r.taskCkpts()}
 	case tIO:
 		return IO{Worker: r.worker(), Text: r.str()}
 	case tShutdown:
@@ -1185,7 +1248,12 @@ func readPayload(r *reader, tag byte) any {
 				p.Hists[i] = HistState{Kind: r.i32(), Count: r.i64(), Sum: r.i64(), Counts: r.i64s()}
 			}
 		}
+		p.Ckpts = r.taskCkpts()
 		return p
+	case tDrainRequest:
+		return DrainRequest{Worker: r.worker()}
+	case tDrainAck:
+		return DrainAck{OK: r.bool(), Victim: r.worker(), Addr: r.str()}
 	case tNilPayload:
 		return nil
 	case tGobEnvelope:

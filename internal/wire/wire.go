@@ -76,6 +76,20 @@ type Closure struct {
 	// on a job's root task so the fault-tolerance machinery always knows
 	// where the root lives.
 	NoSteal bool
+	// Ckpt is the task's latest checkpoint blob (nil for tasks that never
+	// yielded one). It travels with the closure on steal, migration, and
+	// redo so execution resumes from the blob instead of from zero.
+	Ckpt []byte
+	// CkptSeq orders checkpoint blobs for the same task: higher wins.
+	CkptSeq uint64
+}
+
+// TaskCkpt is one task's latest checkpoint blob as published to the
+// clearinghouse: latest-wins per (task, seq), size-capped at the source.
+type TaskCkpt struct {
+	Task types.TaskID
+	Seq  uint64
+	Data []byte
 }
 
 // Record is the wire form of a steal record — the redundant state a victim
@@ -257,12 +271,39 @@ type StatReport struct {
 	Deque    int32 // ready-deque depth at report time
 	Counters []int64
 	Hists    []HistState
+	// Ckpts carries the worker's in-flight task checkpoints (latest-wins
+	// per task, size-capped). The clearinghouse journals them so a crash
+	// redo can resume from the blob.
+	Ckpts []TaskCkpt
 }
 
 // WorkerDown notifies workers that a participant crashed so they can redo
-// work recorded in their steal logs and drop orphaned consumers.
+// work recorded in their steal logs and drop orphaned consumers. Ckpts
+// carries the dead worker's last published checkpoints; a worker holding a
+// steal record for one of these tasks redoes it from the blob.
 type WorkerDown struct {
 	Worker types.WorkerID
+	Ckpts  []TaskCkpt
+}
+
+// DrainRequest asks the clearinghouse to coordinate a planned drain: pick
+// an adoption victim for the requester's deque. The requester keeps
+// working until the DrainAck arrives (or a bounded wait expires, in which
+// case it falls back to picking a victim from its own membership view).
+type DrainRequest struct {
+	Worker types.WorkerID
+}
+
+// DrainAck answers a DrainRequest with the clearinghouse's choice of
+// adopter — the live worker with the shallowest reported deque. OK is
+// false when the requester is the only live worker. Addr carries the
+// victim's transport address so a drainer whose membership view predates
+// the victim's arrival can still route the handoff (empty for in-memory
+// fabrics).
+type DrainAck struct {
+	OK     bool
+	Victim types.WorkerID
+	Addr   string
 }
 
 // IO carries buffered application output to the clearinghouse ("a user
@@ -412,6 +453,7 @@ func registerPayloads() {
 		Pause{}, PauseAck{}, SnapshotRequest{}, SnapshotReply{}, Resume{},
 		JobRequest{}, JobReply{}, JobSubmit{}, JobSubmitReply{}, JobDone{},
 		JobList{}, JobListReply{}, Ack{}, PeerGone{}, StatReport{},
+		DrainRequest{}, DrainAck{},
 		// Common Value concrete types.
 		int64(0), int(0), int32(0), uint64(0), float64(0), "", true,
 		[]byte(nil), []int64(nil), []float64(nil), []types.Value(nil),

@@ -27,6 +27,8 @@ func everyPayload() []any {
 	nilArgs := Closure{ID: types.TaskID{Worker: 1, Seq: 2}, Fn: "g"}
 	partial := Closure{ID: types.TaskID{Worker: 1, Seq: 3}, Fn: "join",
 		Args: []types.Value{nil, int64(8), nil}, Missing: 2}
+	ckpted := Closure{ID: types.TaskID{Worker: 2, Seq: 7}, Fn: "ray",
+		Args: []types.Value{int64(1)}, Ckpt: []byte{1, 2, 3, 0, 255}, CkptSeq: 9}
 	rec := Record{ID: types.TaskID{Worker: 3, Seq: 18}, RealCont: cl.Cont, Task: cl, Thief: 7, Confirmed: true}
 	return []any{
 		StealRequest{Thief: 7},
@@ -38,7 +40,7 @@ func everyPayload() []any {
 		Arg{Cont: cl.Cont, Val: int64(42), Crossed: true},
 		Arg{Cont: cl.Cont, Val: []types.Value{int64(1), []types.Value{"nested", nil}}},
 		Arg{},
-		Migrate{From: 3, Closures: []Closure{cl, emptyArgs, nilArgs}, Records: []Record{rec}},
+		Migrate{From: 3, Closures: []Closure{cl, emptyArgs, nilArgs, ckpted}, Records: []Record{rec}},
 		Migrate{From: 4},
 		Migrate{From: 5, Closures: []Closure{}, Records: []Record{}},
 		MigrateAck{Count: 2},
@@ -53,6 +55,10 @@ func everyPayload() []any {
 		Update{View: MembershipView{Epoch: 10, Members: []MemberInfo{}}},
 		Heartbeat{Worker: 5},
 		WorkerDown{Worker: 4},
+		WorkerDown{Worker: 5, Ckpts: []TaskCkpt{
+			{Task: types.TaskID{Worker: 5, Seq: 3}, Seq: 2, Data: []byte{7, 8}},
+			{Task: types.TaskID{Worker: 5, Seq: 4}, Seq: 1, Data: []byte{}},
+		}},
 		IO{Worker: 5, Text: "hello\n"},
 		IO{},
 		Shutdown{Reason: "done"},
@@ -90,7 +96,12 @@ func everyPayload() []any {
 				{Kind: 2},
 			}},
 		StatReport{Worker: 6, Counters: []int64{}, Hists: []HistState{}},
+		StatReport{Worker: 7, Ckpts: []TaskCkpt{
+			{Task: types.TaskID{Worker: 7, Seq: 1}, Seq: 4, Data: []byte{0, 1, 2}}}},
 		StatReport{},
+		DrainRequest{Worker: 9},
+		DrainAck{OK: true, Victim: 4, Addr: "127.0.0.1:9999"},
+		DrainAck{Victim: types.NoWorker},
 		nil,
 	}
 }
