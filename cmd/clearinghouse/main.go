@@ -117,13 +117,20 @@ func main() {
 
 	if *metricsAddr != "" {
 		conn.Instrument(ch.Counters(), cfg.Metrics, cfg.Trace)
+		// Process-level health rides next to the cluster rollup: build
+		// identity, goroutines, heap, GC pauses, and trace-ring loss.
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
+		if cfg.Trace != nil {
+			telemetry.RegisterTraceRing(reg, cfg.Trace)
+		}
 		srv, err := telemetry.Serve(*metricsAddr, nil, cfg.Trace)
 		if err != nil {
 			log.Fatalf("clearinghouse: %v", err)
 		}
 		defer srv.Close()
 		snap := ch.ClusterSnapshot
-		srv.Handle("/metrics", telemetry.ClusterMetricsHandler(snap))
+		srv.Handle("/metrics", telemetry.ClusterMetricsWithProcessHandler(snap, reg))
 		srv.Handle("/cluster.json", telemetry.ClusterJSONHandler(snap))
 		fmt.Printf("clearinghouse: telemetry on http://%s/metrics (phishtop: phish -top http://%s)\n",
 			srv.Addr(), srv.Addr())

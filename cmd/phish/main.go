@@ -34,6 +34,7 @@ import (
 	"phish/internal/jobq"
 	"phish/internal/phishnet"
 	"phish/internal/telemetry"
+	"phish/internal/trace"
 	"phish/internal/types"
 	"phish/internal/wire"
 )
@@ -52,6 +53,9 @@ func main() {
 	shards := flag.Int("shards", 8, "lock stripes for clearinghouse state (1 = single flat shard)")
 	top := flag.String("top", "", "phishtop: poll a clearinghouse telemetry URL (e.g. http://host:9090) and render a live cluster table instead of running a job")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "phishtop poll interval")
+	traceFlag := flag.Bool("trace", false, "record a distributed span trace and print the cluster timeline with T1/Tinf accounting at the end")
+	traceOut := flag.String("trace-out", "", "also write the trace as Chrome trace-event JSON to this file (implies -trace; open in chrome://tracing or ui.perfetto.dev)")
+	traceSample := flag.Float64("trace-sample", 1, "per-root span sampling probability (values outside (0,1) sample everything)")
 	flag.Usage = func() {
 		fmt.Println("usage: phish [flags] <program> [args...]\nprograms:")
 		fmt.Print(apps.Usage())
@@ -59,6 +63,9 @@ func main() {
 	}
 	flag.Parse()
 	apps.RegisterAll()
+	if *traceOut != "" {
+		*traceFlag = true
+	}
 
 	if *top != "" {
 		runTop(*top, *topEvery)
@@ -144,7 +151,9 @@ func main() {
 			log.Fatalf("phish: %v", err)
 		}
 		defer srv.Close()
-		srv.Handle("/metrics", telemetry.ClusterMetricsHandler(ch.ClusterSnapshot))
+		preg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(preg)
+		srv.Handle("/metrics", telemetry.ClusterMetricsWithProcessHandler(ch.ClusterSnapshot, preg))
 		srv.Handle("/cluster.json", telemetry.ClusterJSONHandler(ch.ClusterSnapshot))
 		fmt.Printf("phish: telemetry on http://%s/metrics (watch live: phish -top http://%s)\n",
 			srv.Addr(), srv.Addr())
@@ -231,6 +240,10 @@ func main() {
 		if *metricsAddr != "" {
 			wcfg.Metrics = telemetry.NewMetrics()
 		}
+		if *traceFlag {
+			wcfg.SpanTrace = true
+			wcfg.SpanSample = *traceSample
+		}
 		w := core.NewWorker(jobID, types.WorkerID(idBase+i), prog, conn, wcfg, clock.System)
 		locals = append(locals, w)
 		wg.Add(1)
@@ -257,6 +270,9 @@ func main() {
 			fmt.Printf("  worker %d: %v\n", w.ID(), w.Stats())
 		}
 	}
+	if *traceFlag {
+		printTrace(ch, *workers, *traceOut)
+	}
 
 	if img, ok := v.([]byte); ok && *out != "" {
 		w, h := rayDims(rootArgs)
@@ -272,6 +288,55 @@ func main() {
 		return
 	}
 	fmt.Println(app.Render(v))
+}
+
+// printTrace drains the clearinghouse span collector, reconstructs the
+// task DAG, and prints the cluster timeline with its T1/T∞ accounting;
+// with outFile it also exports Chrome trace-event JSON.
+func printTrace(ch *clearinghouse.Clearinghouse, workers int, outFile string) {
+	// Final span batches ride each worker's unregister drain over
+	// unreliable UDP; wait for the collector count to turn nonzero and go
+	// quiet (bounded, in case every report datagram was lost).
+	deadline := time.Now().Add(time.Second)
+	last, _ := ch.SpanStats()
+	for stable := 0; time.Now().Before(deadline) && stable < 3; {
+		time.Sleep(5 * time.Millisecond)
+		n, _ := ch.SpanStats()
+		if n == last && n > 0 {
+			stable++
+		} else {
+			stable, last = 0, n
+		}
+	}
+	spans := ch.Spans()
+	if len(spans) == 0 {
+		fmt.Println("phish: trace: no spans collected")
+		return
+	}
+	d := trace.BuildDAG(spans)
+	collected, dropped := ch.SpanStats()
+	fmt.Printf("phish: trace: %d spans collected, %d dropped\n", collected, dropped)
+	fmt.Print(d.RenderTimeline())
+	// P is the number of workers that actually recorded spans: remote
+	// workers joining via jobmanagers aren't in the -workers count.
+	p := len(d.Workers)
+	if p < workers {
+		p = workers
+	}
+	fmt.Printf("greedy bound for P=%d: T1/P + Tinf = %v (measured makespan %v)\n",
+		p, d.Bound(p).Round(time.Microsecond), d.Makespan.Round(time.Microsecond))
+	if outFile != "" {
+		js, err := d.ChromeTrace()
+		if err != nil {
+			log.Printf("phish: trace export: %v", err)
+			return
+		}
+		if err := os.WriteFile(outFile, js, 0o644); err != nil {
+			log.Printf("phish: trace export: %v", err)
+			return
+		}
+		fmt.Printf("phish: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", outFile)
+	}
 }
 
 // runTop is phishtop: poll the clearinghouse's /cluster.json and redraw a

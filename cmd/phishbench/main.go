@@ -25,11 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, crit, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
 	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench/chbench JSON baseline")
 	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "output path for the migration soak JSON baseline")
-	check := flag.Bool("check", false, "migrate: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
+	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the crit (trace accounting) JSON baseline")
+	check := flag.Bool("check", false, "migrate/crit: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
 	chShards := flag.String("ch-shards", "", "chbench shard counts, e.g. 1,4,16,64")
 	chWorkers := flag.String("ch-workers", "", "chbench simulated worker populations, e.g. 1000,10000,100000")
 	chIters := flag.Int("ch-iters", 0, "chbench hot-path rounds per ingest goroutine")
@@ -200,7 +201,40 @@ func main() {
 			fmt.Printf("\nwrote %s\n", *migrateOut)
 		}
 	}
+	if run("crit") {
+		did = true
+		cfg := harness.DefaultCritBenchConfig()
+		if *fibN > 0 {
+			cfg.FibN = *fibN
+		}
+		if *pfoldN > 0 {
+			cfg.PfoldN = *pfoldN
+		}
+		if *pfoldTh > 0 {
+			cfg.PfoldThreshold = *pfoldTh
+		}
+		f, err := harness.CritBench(cfg)
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintCritBench(os.Stdout, f)
+		if *check {
+			wb, err := harness.ReadWireBenchJSON(*wireOut)
+			if err != nil {
+				log.Fatalf("phishbench: read %s: %v", *wireOut, err)
+			}
+			if err := harness.CheckCrit(wb, f); err != nil {
+				log.Fatalf("phishbench: %v", err)
+			}
+			fmt.Printf("\ntrace accounting coherent, steal path alloc-clean (%s)\n", *wireOut)
+		} else {
+			if err := harness.WriteCritBenchJSON(*traceOut, f); err != nil {
+				log.Fatalf("phishbench: write %s: %v", *traceOut, err)
+			}
+			fmt.Printf("\nwrote %s\n", *traceOut)
+		}
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, crit, all)", *exp)
 	}
 }

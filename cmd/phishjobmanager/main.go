@@ -82,6 +82,7 @@ func main() {
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
 		st := mgr.Stats()
 		wsLabel := telemetry.Label{Name: "ws", Value: strconv.Itoa(*ws)}
 		reg.CounterFunc("phish_jm_jobs_started_total", "Workers launched.", st.JobsStarted.Load, wsLabel)

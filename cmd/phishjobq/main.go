@@ -52,6 +52,7 @@ func main() {
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
 		st := srv.Stats()
 		reg.CounterFunc("phish_jobq_requests_total", "Job requests dispatched.", st.Requests.Load)
 		reg.CounterFunc("phish_jobq_grants_total", "Job requests answered with a job.", st.Grants.Load)

@@ -103,6 +103,7 @@ func main() {
 		conn.Instrument(w.Counters(), cfg.Metrics, cfg.Trace)
 		reg := cfg.Metrics.Reg
 		telemetry.RegisterStats(reg, w.Stats, telemetry.Label{Name: "worker", Value: strconv.Itoa(*workerID)})
+		telemetry.RegisterRuntime(reg)
 		srv, err := telemetry.Serve(*metricsAddr, reg, cfg.Trace)
 		if err != nil {
 			log.Fatalf("phishworker: %v", err)

@@ -71,6 +71,11 @@ type Config struct {
 	// Metrics, when non-nil, records the journal append+fsync latency
 	// histogram and is folded into the cluster rollup.
 	Metrics *telemetry.Metrics
+	// SpanCap bounds retained trace spans per worker in the span
+	// collector (zero means the generous default); past it spans are
+	// dropped and counted. Collection itself needs no knob — workers
+	// that do not trace ship no spans.
+	SpanCap int
 }
 
 // DefaultConfig mirrors the paper's coarse communication granularity,
@@ -110,6 +115,9 @@ type Clearinghouse struct {
 	// hot batches drained heartbeats/StatReports between folds; owned by
 	// the Run goroutine.
 	hot shardstore.HotBatch
+	// spans collects piggybacked trace spans and aligns worker clocks
+	// (see spans.go).
+	spans *spanSink
 
 	mu       sync.Mutex
 	rootHost types.WorkerID
@@ -158,6 +166,7 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		cfg:             cfg,
 		clk:             clk,
 		store:           shardstore.New(cfg.Shards),
+		spans:           newSpanSink(cfg.SpanCap),
 		rootHost:        types.NoWorker,
 		armRoot:         true,
 		journal:         cfg.Journal,
@@ -246,6 +255,12 @@ func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
 		}
 		c.msgsRecv.Add(1)
 		c.hot.Beats = append(c.hot.Beats, p.Worker)
+		if p.SendNS != 0 {
+			// Offset refinement uses wall clocks on both ends (span
+			// timestamps are wall-clock), so this deliberately bypasses
+			// the injectable c.clk.
+			c.spans.noteHeartbeat(p.Worker, p.SendNS, time.Now().UnixNano())
+		}
 	case wire.StatReport:
 		if p.Worker != env.From {
 			return false
@@ -253,6 +268,7 @@ func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
 		c.msgsRecv.Add(1)
 		c.hot.Reports = append(c.hot.Reports, p)
 		c.maybeJournalCkpts(&p)
+		c.spans.fold(&p)
 	default:
 		return false
 	}
@@ -361,12 +377,16 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 		// Slow path (relayed, From ≠ Worker); the common case folds in
 		// batches via foldHot without touching c.mu.
 		c.store.Heartbeat(p.Worker, c.clk.Now())
+		if p.SendNS != 0 {
+			c.spans.noteHeartbeat(p.Worker, p.SendNS, time.Now().UnixNano())
+		}
 	case wire.StatReport:
 		// Latest-wins per worker by cumulative progress: reports carry
 		// cumulative values, so duplicates and reordering (within one
 		// incarnation) fold idempotently and stale arrivals lose.
 		c.store.FoldReport(p, c.clk.Now())
 		c.maybeJournalCkpts(&p)
+		c.spans.fold(&p)
 	case wire.Arg:
 		c.onArg(p)
 	case wire.IO:
@@ -411,7 +431,10 @@ func (c *Clearinghouse) onRegister(p wire.Register) {
 		Worker: p.Worker, Addr: p.Addr, HostedBy: p.Worker, Site: p.Site,
 	}, c.clk.Now())
 	c.conn.SetPeer(p.Worker, p.Addr)
-	c.send(p.Worker, wire.RegisterReply{Assigned: p.Worker, View: c.view()})
+	// RecvNS lets a tracing worker estimate its clock offset from the
+	// registration round trip; wall clock on purpose (see foldHot).
+	c.send(p.Worker, wire.RegisterReply{Assigned: p.Worker, View: c.view(),
+		RecvNS: time.Now().UnixNano()})
 	if c.done {
 		// The job finished while this worker was still joining (easy on a
 		// fast job: the shutdown broadcast predates its membership). Tell
@@ -509,8 +532,15 @@ func (c *Clearinghouse) crashLocked(dead types.WorkerID) {
 	c.store.RemoveHostedBy(dead)
 	c.conn.DropPeer(dead)
 	live := c.store.LiveIDs()
+	down := wire.WorkerDown{Worker: dead, Ckpts: ckpts}
+	if c.spans.seen() {
+		// A traced job always traces its crash redos: the announcement's
+		// sampling flag is merged into the redone closures so the redo
+		// overhead shows up in the DAG analysis even under sampling.
+		down.TC.Flags = wire.FlagSampled
+	}
 	for _, id := range live {
-		c.send(id, wire.WorkerDown{Worker: dead, Ckpts: ckpts})
+		c.send(id, down)
 	}
 	c.broadcastUpdateLocked(types.NoWorker)
 	if c.rootHost == dead && !c.done {
@@ -726,6 +756,18 @@ func (c *Clearinghouse) ClusterSnapshot() telemetry.ClusterSnapshot {
 	cs := telemetry.BuildClusterSnapshot(int64(c.job), c.spec.Program, c.store.Epoch(), len(liveIDs), rows, hists)
 	cs.Totals.JournalRecords += chStats.JournalRecords
 	return cs
+}
+
+// Spans returns every trace span collected from the job's workers, with
+// timestamps aligned onto the clearinghouse clock and sorted by start
+// time — the input to the DAG analysis (internal/trace.BuildDAG).
+func (c *Clearinghouse) Spans() []wire.Span {
+	return c.spans.aligned()
+}
+
+// SpanStats reports how many spans the collector retained and dropped.
+func (c *Clearinghouse) SpanStats() (collected, dropped uint64) {
+	return c.spans.stats()
 }
 
 // WriteMetrics renders the cluster rollup as Prometheus text exposition —

@@ -1,0 +1,138 @@
+package clearinghouse
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// defaultSpanCap bounds retained spans per worker when Config.SpanCap is
+// zero. At 62 wire bytes a span, the default caps a worker's share of the
+// collector at roughly 16 MB of span structs — generous for a benchmark
+// run, bounded for a long-lived job.
+const defaultSpanCap = 1 << 18
+
+// workerSpans is the collector's per-worker state: the latest folded batch
+// number (the idempotence cursor of the latest-batch framing), the
+// worker's self-reported clock offset, the tightest heartbeat one-way
+// delay observed (an upper bound on the true offset), and the retained
+// spans, still on the worker's local clock.
+type workerSpans struct {
+	lastSeq    uint64
+	offNS      int64
+	minHbDelta int64
+	spans      []wire.Span
+}
+
+// spanSink is the clearinghouse-side trace collector. Workers ship span
+// batches piggybacked on StatReports; the sink folds a batch only when its
+// sequence number advances past the last one folded for that worker, so
+// retransmitted, duplicated, or reordered reports never double-count.
+//
+// Span timestamps arrive on each worker's local clock. The sink aligns
+// them onto the clearinghouse clock using, per worker, the smaller of the
+// worker's own NTP-style registration estimate and the tightest heartbeat
+// one-way delay (clearinghouse receive time minus the heartbeat's send
+// stamp): the delay is offset plus nonnegative network latency, so it
+// bounds the true offset from above and clamps a registration estimate
+// skewed by an asymmetric round trip.
+type spanSink struct {
+	mu      sync.Mutex
+	max     int
+	perW    map[types.WorkerID]*workerSpans
+	total   uint64
+	dropped uint64
+}
+
+func newSpanSink(max int) *spanSink {
+	if max <= 0 {
+		max = defaultSpanCap
+	}
+	return &spanSink{max: max, perW: make(map[types.WorkerID]*workerSpans)}
+}
+
+func (s *spanSink) of(w types.WorkerID) *workerSpans {
+	ws, ok := s.perW[w]
+	if !ok {
+		ws = &workerSpans{minHbDelta: math.MaxInt64}
+		s.perW[w] = ws
+	}
+	return ws
+}
+
+// fold absorbs one report's span batch and clock-offset estimate. Reports
+// from workers without tracing enabled (no batch ever sealed, zero
+// offset) are ignored without allocating per-worker state.
+func (s *spanSink) fold(rep *wire.StatReport) {
+	if rep.SpanSeq == 0 && rep.ClockOffNS == 0 && len(rep.Spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.of(rep.Worker)
+	ws.offNS = rep.ClockOffNS
+	if rep.SpanSeq <= ws.lastSeq {
+		return // the same sealed batch riding a later report, or a stale one
+	}
+	ws.lastSeq = rep.SpanSeq
+	for _, sp := range rep.Spans {
+		if len(ws.spans) >= s.max {
+			s.dropped++
+			continue
+		}
+		ws.spans = append(ws.spans, sp)
+		s.total++
+	}
+}
+
+// noteHeartbeat refines a worker's offset bound from a stamped heartbeat.
+// nowNS is the clearinghouse's wall clock at processing time.
+func (s *spanSink) noteHeartbeat(w types.WorkerID, sendNS, nowNS int64) {
+	if sendNS == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.of(w)
+	if d := nowNS - sendNS; d < ws.minHbDelta {
+		ws.minHbDelta = d
+	}
+}
+
+// seen reports whether any span has been collected — the signal that this
+// job is being traced, used to mark crash announcements sampled.
+func (s *spanSink) seen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total > 0
+}
+
+// aligned returns every collected span with its timestamps shifted onto
+// the clearinghouse clock, sorted by start time: one cluster timeline.
+func (s *spanSink) aligned() []wire.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Span, 0, s.total)
+	for _, ws := range s.perW {
+		off := ws.offNS
+		if ws.minHbDelta != math.MaxInt64 && ws.minHbDelta < off {
+			off = ws.minHbDelta
+		}
+		for _, sp := range ws.spans {
+			sp.Start += off
+			sp.End += off
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func (s *spanSink) stats() (collected, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total, s.dropped
+}

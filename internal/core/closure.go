@@ -25,6 +25,10 @@ type Closure struct {
 	Ckpt []byte
 	// CkptSeq orders blobs for the same task: higher wins.
 	CkptSeq uint64
+	// TC is the task's trace context (parent span and sampling flags),
+	// inherited from the spawning task and carried across steals,
+	// migrations, and redos.
+	TC wire.TraceCtx
 	// preempted marks a closure vacated at a Yield on this worker and
 	// requeued locally; its next execute is a continuation of the same
 	// attempt, not a fresh execution, so the counters don't recount it.
@@ -98,6 +102,7 @@ func (c *Closure) toWire() wire.Closure {
 		Cont:    c.Cont,
 		NoSteal: c.NoSteal,
 		CkptSeq: c.CkptSeq,
+		TC:      c.TC,
 	}
 	if c.Ckpt != nil {
 		wc.Ckpt = append([]byte(nil), c.Ckpt...)
@@ -114,6 +119,7 @@ func closureFromWire(w wire.Closure) *Closure {
 	c.Missing = w.Missing
 	c.Cont = w.Cont
 	c.NoSteal = w.NoSteal
+	c.TC = w.TC
 	if w.Ckpt != nil {
 		c.setCkpt(w.Ckpt, w.CkptSeq)
 	} else {

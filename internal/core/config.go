@@ -137,6 +137,20 @@ type Config struct {
 	// telemetry plane; hot paths then pay at most one pointer check.
 	Metrics *telemetry.Metrics
 
+	// SpanTrace enables the distributed span recorder: the worker records
+	// task-execution, steal-leg, checkpoint, drain, and redo spans for
+	// sampled DAGs and ships them to the clearinghouse collector inside
+	// its StatReports. Off (the default), no recorder is allocated and
+	// every recording site is one nil pointer check.
+	SpanTrace bool
+	// SpanSample is the probability that a job root spawned on this
+	// worker is sampled; the decision propagates to the whole DAG through
+	// trace contexts. Zero (or anything >= 1) samples every root.
+	SpanSample float64
+	// SpanBuf caps spans buffered between StatReports (default 8192);
+	// beyond it spans are dropped and counted.
+	SpanBuf int
+
 	// Site is the worker's network neighborhood, used by SiteAwareVictim.
 	Site int32
 	// LocalStealTries is how many consecutive same-site failures a

@@ -5,6 +5,7 @@ import (
 
 	"phish/internal/model"
 	"phish/internal/types"
+	"phish/internal/wire"
 )
 
 // TaskCtx implements model.Ctx, the programming interface shared with the
@@ -78,14 +79,21 @@ func (t *TaskCtx) Worker() types.WorkerID { return t.w.id }
 // values into the same slot and corrupts the consumer's join counter, so
 // don't.
 func (t *TaskCtx) Return(v types.Value) {
-	t.w.deliver(t.c.Cont, v, false)
+	t.w.deliver(t.c.Cont, v, false, t.childTC())
 }
 
 // Send delivers v to an explicit continuation (a successor slot obtained
 // from SuccRef.Cont, or a continuation the application threaded through
 // task arguments). Each slot must receive exactly one value.
 func (t *TaskCtx) Send(cont types.Continuation, v types.Value) {
-	t.w.deliver(cont, v, false)
+	t.w.deliver(cont, v, false, t.childTC())
+}
+
+// childTC is the trace context this task hands to everything it creates
+// or sends: the task itself becomes the parent span, and the sampling
+// decision made at the root is inherited unchanged.
+func (t *TaskCtx) childTC() wire.TraceCtx {
+	return wire.TraceCtx{Parent: t.c.ID, Flags: t.c.TC.Flags}
 }
 
 // SuccRef names a successor task created by this task body, so that the
@@ -127,6 +135,7 @@ func (t *TaskCtx) SuccessorCont(fn string, nslots int, cont types.Continuation) 
 	cl.growArgs(nslots)
 	cl.Missing = int32(nslots)
 	cl.Cont = cont
+	cl.TC = t.childTC()
 	t.w.addWaiting(cl)
 	return SuccRef{id: cl.ID, w: t.w}
 }
@@ -147,7 +156,7 @@ func (t *TaskCtx) Preset(s model.Succ, slot int, v types.Value) {
 // ready deque (the paper's LIFO discipline), so with the default
 // configuration it runs next unless a thief takes older work first.
 func (t *TaskCtx) Spawn(fn string, cont types.Continuation, args ...types.Value) {
-	t.w.spawn(fn, cont, args, false)
+	t.w.spawn(fn, cont, args, false, t.childTC())
 }
 
 // Print emits output through the job's clearinghouse ("a user need only

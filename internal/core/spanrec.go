@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"phish/internal/wire"
+)
+
+// defaultSpanBuf bounds spans buffered between StatReports when
+// Config.SpanBuf is zero.
+const defaultSpanBuf = 8192
+
+// maxSpansPerBatch caps one sealed batch so the StatReport carrying it
+// (spans at 62 wire bytes each, plus counters, histograms, and checkpoint
+// state) stays well inside one 60 KiB UDP datagram. A backlog larger than
+// this drains across successive reports; see (*Worker).unregister for the
+// job-end drain loop.
+const maxSpansPerBatch = 512
+
+// spanRecorder buffers completed trace spans on a worker until the
+// heartbeat goroutine ships them to the clearinghouse collector inside a
+// StatReport. A nil *spanRecorder is the disabled plane: every recording
+// site guards with one atomic pointer load (`w.spans.Load() != nil`), so the steal and
+// execute hot paths pay nothing — and allocate nothing — when tracing is
+// off.
+//
+// Batching uses "latest-batch" framing, the span analogue of the
+// cumulative counters in the same report: pending spans are sealed into a
+// numbered batch at report time, and that batch rides on every subsequent
+// report until fresh spans seal the next one. The collector folds a batch
+// only when its sequence number advances, so duplicated, reordered, or
+// retransmitted reports never double-count, and a lost datagram is
+// covered by the next report re-carrying the same batch. Only a batch
+// superseded before any report carrying it got through is lost — tracing
+// is an observability plane, not a transaction log.
+type spanRecorder struct {
+	mu      sync.Mutex
+	pending []wire.Span // completed since the last seal
+	batchNo uint64      // sequence number of `last`
+	last    []wire.Span // sealed batch, re-sent until superseded
+	max     int
+	dropped uint64
+
+	// offNS is the worker's estimate of (clearinghouse clock - local
+	// clock), set once from the registration round trip. Atomic because
+	// the scheduler goroutine writes it while the heartbeat goroutine
+	// reads it into reports.
+	offNS atomic.Int64
+}
+
+func newSpanRecorder(max int) *spanRecorder {
+	if max <= 0 {
+		max = defaultSpanBuf
+	}
+	return &spanRecorder{max: max}
+}
+
+// add records one completed span. Past the buffer cap spans are counted
+// as dropped rather than growing memory without bound — a worker that
+// outruns its heartbeat cadence loses tail spans, not the job.
+func (r *spanRecorder) add(s wire.Span) {
+	r.mu.Lock()
+	if len(r.pending) >= r.max {
+		r.dropped++
+	} else {
+		r.pending = append(r.pending, s)
+	}
+	r.mu.Unlock()
+}
+
+// batch seals up to maxSpansPerBatch pending spans into a new numbered
+// batch (when any exist) and returns the current batch for a StatReport.
+// The returned slice is immutable once sealed, so sharing it across
+// reports is safe.
+func (r *spanRecorder) batch() (uint64, []wire.Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pending) > 0 {
+		n := len(r.pending)
+		if n > maxSpansPerBatch {
+			n = maxSpansPerBatch
+		}
+		r.batchNo++
+		r.last = r.pending[:n:n]
+		r.pending = r.pending[n:]
+	}
+	return r.batchNo, r.last
+}
+
+// backlog reports how many completed spans await sealing (used by the
+// unregister drain loop to flush everything before the worker exits).
+func (r *spanRecorder) backlog() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// droppedCount reports spans lost to the buffer cap.
+func (r *spanRecorder) droppedCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+func (r *spanRecorder) setOffset(ns int64) { r.offNS.Store(ns) }
+func (r *spanRecorder) offset() int64      { return r.offNS.Load() }

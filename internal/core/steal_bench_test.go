@@ -45,7 +45,7 @@ func benchStealCycle(b *testing.B, codec phishnet.Codec) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		victim.spawn("work", cont, args, false)
+		victim.spawn("work", cont, args, false, wire.TraceCtx{})
 		if err := thief.sendTo(0, wire.StealRequest{Thief: 1}); err != nil {
 			b.Fatal(err)
 		}

@@ -64,10 +64,14 @@ type Worker struct {
 	stealPending  bool
 	stealDeadline time.Time
 	stealSentAt   time.Time
-	consecFails   int
-	stayAsked     bool
-	stayAskedAt   time.Time
-	retired       bool
+	// stealSpanID names the in-flight steal attempt's span (zero when no
+	// attempt is traced); the id is minted from the worker's own sequence
+	// so it can never collide with a task id.
+	stealSpanID types.TaskID
+	consecFails int
+	stayAsked   bool
+	stayAskedAt time.Time
+	retired     bool
 
 	unsent    []wire.Arg
 	lastRetry time.Time
@@ -129,6 +133,17 @@ type Worker struct {
 	// reports; the deque itself is owned by the scheduler goroutine.
 	readyDepth atomic.Int32
 
+	// spans is the distributed-tracing recorder, nil unless
+	// Config.SpanTrace or a sampled trace context arrives from another
+	// process (ensureSpans): every recording site guards with one
+	// atomic pointer load, so the hot paths pay (and allocate) nothing
+	// when tracing is off. Atomic because the scheduler goroutine may
+	// enable it mid-run while the heartbeat goroutine builds reports.
+	// regSentNS remembers when the last Register left, so the
+	// RegisterReply round trip yields the clock-offset estimate.
+	spans     atomic.Pointer[spanRecorder]
+	regSentNS int64
+
 	// debug counters for the steal protocol (DebugDump only)
 	dbgGrants, dbgRepliesOK, dbgRepliesFail, dbgAdopts atomic.Int64
 }
@@ -141,7 +156,7 @@ func NewWorker(job types.JobID, id types.WorkerID, prog *Program, conn phishnet.
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Worker{
+	w := &Worker{
 		id:        id,
 		job:       job,
 		prog:      prog,
@@ -162,6 +177,23 @@ func NewWorker(job types.JobID, id types.WorkerID, prog *Program, conn phishnet.
 		wakeCh:    make(chan struct{}, 1),
 		hbStop:    make(chan struct{}),
 	}
+	if cfg.SpanTrace {
+		w.spans.Store(newSpanRecorder(cfg.SpanBuf))
+	}
+	return w
+}
+
+// ensureSpans lazily enables the span recorder when a sampled trace
+// context reaches this worker from another process. The submitter's
+// workers get Config.SpanTrace up front; a worker spawned later by a
+// jobmanager learns that the job is traced from the first sampled task
+// that arrives, so a sampled subtree is recorded wherever it executes.
+// A late recorder has no registration clock estimate (offset 0); the
+// collector's heartbeat one-way-delay clamp still bounds its alignment.
+func (w *Worker) ensureSpans(tc wire.TraceCtx) {
+	if tc.Sampled() && w.spans.Load() == nil {
+		w.spans.Store(newSpanRecorder(w.cfg.SpanBuf))
+	}
 }
 
 // ID returns the worker's identity within its job.
@@ -169,6 +201,15 @@ func (w *Worker) ID() types.WorkerID { return w.id }
 
 // LeaveReason reports why the worker left (valid after Run returns).
 func (w *Worker) LeaveReason() wire.LeaveReason { return w.leaveReason }
+
+// SpanDrops reports spans lost to this worker's recorder buffer cap
+// (always zero when span tracing is off).
+func (w *Worker) SpanDrops() uint64 {
+	if w.spans.Load() == nil {
+		return 0
+	}
+	return w.spans.Load().droppedCount()
+}
 
 // Stats snapshots the worker's counters, including its execution time
 // (time in Run so far, frozen at exit).
@@ -292,7 +333,12 @@ func (w *Worker) register() error {
 		if w.crashReq.Load() || w.stopReq.Load() {
 			return errors.New("core: worker stopped before registration")
 		}
-		w.sendTo(types.ClearinghouseID, wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site})
+		reg := wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site}
+		if w.spans.Load() != nil {
+			w.regSentNS = time.Now().UnixNano()
+			reg.SendNS = w.regSentNS
+		}
+		w.sendTo(types.ClearinghouseID, reg)
 		deadline := time.Now().Add(200 * time.Millisecond)
 		for time.Now().Before(deadline) && !w.registered {
 			w.drainOne(time.Until(deadline))
@@ -346,7 +392,12 @@ func (w *Worker) maybeReRegister() {
 	if now.Before(w.chNextTry) {
 		return
 	}
-	_ = w.sendTo(types.ClearinghouseID, wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site})
+	reg := wire.Register{Worker: w.id, Addr: w.conn.LocalAddr(), Site: w.cfg.Site}
+	if w.spans.Load() != nil {
+		w.regSentNS = now.UnixNano()
+		reg.SendNS = w.regSentNS
+	}
+	_ = w.sendTo(types.ClearinghouseID, reg)
 	w.counters.ReRegistrations.Add(1)
 	w.chWait *= 2
 	if w.chWait > chReRegisterCap {
@@ -384,7 +435,7 @@ func (w *Worker) onPeerGone(peer types.WorkerID) {
 		}
 		return
 	}
-	w.onWorkerDown(peer, nil)
+	w.onWorkerDown(peer, nil, wire.TraceCtx{})
 }
 
 func (w *Worker) heartbeatLoop() {
@@ -393,8 +444,15 @@ func (w *Worker) heartbeatLoop() {
 		case <-w.hbStop:
 			return
 		case <-w.clk.After(w.cfg.HeartbeatEvery):
+			hb := wire.Heartbeat{Worker: w.id}
+			if w.spans.Load() != nil {
+				// Stamp the heartbeat so the collector can bound (and
+				// refine) this worker's clock-offset estimate from the
+				// one-way delay.
+				hb.SendNS = time.Now().UnixNano()
+			}
 			env := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
-				Payload: wire.Heartbeat{Worker: w.id}}
+				Payload: hb}
 			if err := w.conn.Send(env); err == nil {
 				w.heartbeats.Add(1)
 			}
@@ -414,7 +472,7 @@ func (w *Worker) heartbeatLoop() {
 // mutex-guarded (the checkpoint table), so the heartbeat goroutine can
 // build it without touching scheduler state.
 func (w *Worker) statReport() wire.StatReport {
-	return wire.StatReport{
+	rep := wire.StatReport{
 		Ver:      wire.StatReportVersion,
 		Worker:   w.id,
 		Deque:    w.readyDepth.Load(),
@@ -422,6 +480,11 @@ func (w *Worker) statReport() wire.StatReport {
 		Hists:    w.cfg.Metrics.Export(),
 		Ckpts:    w.ckptSnapshot(),
 	}
+	if w.spans.Load() != nil {
+		rep.SpanSeq, rep.Spans = w.spans.Load().batch()
+		rep.ClockOffNS = w.spans.Load().offset()
+	}
+	return rep
 }
 
 // ckptSnapshot copies the publication table for a StatReport. Blob slices
@@ -454,6 +517,11 @@ func (w *Worker) noteCkpt(c *Closure) {
 	w.ckptPub[c.ID] = ck
 	w.ckptMu.Unlock()
 	w.tr(trace.EvCkpt, c.ID, types.NoWorker, "")
+	if w.spans.Load() != nil && c.TC.Sampled() {
+		now := time.Now().UnixNano()
+		w.spans.Load().add(wire.Span{Kind: wire.SpanCkpt, Flags: c.TC.Flags, Worker: w.id,
+			Task: c.ID, Parent: c.TC.Parent, Start: now, End: now})
+	}
 	every := w.cfg.CkptEvery
 	if every == 0 {
 		every = defaultCkptEvery
@@ -534,8 +602,9 @@ func (w *Worker) execute(cl *Closure) {
 		w.fnCache[cl.Fn] = fn
 	}
 	m := w.cfg.Metrics // one pointer check when telemetry is off
+	traced := w.spans.Load() != nil && cl.TC.Sampled()
 	var execT0 time.Time
-	if m != nil {
+	if m != nil || traced {
 		execT0 = time.Now()
 	}
 	completed := false
@@ -561,6 +630,15 @@ func (w *Worker) execute(cl *Closure) {
 	}()
 	if m != nil {
 		m.TaskExec().ObserveSince(execT0)
+	}
+	if traced {
+		// Each execution slice is its own span — a preempted body
+		// contributes several, and T1 sums them, so preemption does not
+		// inflate the critical path. Link is the continuation the result
+		// feeds: a join edge of the DAG.
+		w.spans.Load().add(wire.Span{Kind: wire.SpanExec, Flags: cl.TC.Flags, Worker: w.id,
+			Task: cl.ID, Parent: cl.TC.Parent, Link: cl.Cont.Task,
+			Start: execT0.UnixNano(), End: time.Now().UnixNano()})
 	}
 	if completed && w.ctx.yielded {
 		// The body vacated at a Yield: the closure stays live with its
@@ -594,6 +672,14 @@ func (w *Worker) thieveStep() bool {
 		w.stealPending = false
 		w.consecFails++
 		w.counters.FailedSteals.Add(1)
+		if w.spans.Load() != nil && !w.stealSpanID.Zero() {
+			// A timed-out attempt is still idle time worth attributing;
+			// Link stays zero (nothing was won).
+			w.spans.Load().add(wire.Span{Kind: wire.SpanStealReq, Flags: wire.FlagSampled, Worker: w.id,
+				Task: w.stealSpanID, Peer: types.NoWorker,
+				Start: w.stealSentAt.UnixNano(), End: now.UnixNano()})
+			w.stealSpanID = types.TaskID{}
+		}
 	}
 	if !w.stealPending {
 		if w.shouldAskRetire() {
@@ -627,7 +713,13 @@ func (w *Worker) thieveStep() bool {
 				return false // work arrived while pacing
 			}
 		}
-		if w.sendTo(victim, wire.StealRequest{Thief: w.id}) == nil {
+		req := wire.StealRequest{Thief: w.id}
+		if w.spans.Load() != nil {
+			// The attempt span is thief-local; the request frame stays a
+			// bare worker id so its decode boxing remains allocation-free.
+			w.stealSpanID = w.nextTaskID()
+		}
+		if w.sendTo(victim, req) == nil {
 			w.tr(trace.EvStealRequest, types.TaskID{}, victim, "")
 			w.counters.StealAttempts.Add(1)
 			w.stealPending = true
@@ -762,6 +854,13 @@ func (w *Worker) handle(env *wire.Envelope) {
 	switch p := env.Payload.(type) {
 	case wire.RegisterReply:
 		w.registered = true
+		if w.spans.Load() != nil && p.RecvNS != 0 && w.regSentNS != 0 {
+			// NTP-style one-sample estimate: the clearinghouse stamped the
+			// registration mid-round-trip, so the offset between its clock
+			// and ours is its stamp minus our midpoint. The collector
+			// further clamps this with heartbeat one-way delays.
+			w.spans.Load().setOffset(p.RecvNS - (w.regSentNS+time.Now().UnixNano())/2)
+		}
 		w.applyView(p.View)
 	case wire.Update:
 		w.applyView(p.View)
@@ -776,6 +875,16 @@ func (w *Worker) handle(env *wire.Envelope) {
 		if w.stealPending && !w.stealSentAt.IsZero() {
 			if m := w.cfg.Metrics; m != nil {
 				m.StealRTT().ObserveSince(w.stealSentAt)
+			}
+			if w.spans.Load() != nil && !w.stealSpanID.Zero() {
+				sp := wire.Span{Kind: wire.SpanStealReq, Flags: wire.FlagSampled, Worker: w.id,
+					Task: w.stealSpanID, Peer: env.From,
+					Start: w.stealSentAt.UnixNano(), End: time.Now().UnixNano()}
+				if p.OK {
+					sp.Link = p.Task.ID // the task this attempt won
+				}
+				w.spans.Load().add(sp)
+				w.stealSpanID = types.TaskID{}
 			}
 		}
 		w.stealPending = false
@@ -805,13 +914,13 @@ func (w *Worker) handle(env *wire.Envelope) {
 			rec.confirmed = true
 		}
 	case wire.Arg:
-		w.deliver(p.Cont, p.Val, p.Crossed)
+		w.deliver(p.Cont, p.Val, p.Crossed, p.TC)
 	case wire.Migrate:
 		w.adoptMigration(env.From, p)
 	case wire.MigrateAck:
 		w.migrateAck = true
 	case wire.WorkerDown:
-		w.onWorkerDown(p.Worker, p.Ckpts)
+		w.onWorkerDown(p.Worker, p.Ckpts, p.TC)
 	case wire.DrainAck:
 		w.drainAcked = true
 		if p.OK {
@@ -923,7 +1032,7 @@ func (w *Worker) nextTaskID() types.TaskID {
 }
 
 // spawn creates a ready closure and enqueues it at the head of the deque.
-func (w *Worker) spawn(fn string, cont types.Continuation, args []types.Value, noSteal bool) {
+func (w *Worker) spawn(fn string, cont types.Continuation, args []types.Value, noSteal bool, tc wire.TraceCtx) {
 	for i, a := range args {
 		if a == nil {
 			panic(fmt.Sprintf("core: spawn %s: nil argument %d", fn, i))
@@ -935,6 +1044,7 @@ func (w *Worker) spawn(fn string, cont types.Continuation, args []types.Value, n
 	cl.setArgs(args)
 	cl.Cont = cont
 	cl.NoSteal = noSteal
+	cl.TC = tc
 	w.counters.TaskCreated()
 	w.dq.PushHead(cl)
 }
@@ -947,20 +1057,31 @@ func (w *Worker) addWaiting(cl *Closure) {
 
 func (w *Worker) spawnRoot(p wire.SpawnRoot) {
 	cont := types.Continuation{Task: types.TaskID{Worker: types.ClearinghouseID, Seq: 1}}
-	w.spawn(p.Fn, cont, p.Args, true)
+	// The root is where the head-based sampling decision is made; the
+	// whole DAG inherits it through propagated trace contexts.
+	var tc wire.TraceCtx
+	if w.spans.Load() != nil {
+		if s := w.cfg.SpanSample; s <= 0 || s >= 1 || w.rng.Float64() < s {
+			tc.Flags = wire.FlagSampled
+		}
+	}
+	w.spawn(p.Fn, cont, p.Args, true, tc)
 }
 
 // deliver routes a result value to a continuation: locally into a waiting
-// slot or steal record, or across the network as an Arg message.
-func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
+// slot or steal record, or across the network as an Arg message. tc is the
+// sender's trace context; it rides on every Arg the value takes so remote
+// joins keep their DAG edge.
+func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool, tc wire.TraceCtx) {
 	if cont.None() {
 		return
 	}
+	w.ensureSpans(tc)
 	// Local state first: after adopting migrated tasks we may host tasks
 	// the view does not map to us yet.
 	if rec, ok := w.records[cont.Task]; ok && cont.Slot == 0 {
 		delete(w.records, cont.Task)
-		w.deliver(rec.realCont, v, crossed)
+		w.deliver(rec.realCont, v, crossed, tc)
 		return
 	}
 	if _, ok := w.waiting[cont.Task]; ok {
@@ -972,7 +1093,7 @@ func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
 	case !ok:
 		// Unknown minter: view lag or death. Park for retry; the retry
 		// path drops it once the minter is known dead.
-		w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed})
+		w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed, TC: tc})
 	case host == w.id:
 		// Hosted here but not in any table. While we are migrating the
 		// task may be in the outbound payload; once we have migrated, it
@@ -980,9 +1101,9 @@ func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
 		// recovery).
 		switch {
 		case w.migrating:
-			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed})
+			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: crossed, TC: tc})
 		case w.forwardTo != types.NoWorker:
-			if err := w.sendTo(w.forwardTo, wire.Arg{Cont: cont, Val: v, Crossed: true}); err != nil {
+			if err := w.sendTo(w.forwardTo, wire.Arg{Cont: cont, Val: v, Crossed: true, TC: tc}); err != nil {
 				w.orphanDrops.Add(1)
 			}
 		default:
@@ -994,10 +1115,10 @@ func (w *Worker) deliver(cont types.Continuation, v types.Value, crossed bool) {
 		if host == types.ClearinghouseID {
 			// The root result. Retain a copy for re-send after a
 			// clearinghouse restart; the clearinghouse deduplicates.
-			w.rootResult = &wire.Arg{Cont: cont, Val: v, Crossed: true}
+			w.rootResult = &wire.Arg{Cont: cont, Val: v, Crossed: true, TC: tc}
 		}
-		if err := w.sendTo(host, wire.Arg{Cont: cont, Val: v, Crossed: true}); err != nil {
-			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: true})
+		if err := w.sendTo(host, wire.Arg{Cont: cont, Val: v, Crossed: true, TC: tc}); err != nil {
+			w.unsent = append(w.unsent, wire.Arg{Cont: cont, Val: v, Crossed: true, TC: tc})
 		}
 	}
 }
@@ -1049,14 +1170,19 @@ func (w *Worker) retryUnsent(force bool) {
 			w.orphanDrops.Add(1)
 			continue
 		}
-		w.deliver(a.Cont, a.Val, a.Crossed)
+		w.deliver(a.Cont, a.Val, a.Crossed, a.TC)
 	}
 }
 
 // grantSteal answers a thief: hand over the task at the configured steal
 // end of the deque, keeping a steal record for fault tolerance, or report
-// failure if there is nothing stealable.
+// failure if there is nothing stealable. The grant span is keyed by the
+// task's own sampling decision, which travels inside the closure.
 func (w *Worker) grantSteal(thief types.WorkerID) {
+	var t0 time.Time
+	if w.spans.Load() != nil {
+		t0 = time.Now()
+	}
 	cl, ok := w.takeStealable()
 	if !ok {
 		w.sendTo(thief, wire.StealReply{OK: false})
@@ -1072,6 +1198,15 @@ func (w *Worker) grantSteal(thief types.WorkerID) {
 		delete(w.records, rec.id)
 		w.putBackStealable(cl)
 		return
+	}
+	if w.spans.Load() != nil && rec.task.TC.Sampled() {
+		// The grant span doubles as the DAG's steal-record alias: Task is
+		// the record id the stolen closure's continuation now targets,
+		// Parent the real continuation it stands in for, Link the stolen
+		// task. The analysis resolves exec-span Link chains through it.
+		w.spans.Load().add(wire.Span{Kind: wire.SpanStealGrant, Flags: rec.task.TC.Flags, Worker: w.id,
+			Task: rec.id, Parent: rec.realCont.Task, Link: rec.task.ID, Peer: thief,
+			Start: t0.UnixNano(), End: time.Now().UnixNano()})
 	}
 	w.counters.TaskRetired() // the task left this worker
 	cl.free()                // rec.task holds its own copy of the args
@@ -1113,12 +1248,19 @@ func (w *Worker) putBackStealable(cl *Closure) {
 func (w *Worker) adoptStolen(wc wire.Closure) {
 	w.dbgAdopts.Add(1)
 	cl := closureFromWire(wc)
+	w.ensureSpans(cl.TC)
 	w.counters.TaskAdopted()
 	w.counters.TasksStolen.Add(1)
 	if victim := cl.Cont.Task.Worker; w.siteOf[victim] != w.cfg.Site {
 		w.counters.RemoteSteals.Add(1)
 	}
 	w.tr(trace.EvStealAdopt, cl.ID, cl.Cont.Task.Worker, "")
+	if w.spans.Load() != nil && cl.TC.Sampled() {
+		now := time.Now().UnixNano()
+		w.spans.Load().add(wire.Span{Kind: wire.SpanStealAdopt, Flags: cl.TC.Flags, Worker: w.id,
+			Task: cl.ID, Parent: cl.Cont.Task, Peer: cl.Cont.Task.Worker,
+			Start: now, End: now})
+	}
 	w.consecFails = 0
 	if cl.ready() {
 		w.dq.PushHead(cl)
@@ -1140,6 +1282,7 @@ func (w *Worker) adoptMigration(from types.WorkerID, m wire.Migrate) {
 	}
 	for _, wc := range m.Closures {
 		cl := closureFromWire(wc)
+		w.ensureSpans(cl.TC)
 		w.counters.TaskAdopted()
 		if cl.ready() {
 			// Behind local work: migrated tasks are old, and the paper's
@@ -1170,6 +1313,11 @@ func (w *Worker) adoptMigration(from types.WorkerID, m wire.Migrate) {
 // through it (and duplicates are dropped).
 func (w *Worker) redoRecord(rec *stealRecord) {
 	w.tr(trace.EvRedo, rec.task.ID, rec.thief, "")
+	if w.spans.Load() != nil && rec.task.TC.Sampled() {
+		now := time.Now().UnixNano()
+		w.spans.Load().add(wire.Span{Kind: wire.SpanRedo, Flags: rec.task.TC.Flags, Worker: w.id,
+			Task: rec.task.ID, Parent: rec.id, Peer: rec.thief, Start: now, End: now})
+	}
 	rec.thief = w.id
 	rec.confirmed = true
 	cl := closureFromWire(rec.task)
@@ -1186,8 +1334,12 @@ func (w *Worker) redoRecord(rec *stealRecord) {
 // state whose consumers died with it. ckpts carries the dead worker's last
 // published checkpoints (when the clearinghouse announced the crash): a
 // steal-record copy older than a published blob is refreshed before the
-// redo, so re-execution resumes from the blob instead of from zero.
-func (w *Worker) onWorkerDown(dead types.WorkerID, ckpts []wire.TaskCkpt) {
+// redo, so re-execution resumes from the blob instead of from zero. tc's
+// sampling flags are merged into the redone closures — a clearinghouse
+// with span collection on marks every crash announcement sampled, because
+// redo work is exactly the overhead the trace analysis attributes.
+func (w *Worker) onWorkerDown(dead types.WorkerID, ckpts []wire.TaskCkpt, tc wire.TraceCtx) {
+	w.ensureSpans(tc)
 	if dead == w.id {
 		return // a false positive about ourselves; the clearinghouse
 		// already dropped us, so we will fail to matter either way
@@ -1215,6 +1367,7 @@ func (w *Worker) onWorkerDown(dead types.WorkerID, ckpts []wire.TaskCkpt) {
 	redone := 0
 	for _, rec := range w.records {
 		if rec.thief == dead {
+			rec.task.TC.Flags |= tc.Flags
 			w.redoRecord(rec)
 			redone++
 		}
@@ -1385,6 +1538,10 @@ func (w *Worker) targetDeparted(target types.WorkerID) bool {
 // shipStateTo packs every live closure and record into one Migrate payload
 // and sends it to target, waiting for the acknowledgment.
 func (w *Worker) shipStateTo(target types.WorkerID) shipResult {
+	var t0 time.Time
+	if w.spans.Load() != nil {
+		t0 = time.Now()
+	}
 	payload := wire.Migrate{From: w.id}
 	var packed []*Closure
 	for _, cl := range w.dq.Drain() {
@@ -1441,6 +1598,13 @@ func (w *Worker) shipStateTo(target types.WorkerID) shipResult {
 			return shipTargetGone
 		}
 		return shipTimeout
+	}
+	if w.spans.Load() != nil {
+		// One drain-handoff span per acknowledged shipment; its id comes
+		// from the worker's own sequence, like a steal record's.
+		w.spans.Load().add(wire.Span{Kind: wire.SpanDrain, Flags: wire.FlagSampled, Worker: w.id,
+			Task: w.nextTaskID(), Peer: target,
+			Start: t0.UnixNano(), End: time.Now().UnixNano()})
 	}
 	for _, cl := range packed {
 		w.counters.TaskRetired()
@@ -1506,7 +1670,7 @@ func (w *Worker) lingerForward(adopter types.WorkerID) {
 	pending := w.unsent
 	w.unsent = nil
 	for _, a := range pending {
-		w.sendTo(adopter, wire.Arg{Cont: a.Cont, Val: a.Val, Crossed: true})
+		w.sendTo(adopter, wire.Arg{Cont: a.Cont, Val: a.Val, Crossed: true, TC: a.TC})
 	}
 	deadline := time.Now().Add(2*w.cfg.StealTimeout + 4*w.cfg.RetryUnsent)
 	for time.Now().Before(deadline) {
@@ -1538,10 +1702,17 @@ func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) 
 	// complete even when the whole job fits inside one heartbeat
 	// interval. Sent unreliably like the cadence reports (and kept out
 	// of MessagesSent); over UDP it coalesces into the Unregister's
-	// datagram.
-	rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
-		Payload: w.statReport()}
-	_ = w.conn.Send(rep)
+	// datagram. A traced worker may hold more spans than one datagram-
+	// sized batch, so keep flushing until the recorder's backlog drains
+	// (each report seals and ships the next batch).
+	for {
+		rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+			Payload: w.statReport()}
+		_ = w.conn.Send(rep)
+		if w.spans.Load() == nil || w.spans.Load().backlog() == 0 {
+			break
+		}
+	}
 	w.sendTo(types.ClearinghouseID, wire.Unregister{
 		Worker: w.id, Reason: reason, MigratedTo: migratedTo,
 	})

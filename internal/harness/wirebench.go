@@ -253,4 +253,3 @@ func PrintSchedBench(w io.Writer, rs []SchedBenchResult) {
 			time.Duration(r.StealRTTP50), time.Duration(r.StealRTTP99), time.Duration(r.TaskExecP99))
 	}
 }
-

@@ -63,11 +63,14 @@ func JSONHandler(r *Registry) http.Handler {
 	})
 }
 
-// TraceHandler renders a trace ring's current timeline as text.
+// TraceHandler renders a trace ring's current timeline as text, headed by
+// the ring's loss accounting so a truncated timeline never masquerades as
+// a complete one.
 func TraceHandler(b *trace.Buffer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "# %d event(s) recorded\n", b.Total())
+		fmt.Fprintf(w, "# %d event(s) recorded, %d dropped (ring overwrote them unread)\n",
+			b.Total(), b.Dropped())
 		fmt.Fprint(w, trace.Render(b.Events()))
 	})
 }
@@ -79,6 +82,17 @@ func ClusterMetricsHandler(snap func() ClusterSnapshot) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteClusterProm(w, snap()) //nolint:errcheck // client gone mid-write
+	})
+}
+
+// ClusterMetricsWithProcessHandler serves the cluster rollup followed by
+// a process-local registry (build info, Go runtime health) in one text
+// exposition. The two must expose disjoint metric families.
+func ClusterMetricsWithProcessHandler(snap func() ClusterSnapshot, reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteClusterProm(w, snap()) //nolint:errcheck // client gone mid-write
+		reg.WriteProm(w)            //nolint:errcheck
 	})
 }
 
@@ -106,6 +120,20 @@ func Serve(addr string, reg *Registry, tr *trace.Buffer) (*Server, error) {
 	}
 	if tr != nil {
 		s.Handle("/debug/trace", TraceHandler(tr))
+		if reg != nil {
+			RegisterTraceRing(reg, tr)
+		}
 	}
 	return s, nil
+}
+
+// RegisterTraceRing exposes a trace ring's volume and loss counters on a
+// registry, so scrapes notice when the ring outruns its readers.
+func RegisterTraceRing(reg *Registry, tr *trace.Buffer) {
+	reg.CounterFunc("phish_trace_events_total",
+		"Scheduling events ever recorded into the trace ring.",
+		func() int64 { return int64(tr.Total()) })
+	reg.CounterFunc("phish_trace_events_dropped_total",
+		"Trace ring events overwritten before being read.",
+		func() int64 { return int64(tr.Dropped()) })
 }

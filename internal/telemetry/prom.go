@@ -151,8 +151,8 @@ func (s Sample) Label(name string) string {
 }
 
 // ParseProm parses Prometheus text exposition into samples, ignoring
-// comment and blank lines. It accepts exactly the dialect WriteProm emits
-// (quoted label values with no embedded quotes or newlines).
+// comment and blank lines. Label values may contain escaped quotes,
+// backslashes, and commas; sample values may use exponent notation.
 func ParseProm(r io.Reader) ([]Sample, error) {
 	var out []Sample
 	sc := bufio.NewScanner(r)
@@ -204,22 +204,50 @@ func parseSample(line string) (Sample, error) {
 	return s, nil
 }
 
+// parseLabels scans a label block ('name="value",...') left to right,
+// honoring backslash escapes inside quoted values — a naive comma split
+// would shred values that themselves contain commas or escaped quotes.
 func parseLabels(block string) ([]Label, error) {
 	block = strings.TrimSpace(block)
-	if block == "" {
-		return nil, nil
-	}
 	var out []Label
-	for _, part := range strings.Split(block, ",") {
-		eq := strings.IndexByte(part, '=')
+	for block != "" {
+		eq := strings.IndexByte(block, '=')
 		if eq < 0 {
-			return nil, fmt.Errorf("label without '=': %q", part)
+			return nil, fmt.Errorf("label without '=': %q", block)
 		}
-		val, err := strconv.Unquote(strings.TrimSpace(part[eq+1:]))
+		name := strings.TrimSpace(block[:eq])
+		rest := strings.TrimSpace(block[eq+1:])
+		if rest == "" || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value after %q", name)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++ // skip the escaped byte
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value after %q", name)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
 		if err != nil {
-			return nil, fmt.Errorf("bad label value %q: %v", part, err)
+			return nil, fmt.Errorf("bad label value for %q: %v", name, err)
 		}
-		out = append(out, Label{Name: strings.TrimSpace(part[:eq]), Value: val})
+		out = append(out, Label{Name: name, Value: val})
+		block = strings.TrimSpace(rest[end+1:])
+		if block == "" {
+			break
+		}
+		if block[0] != ',' {
+			return nil, fmt.Errorf("expected ',' between labels, got %q", block)
+		}
+		// A trailing comma before '}' is legal exposition syntax.
+		block = strings.TrimSpace(block[1:])
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"phish/internal/stats"
@@ -83,6 +84,100 @@ func TestPromParseRoundTrip(t *testing.T) {
 		} else if got != v {
 			t.Errorf("sample %s = %v, want %v", k, got, v)
 		}
+	}
+}
+
+// ParseProm handles the awkward corners of the exposition syntax: label
+// values with embedded commas and escaped quotes, escaped backslashes,
+// exponent-form floats, trailing whitespace, and a trailing comma inside
+// the label block. A naive comma split of the label block would shred
+// the first line.
+func TestParsePromEdgeCases(t *testing.T) {
+	in := strings.Join([]string{
+		`phish_job_info{name="pfold, stage \"two\"",rev="abc"} 1`,
+		`phish_heap_bytes 1.5e+06`,
+		"phish_uptime_seconds 42.5   \t",
+		`phish_flags{mode="debug",} 3`,
+		`phish_path{dir="C:\\tmp"} 2`,
+	}, "\n") + "\n"
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5: %+v", len(samples), samples)
+	}
+	s := samples[0]
+	if s.Name != "phish_job_info" || s.Value != 1 {
+		t.Errorf("sample 0 = %+v, want phish_job_info 1", s)
+	}
+	if got := s.Label("name"); got != `pfold, stage "two"` {
+		t.Errorf("comma-and-quote label = %q, want %q", got, `pfold, stage "two"`)
+	}
+	if got := s.Label("rev"); got != "abc" {
+		t.Errorf("label after quoted comma = %q, want abc (comma split would eat it)", got)
+	}
+	if v := samples[1].Value; v != 1.5e6 {
+		t.Errorf("exponent float = %v, want 1.5e+06", v)
+	}
+	if v := samples[2].Value; v != 42.5 {
+		t.Errorf("trailing-whitespace value = %v, want 42.5", v)
+	}
+	if s := samples[3]; s.Label("mode") != "debug" || len(s.Labels) != 1 {
+		t.Errorf("trailing-comma label block parsed as %+v", s.Labels)
+	}
+	if got := samples[4].Label("dir"); got != `C:\tmp` {
+		t.Errorf("escaped backslash label = %q, want C:\\tmp", got)
+	}
+}
+
+// Malformed exposition lines are rejected with an error, not silently
+// mis-parsed.
+func TestParsePromErrors(t *testing.T) {
+	for _, line := range []string{
+		`m{x=unquoted} 1`,  // value must be quoted
+		`m{x="open} 1`,     // unterminated label value
+		`m{x} 1`,           // label without '='
+		`m{x="a" y="b"} 1`, // missing comma between labels
+		`m 1 2`,            // too many fields
+		`m{x="a"} notnum`,  // unparseable value
+		`m{x="a"`,          // unterminated label block
+	} {
+		if _, err := ParseProm(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseProm(%q) succeeded, want error", line)
+		}
+	}
+}
+
+// A label value full of exposition metacharacters survives the
+// WriteProm -> ParseProm round trip byte for byte.
+func TestPromLabelEscapeRoundTrip(t *testing.T) {
+	const gnarly = `a,b="c",\d`
+	r := NewRegistry()
+	r.Counter("phish_quoted_total", "Counter with a hostile label.",
+		Label{"arg", gnarly}).Add(9)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range samples {
+		if s.Name == "phish_quoted_total" {
+			found = true
+			if got := s.Label("arg"); got != gnarly {
+				t.Errorf("label round trip = %q, want %q", got, gnarly)
+			}
+			if s.Value != 9 {
+				t.Errorf("value = %v, want 9", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("phish_quoted_total missing from parsed exposition")
 	}
 }
 

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often a scrape may trigger runtime.ReadMemStats,
+// which stops the world briefly; concurrent gauge reads within the window
+// share one snapshot.
+const memStatsTTL = time.Second
+
+// runtimeCollector caches MemStats for the process gauges and feeds the
+// GC pause ring into a histogram, diffing NumGC between refreshes so each
+// pause is observed exactly once.
+type runtimeCollector struct {
+	mu     sync.Mutex
+	ms     runtime.MemStats
+	at     time.Time
+	lastGC uint32
+	pauses *Histogram
+}
+
+func (rc *runtimeCollector) refresh() *runtime.MemStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if !rc.at.IsZero() && time.Since(rc.at) < memStatsTTL {
+		return &rc.ms
+	}
+	runtime.ReadMemStats(&rc.ms)
+	rc.at = time.Now()
+	// New GC cycles since the last refresh land in the PauseNs ring at
+	// index (NumGC+255)%256; the ring holds 256 entries, so a refresh gap
+	// longer than 256 cycles loses the oldest pauses (never double-counts).
+	from := rc.lastGC
+	if rc.ms.NumGC-from > uint32(len(rc.ms.PauseNs)) {
+		from = rc.ms.NumGC - uint32(len(rc.ms.PauseNs))
+	}
+	for i := from; i < rc.ms.NumGC; i++ {
+		rc.pauses.Observe(int64(rc.ms.PauseNs[(i+255)%256]))
+	}
+	rc.lastGC = rc.ms.NumGC
+	return &rc.ms
+}
+
+// buildRevision extracts the VCS revision baked into the binary ("unknown"
+// outside a module build).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// RegisterRuntime exposes the process-level health metrics every daemon
+// serves next to its subsystem metrics: a phish_build_info identity gauge
+// (constant 1, identity in the labels, the Prometheus convention) and the
+// Go runtime's goroutine count, heap size, and GC pause distribution.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("phish_build_info",
+		"Build identity of this daemon; constant 1 with the identity in labels.",
+		func() int64 { return 1 },
+		Label{Name: "goversion", Value: runtime.Version()},
+		Label{Name: "revision", Value: buildRevision()})
+	rc := &runtimeCollector{
+		pauses: reg.Histogram("phish_go_gc_pause_ns",
+			"Stop-the-world GC pause durations.", DefaultLatencyBounds()),
+	}
+	reg.GaugeFunc("phish_go_goroutines", "Live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("phish_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() int64 { return int64(rc.refresh().HeapAlloc) })
+	reg.GaugeFunc("phish_go_heap_sys_bytes", "Heap memory obtained from the OS.",
+		func() int64 { return int64(rc.refresh().HeapSys) })
+	reg.CounterFunc("phish_go_gc_cycles_total", "Completed GC cycles.",
+		func() int64 { return int64(rc.refresh().NumGC) })
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -111,6 +112,56 @@ func TestQuantile(t *testing.T) {
 	h2.Observe(1 << 40)
 	if q := h2.Snapshot().Quantile(0.5); q != 100 {
 		t.Fatalf("overflow quantile = %d, want 100", q)
+	}
+}
+
+// Quantile estimates from the bucketed histogram stay within a bounded
+// relative error of the true quantiles for known distributions. Samples
+// are drawn deterministically through the inverse CDF so the test has no
+// RNG noise: the only error sources are bucketing and the linear
+// interpolation inside a bucket.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 10000
+	ms := float64(time.Millisecond)
+	cases := []struct {
+		name     string
+		inverse  func(u float64) float64 // inverse CDF: uniform u -> sample
+		quantile func(q float64) float64 // true quantile
+		tol      float64                 // allowed relative error
+	}{
+		{
+			// Uniform is uniform within every bucket, so the in-bucket
+			// interpolation is nearly exact.
+			name:     "uniform 1ms..10ms",
+			inverse:  func(u float64) float64 { return ms + u*9*ms },
+			quantile: func(q float64) float64 { return ms + q*9*ms },
+			tol:      0.10,
+		},
+		{
+			// Exponential density decays within a bucket, so linear
+			// interpolation overshoots slightly; still well bounded on
+			// the 1-2-5 latency grid.
+			name:     "exponential mean 1ms",
+			inverse:  func(u float64) float64 { return -ms * math.Log(1-u) },
+			quantile: func(q float64) float64 { return -ms * math.Log(1-q) },
+			tol:      0.15,
+		},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(DefaultLatencyBounds())
+		for i := 0; i < n; i++ {
+			u := (float64(i) + 0.5) / n
+			h.Observe(int64(tc.inverse(u)))
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.99} {
+			got := float64(s.Quantile(q))
+			want := tc.quantile(q)
+			if relErr := math.Abs(got-want) / want; relErr > tc.tol {
+				t.Errorf("%s: q%.2f = %.0fns, want %.0fns within %.0f%% (off by %.1f%%)",
+					tc.name, q, got, want, tc.tol*100, relErr*100)
+			}
+		}
 	}
 }
 

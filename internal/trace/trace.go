@@ -95,6 +95,7 @@ type Buffer struct {
 	ring    []Event
 	next    int
 	total   uint64
+	dropped uint64
 }
 
 // NewBuffer returns an enabled buffer holding the last n events.
@@ -114,6 +115,7 @@ func (b *Buffer) Enable(n int) {
 	b.ring = make([]Event, n)
 	b.next = 0
 	b.total = 0
+	b.dropped = 0
 	b.mu.Unlock()
 	b.enabled.Store(true)
 }
@@ -134,6 +136,13 @@ func (b *Buffer) Add(ev Event) {
 		ev.At = time.Now()
 	}
 	b.mu.Lock()
+	if b.total >= uint64(len(b.ring)) {
+		// The slot being overwritten held the oldest retained event: the
+		// ring silently forgets it, so count the loss where a scrape can
+		// see it instead of letting truncated timelines masquerade as
+		// complete ones.
+		b.dropped++
+	}
 	b.ring[b.next] = ev
 	b.next = (b.next + 1) % len(b.ring)
 	b.total++
@@ -171,6 +180,17 @@ func (b *Buffer) Total() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.total
+}
+
+// Dropped returns how many events were overwritten before anyone read
+// them — the ring's loss counter. Nil-safe.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // Merge interleaves several buffers' events by timestamp — one timeline

@@ -503,7 +503,34 @@ func appendClosure(b []byte, c Closure) ([]byte, error) {
 	b = appendCont(b, c.Cont)
 	b = appendBool(b, c.NoSteal)
 	b = appendBlob(b, c.Ckpt)
-	return appendU64(b, c.CkptSeq), nil
+	b = appendU64(b, c.CkptSeq)
+	return appendTC(b, c.TC), nil
+}
+
+// appendTC writes a trace context: 13 fixed bytes, no allocation, so
+// carrying it unconditionally costs the hot steal path nothing but space.
+func appendTC(b []byte, tc TraceCtx) []byte {
+	b = appendTaskID(b, tc.Parent)
+	return append(b, tc.Flags)
+}
+
+// spanWireLen is the fixed encoded size of one Span: kind + flags +
+// recording worker + three task ids + peer + start + end.
+const spanWireLen = 1 + 1 + 4 + 3*12 + 4 + 8 + 8
+
+func appendSpans(b []byte, ss []Span) []byte {
+	b = appendLen(b, len(ss), ss == nil)
+	for _, s := range ss {
+		b = append(b, s.Kind, s.Flags)
+		b = appendI32(b, int32(s.Worker))
+		b = appendTaskID(b, s.Task)
+		b = appendTaskID(b, s.Parent)
+		b = appendTaskID(b, s.Link)
+		b = appendI32(b, int32(s.Peer))
+		b = appendI64(b, s.Start)
+		b = appendI64(b, s.End)
+	}
+	return b
 }
 
 // appendBlob writes a presence-flagged byte slice (nil and empty are
@@ -696,7 +723,7 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return appendBool(b, x.Crossed), nil
+		return appendTC(appendBool(b, x.Crossed), x.TC), nil
 	case Migrate:
 		b = appendI32(b, int32(x.From))
 		b = appendLen(b, len(x.Closures), x.Closures == nil)
@@ -718,10 +745,12 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 	case Register:
 		b = appendI32(b, int32(x.Worker))
 		b = appendStr(b, x.Addr)
-		return appendI32(b, x.Site), nil
+		b = appendI32(b, x.Site)
+		return appendI64(b, x.SendNS), nil
 	case RegisterReply:
 		b = appendI32(b, int32(x.Assigned))
-		return appendView(b, x.View), nil
+		b = appendView(b, x.View)
+		return appendI64(b, x.RecvNS), nil
 	case Unregister:
 		b = appendI32(b, int32(x.Worker))
 		b = appendI32(b, int32(x.Reason))
@@ -729,10 +758,11 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 	case Update:
 		return appendView(b, x.View), nil
 	case Heartbeat:
-		return appendI32(b, int32(x.Worker)), nil
+		return appendI64(appendI32(b, int32(x.Worker)), x.SendNS), nil
 	case WorkerDown:
 		b = appendI32(b, int32(x.Worker))
-		return appendTaskCkpts(b, x.Ckpts), nil
+		b = appendTaskCkpts(b, x.Ckpts)
+		return appendTC(b, x.TC), nil
 	case IO:
 		return appendStr(appendI32(b, int32(x.Worker)), x.Text), nil
 	case Shutdown:
@@ -808,7 +838,10 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 			b = appendI64(b, h.Sum)
 			b = appendI64s(b, h.Counts)
 		}
-		return appendTaskCkpts(b, x.Ckpts), nil
+		b = appendTaskCkpts(b, x.Ckpts)
+		b = appendU64(b, x.SpanSeq)
+		b = appendI64(b, x.ClockOffNS)
+		return appendSpans(b, x.Spans), nil
 	case DrainRequest:
 		return appendI32(b, int32(x.Worker)), nil
 	case DrainAck:
@@ -1056,7 +1089,34 @@ func (r *reader) closure() Closure {
 		NoSteal: r.bool(),
 		Ckpt:    r.blob(),
 		CkptSeq: r.u64(),
+		TC:      r.tc(),
 	}
+}
+
+func (r *reader) tc() TraceCtx {
+	return TraceCtx{Parent: r.taskID(), Flags: r.u8()}
+}
+
+func (r *reader) spans() []Span {
+	n := r.count(spanWireLen)
+	if n < 0 {
+		return nil
+	}
+	out := make([]Span, n)
+	for i := range out {
+		out[i] = Span{
+			Kind:   r.u8(),
+			Flags:  r.u8(),
+			Worker: r.worker(),
+			Task:   r.taskID(),
+			Parent: r.taskID(),
+			Link:   r.taskID(),
+			Peer:   r.worker(),
+			Start:  r.i64(),
+			End:    r.i64(),
+		}
+	}
+	return out
 }
 
 // blob reads a presence-flagged byte slice written by appendBlob, copying
@@ -1174,23 +1234,23 @@ func readPayload(r *reader, tag byte) any {
 	case tStealConfirm:
 		return StealConfirm{Record: r.taskID()}
 	case tArg:
-		return Arg{Cont: r.cont(), Val: r.value(0), Crossed: r.bool()}
+		return Arg{Cont: r.cont(), Val: r.value(0), Crossed: r.bool(), TC: r.tc()}
 	case tMigrate:
 		return Migrate{From: r.worker(), Closures: r.closures(), Records: r.records()}
 	case tMigrateAck:
 		return MigrateAck{Count: int(r.i64())}
 	case tRegister:
-		return Register{Worker: r.worker(), Addr: r.str(), Site: r.i32()}
+		return Register{Worker: r.worker(), Addr: r.str(), Site: r.i32(), SendNS: r.i64()}
 	case tRegisterReply:
-		return RegisterReply{Assigned: r.worker(), View: r.view()}
+		return RegisterReply{Assigned: r.worker(), View: r.view(), RecvNS: r.i64()}
 	case tUnregister:
 		return Unregister{Worker: r.worker(), Reason: LeaveReason(r.i32()), MigratedTo: r.worker()}
 	case tUpdate:
 		return Update{View: r.view()}
 	case tHeartbeat:
-		return Heartbeat{Worker: r.worker()}
+		return Heartbeat{Worker: r.worker(), SendNS: r.i64()}
 	case tWorkerDown:
-		return WorkerDown{Worker: r.worker(), Ckpts: r.taskCkpts()}
+		return WorkerDown{Worker: r.worker(), Ckpts: r.taskCkpts(), TC: r.tc()}
 	case tIO:
 		return IO{Worker: r.worker(), Text: r.str()}
 	case tShutdown:
@@ -1249,6 +1309,9 @@ func readPayload(r *reader, tag byte) any {
 			}
 		}
 		p.Ckpts = r.taskCkpts()
+		p.SpanSeq = r.u64()
+		p.ClockOffNS = r.i64()
+		p.Spans = r.spans()
 		return p
 	case tDrainRequest:
 		return DrainRequest{Worker: r.worker()}

@@ -59,6 +59,85 @@ func (e *Envelope) String() string {
 // as "gob-fallback".
 func (e *Envelope) PayloadName() string { return tagName(payloadTag(e.Payload)) }
 
+// TraceCtx is the compact trace context that crosses worker boundaries
+// with scheduler messages: the parent span's id plus flag bits. A span's
+// own id is the task id of the activity it describes (task ids are
+// job-unique), and the job id rides in the frame header, so the context
+// itself is a fixed 13 bytes — cheap enough to carry unconditionally.
+// The zero TraceCtx means "not sampled".
+type TraceCtx struct {
+	Parent types.TaskID
+	Flags  uint8
+}
+
+// FlagSampled marks a context as sampled: workers record spans for the
+// activity and its descendants. The head of the DAG (the root task)
+// makes the sampling decision once; everything downstream inherits it
+// through propagated contexts.
+const FlagSampled uint8 = 1 << 0
+
+// Sampled reports whether spans should be recorded under this context.
+func (tc TraceCtx) Sampled() bool { return tc.Flags&FlagSampled != 0 }
+
+// Span kinds. Like payload tags these are part of the StatReport wire
+// format: append new kinds, never renumber.
+const (
+	// SpanExec is one execution of a task function body.
+	SpanExec uint8 = iota
+	// SpanStealReq is the thief side of a steal: request sent → reply
+	// received (success or failure).
+	SpanStealReq
+	// SpanStealGrant is the victim side: popping the tail task and
+	// shipping it, plus creating the steal record.
+	SpanStealGrant
+	// SpanStealAdopt is the thief adopting a stolen task into its deque.
+	SpanStealAdopt
+	// SpanCkpt is one checkpoint publish (Yield accepting a blob).
+	SpanCkpt
+	// SpanDrain is a planned-drain handoff: drain decision → state
+	// shipped to the adopter.
+	SpanDrain
+	// SpanRedo is a crash redo: re-enqueueing a recorded task after its
+	// thief died.
+	SpanRedo
+	spanKindCount
+)
+
+var spanKindNames = [spanKindCount]string{
+	"exec", "steal-req", "steal-grant", "steal-adopt", "ckpt", "drain", "redo",
+}
+
+// SpanKindName renders a span kind for timelines and exports.
+func SpanKindName(k uint8) string {
+	if k < spanKindCount {
+		return spanKindNames[k]
+	}
+	return fmt.Sprintf("span(%d)", k)
+}
+
+// Span is one recorded scheduler activity, shipped from workers to the
+// clearinghouse collector inside StatReports. Task identifies the span
+// (for SpanExec it is the executed task's id; for steal legs the steal
+// record's id); Parent is the spawning/requesting span from the
+// propagated TraceCtx; Link is a related task — the continuation a
+// SpanExec feeds (a join edge of the DAG), or zero. Start and End are
+// nanosecond timestamps on the recording worker's local clock; the
+// collector shifts them onto the cluster timeline using that worker's
+// estimated clock offset.
+type Span struct {
+	Kind  uint8
+	Flags uint8
+	// Worker is the participant that recorded the span (timestamps are
+	// on its clock until the collector aligns them).
+	Worker types.WorkerID
+	Task   types.TaskID
+	Parent types.TaskID
+	Link   types.TaskID
+	Peer   types.WorkerID
+	Start  int64
+	End    int64
+}
+
 // Closure is the wire representation of a task: the name of its function,
 // its (possibly partially filled) argument slots, the number of arguments
 // still missing, and the continuation its result feeds. It crosses the
@@ -82,6 +161,10 @@ type Closure struct {
 	Ckpt []byte
 	// CkptSeq orders checkpoint blobs for the same task: higher wins.
 	CkptSeq uint64
+	// TC is the task's trace context; it travels with the closure on
+	// steal, migration, and redo so the executing worker records spans
+	// under the right parent and sampling decision.
+	TC TraceCtx
 }
 
 // TaskCkpt is one task's latest checkpoint blob as published to the
@@ -107,6 +190,10 @@ type Record struct {
 
 // StealRequest asks the destination worker (the victim) for the task at
 // the tail of its ready deque.
+// Deliberately a bare worker id: keeping the payload a single small
+// scalar lets the decoder's interface boxing stay allocation-free, and
+// the steal trace context travels in the reply's Closure.TC instead (the
+// victim's grant span is keyed by the steal record, not by this frame).
 type StealRequest struct {
 	Thief types.WorkerID
 }
@@ -127,6 +214,9 @@ type Arg struct {
 	Cont    types.Continuation
 	Val     types.Value
 	Crossed bool
+	// TC names the producing task (Parent) so a sampled result delivery
+	// extends the trace across the synchronization edge.
+	TC TraceCtx
 }
 
 // Migrate carries a terminating worker's live closures and steal records
@@ -153,6 +243,10 @@ type Register struct {
 	Worker types.WorkerID
 	Addr   string // transport address, empty for in-memory fabrics
 	Site   int32
+	// SendNS is the worker's local clock when the Register was sent, used
+	// with RegisterReply.RecvNS and the measured round trip for
+	// clock-offset estimation (zero when the worker does not trace).
+	SendNS int64
 }
 
 // RegisterReply assigns the worker its identity (when it asked with
@@ -160,6 +254,10 @@ type Register struct {
 type RegisterReply struct {
 	Assigned types.WorkerID
 	View     MembershipView
+	// RecvNS is the clearinghouse's clock when it processed the Register;
+	// with the register round trip this yields the NTP-style offset
+	// estimate offset = RecvNS - (send+recv_local)/2.
+	RecvNS int64
 }
 
 // Unregister announces that a worker is leaving the job. MigratedTo names
@@ -237,6 +335,10 @@ type Update struct {
 // trigger the fault-tolerance redo path.
 type Heartbeat struct {
 	Worker types.WorkerID
+	// SendNS is the worker's clock at send time (zero when not tracing).
+	// The clearinghouse uses successive heartbeats to refine the
+	// registration-time clock-offset estimate.
+	SendNS int64
 }
 
 // StatReportVersion is the current StatReport layout version. Receivers
@@ -275,6 +377,18 @@ type StatReport struct {
 	// per task, size-capped). The clearinghouse journals them so a crash
 	// redo can resume from the blob.
 	Ckpts []TaskCkpt
+	// SpanSeq numbers the span batch below: the collector folds a batch
+	// only when SpanSeq advances past the last one it saw from this
+	// worker, so retransmitted or reordered reports never duplicate
+	// spans ("latest-batch" framing, same idempotence contract as the
+	// cumulative counters above).
+	SpanSeq uint64
+	// ClockOffNS is the worker's current estimate of (clearinghouse
+	// clock - local clock); the collector adds it to span timestamps to
+	// merge all workers onto one cluster timeline.
+	ClockOffNS int64
+	// Spans are the trace spans completed since the previous report.
+	Spans []Span
 }
 
 // WorkerDown notifies workers that a participant crashed so they can redo
@@ -284,6 +398,10 @@ type StatReport struct {
 type WorkerDown struct {
 	Worker types.WorkerID
 	Ckpts  []TaskCkpt
+	// TC carries the sampling decision to crash-redo paths: a survivor
+	// redoing a recorded task for the dead worker inherits it even when
+	// its own record predates sampling.
+	TC TraceCtx
 }
 
 // DrainRequest asks the clearinghouse to coordinate a planned drain: pick

@@ -29,15 +29,20 @@ func everyPayload() []any {
 		Args: []types.Value{nil, int64(8), nil}, Missing: 2}
 	ckpted := Closure{ID: types.TaskID{Worker: 2, Seq: 7}, Fn: "ray",
 		Args: []types.Value{int64(1)}, Ckpt: []byte{1, 2, 3, 0, 255}, CkptSeq: 9}
+	tc := TraceCtx{Parent: types.TaskID{Worker: 4, Seq: 21}, Flags: FlagSampled}
+	traced := Closure{ID: types.TaskID{Worker: 4, Seq: 22}, Fn: "fib",
+		Args: []types.Value{int64(12)}, TC: tc}
 	rec := Record{ID: types.TaskID{Worker: 3, Seq: 18}, RealCont: cl.Cont, Task: cl, Thief: 7, Confirmed: true}
 	return []any{
 		StealRequest{Thief: 7},
 		StealRequest{Thief: types.NoWorker},
 		StealReply{OK: true, Task: cl},
+		StealReply{OK: true, Task: traced},
 		StealReply{OK: true, Task: partial},
 		StealReply{},
 		StealConfirm{Record: types.TaskID{Worker: 2, Seq: 9}},
 		Arg{Cont: cl.Cont, Val: int64(42), Crossed: true},
+		Arg{Cont: cl.Cont, Val: int64(7), TC: tc},
 		Arg{Cont: cl.Cont, Val: []types.Value{int64(1), []types.Value{"nested", nil}}},
 		Arg{},
 		Migrate{From: 3, Closures: []Closure{cl, emptyArgs, nilArgs, ckpted}, Records: []Record{rec}},
@@ -45,16 +50,20 @@ func everyPayload() []any {
 		Migrate{From: 5, Closures: []Closure{}, Records: []Record{}},
 		MigrateAck{Count: 2},
 		Register{Worker: 5, Addr: "127.0.0.1:9", Site: 3},
+		Register{Worker: 6, SendNS: 123456789},
 		Register{},
 		RegisterReply{Assigned: 5, View: MembershipView{Epoch: 3,
 			Members: []MemberInfo{{Worker: 5, Addr: "a", HostedBy: 5, Site: 1}, {Worker: 6, HostedBy: 5}}}},
 		RegisterReply{Assigned: types.NoWorker},
+		RegisterReply{Assigned: 7, RecvNS: -987654321},
 		Unregister{Worker: 5, Reason: LeaveReclaimed, MigratedTo: 6},
 		Unregister{Worker: 5, Reason: LeaveCrash, MigratedTo: types.NoWorker},
 		Update{View: MembershipView{Epoch: 9}},
 		Update{View: MembershipView{Epoch: 10, Members: []MemberInfo{}}},
 		Heartbeat{Worker: 5},
+		Heartbeat{Worker: 6, SendNS: 42},
 		WorkerDown{Worker: 4},
+		WorkerDown{Worker: 6, TC: tc},
 		WorkerDown{Worker: 5, Ckpts: []TaskCkpt{
 			{Task: types.TaskID{Worker: 5, Seq: 3}, Seq: 2, Data: []byte{7, 8}},
 			{Task: types.TaskID{Worker: 5, Seq: 4}, Seq: 1, Data: []byte{}},
@@ -98,6 +107,15 @@ func everyPayload() []any {
 		StatReport{Worker: 6, Counters: []int64{}, Hists: []HistState{}},
 		StatReport{Worker: 7, Ckpts: []TaskCkpt{
 			{Task: types.TaskID{Worker: 7, Seq: 1}, Seq: 4, Data: []byte{0, 1, 2}}}},
+		StatReport{Worker: 8, SpanSeq: 3, ClockOffNS: -1500, Spans: []Span{
+			{Kind: SpanExec, Flags: FlagSampled, Worker: 8,
+				Task:   types.TaskID{Worker: 8, Seq: 2},
+				Parent: types.TaskID{Worker: 4, Seq: 21},
+				Link:   types.TaskID{Worker: 4, Seq: 20},
+				Peer:   4, Start: 100, End: 900},
+			{Kind: SpanStealReq, Worker: 3, Peer: types.NoWorker, Start: -5, End: 5},
+		}},
+		StatReport{Worker: 9, Spans: []Span{}},
 		StatReport{},
 		DrainRequest{Worker: 9},
 		DrainAck{OK: true, Victim: 4, Addr: "127.0.0.1:9999"},

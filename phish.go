@@ -54,6 +54,21 @@ func NewTrace(n int) *TraceBuffer { return trace.NewBuffer(n) }
 // RenderTrace formats a recorded timeline for humans.
 func RenderTrace(events []TraceEvent) string { return trace.Render(events) }
 
+// Distributed-tracing re-exports (the span plane, distinct from the
+// per-process event TraceBuffer above).
+type (
+	// Span is one recorded scheduler activity on the cluster timeline.
+	Span = wire.Span
+	// TraceDAG is the task DAG reconstructed from a traced run, with
+	// empirical T1 (work), T∞ (critical path), and per-worker
+	// attribution.
+	TraceDAG = trace.DAG
+)
+
+// BuildDAG reconstructs the task DAG from a traced run's spans (see
+// LocalResult.Spans).
+func BuildDAG(spans []Span) *TraceDAG { return trace.BuildDAG(spans) }
+
 // Re-exported fundamental types; see the internal packages for details.
 type (
 	// Value is the dynamically-typed datum passed between tasks.
@@ -127,6 +142,13 @@ type LocalOptions struct {
 	// Trace, when non-nil, records every worker's scheduling events
 	// (steals, migrations, redos) into one shared timeline buffer.
 	Trace *trace.Buffer
+	// SpanTrace enables the distributed span plane: workers record task
+	// and steal spans and ship them to the clearinghouse collector; the
+	// merged cluster timeline comes back in LocalResult.Spans.
+	SpanTrace bool
+	// SpanSample is the per-root sampling probability (zero or >= 1
+	// samples everything); only meaningful with SpanTrace.
+	SpanSample float64
 	// UpdateEvery overrides the clearinghouse membership push interval.
 	UpdateEvery time.Duration
 	// Timeout bounds the whole run (default 5 minutes).
@@ -145,6 +167,12 @@ type LocalResult struct {
 	Output string
 	// Elapsed is the wall-clock time from first spawn to root result.
 	Elapsed time.Duration
+	// Spans is the cluster-aligned span timeline (empty unless
+	// LocalOptions.SpanTrace); feed it to BuildDAG.
+	Spans []Span
+	// SpansDropped counts spans lost to worker ring or collector caps; a
+	// nonzero value means the timeline has holes.
+	SpansDropped uint64
 }
 
 // RunLocal executes prog's root task on opt.Workers workers connected by
@@ -220,6 +248,10 @@ func RunLocal(prog *Program, rootFn string, rootArgs []Value, opt LocalOptions) 
 		if opt.Trace != nil {
 			wcfg.Trace = opt.Trace
 		}
+		if opt.SpanTrace {
+			wcfg.SpanTrace = true
+			wcfg.SpanSample = opt.SpanSample
+		}
 		workers[i] = core.NewWorker(spec.ID, types.WorkerID(i), prog, port, wcfg, clock.System)
 		wg.Add(1)
 		go func(w *core.Worker) {
@@ -245,6 +277,26 @@ func RunLocal(prog *Program, rootFn string, rootArgs []Value, opt LocalOptions) 
 		res.Workers = append(res.Workers, w.Stats())
 	}
 	res.Totals = stats.JobTotals(res.Workers)
+	if opt.SpanTrace {
+		// The final span batches ride each worker's unregister drain;
+		// wait for the collector count to turn nonzero and go quiet (the
+		// bound covers runs whose sampling produced no spans at all).
+		last, _ := ch.SpanStats()
+		for i, stable := 0, 0; i < 200 && stable < 2; i++ {
+			time.Sleep(2 * time.Millisecond)
+			n, _ := ch.SpanStats()
+			if n == last && n > 0 {
+				stable++
+			} else {
+				stable, last = 0, n
+			}
+		}
+		res.Spans = ch.Spans()
+		_, res.SpansDropped = ch.SpanStats()
+		for _, w := range workers {
+			res.SpansDropped += w.SpanDrops()
+		}
+	}
 	return res, nil
 }
 
