@@ -25,12 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, crit, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench (alias: wire), schedbench, chbench, migrate, crit, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
 	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench/chbench JSON baseline")
 	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "output path for the migration soak JSON baseline")
 	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the crit (trace accounting) JSON baseline")
-	check := flag.Bool("check", false, "migrate/crit: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
+	check := flag.Bool("check", false, "wirebench/migrate/crit: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
 	chShards := flag.String("ch-shards", "", "chbench shard counts, e.g. 1,4,16,64")
 	chWorkers := flag.String("ch-workers", "", "chbench simulated worker populations, e.g. 1000,10000,100000")
 	chIters := flag.Int("ch-iters", 0, "chbench hot-path rounds per ingest goroutine")
@@ -138,14 +138,25 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if run("wirebench") {
+	if run("wirebench") || *exp == "wire" {
 		did = true
 		rs := harness.WireBench()
 		harness.PrintWireBench(os.Stdout, rs)
-		if err := harness.WriteWireBenchJSON(*wireOut, rs); err != nil {
-			log.Fatalf("phishbench: write %s: %v", *wireOut, err)
+		if *check {
+			base, err := harness.ReadWireBenchJSON(*wireOut)
+			if err != nil {
+				log.Fatalf("phishbench: read %s: %v", *wireOut, err)
+			}
+			if err := harness.CheckWire(base, rs); err != nil {
+				log.Fatalf("phishbench: %v", err)
+			}
+			fmt.Printf("\nsteal sequence within alloc budget (%s)\n", *wireOut)
+		} else {
+			if err := harness.WriteWireBenchJSON(*wireOut, rs); err != nil {
+				log.Fatalf("phishbench: write %s: %v", *wireOut, err)
+			}
+			fmt.Printf("\nwrote %s\n", *wireOut)
 		}
-		fmt.Printf("\nwrote %s\n", *wireOut)
 	}
 	if run("schedbench") {
 		did = true

@@ -248,6 +248,28 @@ func (c *Clearinghouse) ingest(env *wire.Envelope) {
 // heartbeat or stat report; anything else (including the vanishingly rare
 // relayed report with From ≠ Worker) takes the ordinary handle path.
 func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
+	if v, ok := env.Payload.(*wire.View); ok {
+		// Heartbeats — the dominant inbound message — fold straight off the
+		// zero-copy view. Everything else (StatReports need their bulk
+		// slices anyway, cold tags arrive as structs) materializes in place
+		// and takes the switch below unchanged.
+		if hb, ok := v.AsHeartbeat(); ok && hb.Worker() == env.From {
+			c.msgsRecv.Add(1)
+			c.hot.Beats = append(c.hot.Beats, env.From)
+			if ns := hb.SendNS(); ns != 0 {
+				c.spans.noteHeartbeat(env.From, ns, time.Now().UnixNano())
+			}
+			env.Free()
+			if c.hot.Len() >= hotBatchMax {
+				c.flushHot()
+			}
+			return true
+		}
+		if err := env.Materialize(); err != nil {
+			env.Free() // corrupt frame: consume and drop
+			return true
+		}
+	}
 	switch p := env.Payload.(type) {
 	case wire.Heartbeat:
 		if p.Worker != env.From {
@@ -422,6 +444,14 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 func (c *Clearinghouse) onRegister(p wire.Register) {
 	if c.ckpt != nil && !c.store.Contains(p.Worker) {
 		c.ckpt.aborted = true // a joiner mid-checkpoint invalidates the matrix
+	}
+	// An id registering while not live is a new incarnation — a restarted
+	// worker or a checkpoint restore — whose span-batch numbering restarts
+	// from 1, so its collector cursor must not carry over. A live id
+	// re-registering is just a Register retry and keeps its cursor (its
+	// recorder never restarted).
+	if !c.store.IsLive(p.Worker) {
+		c.spans.resetWorker(p.Worker)
 	}
 	// Worker ids are incarnation-unique (the JobManager mints a fresh one
 	// per start), so a departed id re-registering is a protocol violation;

@@ -88,6 +88,24 @@ func (s *spanSink) fold(rep *wire.StatReport) {
 	}
 }
 
+// resetWorker clears a worker id's idempotence cursor and clock-offset
+// state. Called when an id registers without being live: a restarted (or
+// checkpoint-restored) worker restarts its batch numbering from 1, and a
+// cursor inherited from the previous incarnation would silently swallow
+// every batch until the new numbering happened to pass the old high-water
+// mark. Collected spans are kept — they are history, not cursor state.
+func (s *spanSink) resetWorker(w types.WorkerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, ok := s.perW[w]
+	if !ok {
+		return
+	}
+	ws.lastSeq = 0
+	ws.offNS = 0
+	ws.minHbDelta = math.MaxInt64
+}
+
 // noteHeartbeat refines a worker's offset bound from a stamped heartbeat.
 // nowNS is the clearinghouse's wall clock at processing time.
 func (s *spanSink) noteHeartbeat(w types.WorkerID, sendNS, nowNS int64) {

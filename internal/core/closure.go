@@ -110,6 +110,32 @@ func (c *Closure) toWire() wire.Closure {
 	return wc
 }
 
+// closureFromView adopts a zero-copy closure view into a pooled closure,
+// copying every field out of the arena-backed frame: after this the
+// closure owns its data and the view can be freed. Args decode straight
+// onto the pooled closure's recycled backing array.
+func closureFromView(v wire.ClosureView) (*Closure, error) {
+	c := newClosure()
+	c.ID = v.ID()
+	c.Fn = v.Fn()
+	args, err := v.AppendArgs(c.Args[:0])
+	c.Args = args
+	if err != nil {
+		c.free()
+		return nil, err
+	}
+	c.Missing = v.Missing()
+	c.Cont = v.Cont()
+	c.NoSteal = v.NoSteal()
+	c.TC = v.TC()
+	if blob, ok := v.Ckpt(); ok {
+		c.setCkpt(blob, v.CkptSeq())
+	} else {
+		c.CkptSeq = v.CkptSeq()
+	}
+	return c, nil
+}
+
 // closureFromWire converts an inbound wire closure into a pooled closure.
 func closureFromWire(w wire.Closure) *Closure {
 	c := newClosure()

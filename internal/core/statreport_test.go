@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// TestPlanStatReportsWorstCase feeds the planner the snapshot that used to
+// silently truncate on the wire: a full 512-span batch (~31KiB) plus a
+// checkpoint blob near the 64KiB MaxCkptBlob cap on the same heartbeat.
+// Every planned report must encode under the ~60KiB datagram budget, and
+// the union of the reports must carry exactly the original content.
+func TestPlanStatReportsWorstCase(t *testing.T) {
+	const datagramMax = 60 << 10
+
+	spans := make([]wire.Span, 512)
+	for i := range spans {
+		spans[i] = wire.Span{Kind: wire.SpanExec, Worker: 3,
+			Task:  types.TaskID{Worker: 3, Seq: uint64(i)},
+			Start: int64(i), End: int64(i + 1)}
+	}
+	big := wire.TaskCkpt{Task: types.TaskID{Worker: 3, Seq: 9000}, Seq: 4,
+		Data: bytes.Repeat([]byte{0xAB}, 52<<10)}
+	small := []wire.TaskCkpt{
+		{Task: types.TaskID{Worker: 3, Seq: 9001}, Seq: 1, Data: bytes.Repeat([]byte{1}, 4<<10)},
+		{Task: types.TaskID{Worker: 3, Seq: 9002}, Seq: 2, Data: bytes.Repeat([]byte{2}, 8<<10)},
+	}
+	rep := wire.StatReport{
+		Ver:        wire.StatReportVersion,
+		Worker:     3,
+		Deque:      5,
+		Counters:   make([]int64, 48),
+		Hists:      []wire.HistState{{Kind: 1, Count: 10, Sum: 100, Counts: make([]int64, 64)}},
+		Ckpts:      append([]wire.TaskCkpt{big}, small...),
+		SpanSeq:    7,
+		ClockOffNS: -1234,
+		Spans:      spans,
+	}
+	for i := range rep.Counters {
+		rep.Counters[i] = int64(i * 11)
+	}
+
+	out := planStatReports(rep, statReportBudget)
+	if len(out) < 2 {
+		t.Fatalf("worst-case snapshot planned into %d report(s); must split", len(out))
+	}
+
+	var gotCkpts []wire.TaskCkpt
+	spanReports := 0
+	for i, sr := range out {
+		frame, err := wire.Encode(&wire.Envelope{Job: 1, From: 3, To: types.ClearinghouseID, Payload: sr})
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+		if len(frame) > datagramMax {
+			t.Errorf("report %d encodes to %d bytes; exceeds the %d datagram budget", i, len(frame), datagramMax)
+		}
+		if sr.Ver != rep.Ver || sr.Worker != rep.Worker || sr.Deque != rep.Deque {
+			t.Errorf("report %d lost identity header: %+v", i, sr)
+		}
+		if i == 0 {
+			if !reflect.DeepEqual(sr.Counters, rep.Counters) || !reflect.DeepEqual(sr.Hists, rep.Hists) {
+				t.Error("first report must carry the cumulative counters and histograms")
+			}
+		} else if sr.Counters != nil || sr.Hists != nil {
+			// Follow-ups must stay counter-less: the store's latest-wins
+			// rollup keys on the counter sum, and a duplicated counter set
+			// would make a reordered follow-up clobber a fresher base.
+			t.Errorf("follow-up report %d duplicates counters/hists", i)
+		}
+		if sr.SpanSeq != 0 || sr.ClockOffNS != 0 || len(sr.Spans) > 0 {
+			spanReports++
+			if sr.SpanSeq != rep.SpanSeq || sr.ClockOffNS != rep.ClockOffNS || !reflect.DeepEqual(sr.Spans, rep.Spans) {
+				t.Error("span batch split or altered; SpanSeq/ClockOffNS/Spans must travel as one unit")
+			}
+		}
+		gotCkpts = append(gotCkpts, sr.Ckpts...)
+	}
+	if spanReports != 1 {
+		t.Errorf("span unit appeared in %d reports, want exactly 1", spanReports)
+	}
+	if len(gotCkpts) != len(rep.Ckpts) {
+		t.Fatalf("checkpoints dropped: got %d, want %d", len(gotCkpts), len(rep.Ckpts))
+	}
+	want := map[types.TaskID]wire.TaskCkpt{}
+	for _, ck := range rep.Ckpts {
+		want[ck.Task] = ck
+	}
+	for _, ck := range gotCkpts {
+		if !reflect.DeepEqual(want[ck.Task], ck) {
+			t.Errorf("checkpoint %v altered in flight", ck.Task)
+		}
+	}
+}
+
+// TestPlanStatReportsSmall: the common case — modest telemetry — must stay
+// a single report, bit-identical freight, no split overhead.
+func TestPlanStatReportsSmall(t *testing.T) {
+	rep := wire.StatReport{
+		Ver: wire.StatReportVersion, Worker: 2, Deque: 1,
+		Counters: []int64{1, 2, 3},
+		Ckpts:    []wire.TaskCkpt{{Task: types.TaskID{Worker: 2, Seq: 1}, Seq: 1, Data: []byte("x")}},
+		SpanSeq:  3, Spans: []wire.Span{{Kind: wire.SpanExec, Worker: 2}},
+	}
+	out := planStatReports(rep, statReportBudget)
+	if len(out) != 1 {
+		t.Fatalf("small snapshot split into %d reports", len(out))
+	}
+	if !reflect.DeepEqual(out[0].Counters, rep.Counters) ||
+		!reflect.DeepEqual(out[0].Ckpts, rep.Ckpts) ||
+		!reflect.DeepEqual(out[0].Spans, rep.Spans) ||
+		out[0].SpanSeq != rep.SpanSeq {
+		t.Fatalf("single-report plan altered freight: %+v", out[0])
+	}
+}
+
+// TestPlanStatReportsOversizedBlob: a blob too large to share a report
+// travels alone rather than being dropped.
+func TestPlanStatReportsOversizedBlob(t *testing.T) {
+	rep := wire.StatReport{
+		Ver: wire.StatReportVersion, Worker: 4,
+		Ckpts: []wire.TaskCkpt{
+			{Task: types.TaskID{Worker: 4, Seq: 1}, Seq: 1, Data: bytes.Repeat([]byte{9}, 55<<10)},
+			{Task: types.TaskID{Worker: 4, Seq: 2}, Seq: 1, Data: bytes.Repeat([]byte{8}, 55<<10)},
+		},
+	}
+	out := planStatReports(rep, statReportBudget)
+	total := 0
+	for i, sr := range out {
+		if len(sr.Ckpts) > 1 {
+			t.Fatalf("report %d packs %d near-budget blobs together", i, len(sr.Ckpts))
+		}
+		total += len(sr.Ckpts)
+		frame, err := wire.Encode(&wire.Envelope{Job: 1, From: 4, To: types.ClearinghouseID, Payload: sr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) > 60<<10 {
+			t.Errorf("report %d encodes to %d bytes", i, len(frame))
+		}
+	}
+	if total != 2 {
+		t.Fatalf("blobs dropped: delivered %d of 2", total)
+	}
+}

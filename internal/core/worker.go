@@ -459,19 +459,23 @@ func (w *Worker) heartbeatLoop() {
 			// Piggyback the telemetry report on the same cadence: over UDP
 			// the batching window coalesces it into the heartbeat's
 			// datagram. Sent unreliably (and kept out of MessagesSent, like
-			// heartbeats) — a pre-telemetry clearinghouse just drops it.
-			rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
-				Payload: w.statReport()}
-			_ = w.conn.Send(rep)
+			// heartbeats) — a pre-telemetry clearinghouse just drops it. A
+			// snapshot too big for one datagram ships as several reports.
+			for _, sr := range w.statReports() {
+				rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+					Payload: sr}
+				_ = w.conn.Send(rep)
+			}
 		}
 	}
 }
 
-// statReport assembles the piggybacked telemetry record. Everything read
-// here is atomic (counters, the deque-depth mirror, histogram buckets) or
+// statReports assembles the piggybacked telemetry record, split across as
+// many reports as the datagram budget requires. Everything read here is
+// atomic (counters, the deque-depth mirror, histogram buckets) or
 // mutex-guarded (the checkpoint table), so the heartbeat goroutine can
 // build it without touching scheduler state.
-func (w *Worker) statReport() wire.StatReport {
+func (w *Worker) statReports() []wire.StatReport {
 	rep := wire.StatReport{
 		Ver:      wire.StatReportVersion,
 		Worker:   w.id,
@@ -484,7 +488,7 @@ func (w *Worker) statReport() wire.StatReport {
 		rep.SpanSeq, rep.Spans = w.spans.Load().batch()
 		rep.ClockOffNS = w.spans.Load().offset()
 	}
-	return rep
+	return planStatReports(rep, statReportBudget)
 }
 
 // ckptSnapshot copies the publication table for a StatReport. Blob slices
@@ -531,9 +535,11 @@ func (w *Worker) noteCkpt(c *Closure) {
 	}
 	w.ckptLastPub = time.Now()
 	// Unsolicited and unreliable, exactly like the heartbeat piggyback.
-	rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
-		Payload: w.statReport()}
-	_ = w.conn.Send(rep)
+	for _, sr := range w.statReports() {
+		rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+			Payload: sr}
+		_ = w.conn.Send(rep)
+	}
 }
 
 // dropCkptPub removes a completed task's entry so later StatReports stop
@@ -851,6 +857,13 @@ func (w *Worker) handle(env *wire.Envelope) {
 	} else if w.chDown {
 		w.chRecovered()
 	}
+	if v, ok := env.Payload.(*wire.View); ok {
+		if w.handleView(env, v) {
+			return
+		}
+		// Not a fast-path message: handleView materialized the payload in
+		// place, so the struct dispatch below applies unchanged.
+	}
 	switch p := env.Payload.(type) {
 	case wire.RegisterReply:
 		w.registered = true
@@ -956,6 +969,96 @@ func (w *Worker) handle(env *wire.Envelope) {
 	default:
 		// Macro-level traffic never reaches workers; ignore stray types.
 	}
+}
+
+// handleView dispatches the hot-path messages straight off a zero-copy
+// view — no intermediate structs, no per-message allocation beyond the
+// pooled closure a successful steal adopts. Returns true when the message
+// was fully consumed; false when the payload was materialized in place so
+// the struct dispatch in handle applies.
+func (w *Worker) handleView(env *wire.Envelope, v *wire.View) bool {
+	if av, ok := v.AsArg(); ok {
+		val, err := av.Val()
+		if err != nil {
+			env.Free() // corrupt value body; drop like a garbage frame
+			return true
+		}
+		w.deliver(av.Cont(), val, av.Crossed(), av.TC())
+		env.Free()
+		return true
+	}
+	if sr, ok := v.AsStealRequest(); ok {
+		w.grantSteal(sr.Thief())
+		env.Free()
+		return true
+	}
+	if rp, ok := v.AsStealReply(); ok {
+		w.handleStealReplyView(env, rp)
+		env.Free()
+		return true
+	}
+	if sc, ok := v.AsStealConfirm(); ok {
+		if rec, ok := w.records[sc.Record()]; ok {
+			rec.confirmed = true
+		}
+		env.Free()
+		return true
+	}
+	if err := env.Materialize(); err != nil {
+		env.Free() // corrupt; drop (Materialize leaves the view intact on error)
+		return true
+	}
+	return false
+}
+
+// handleStealReplyView is the view twin of handle's StealReply case; the
+// stolen closure is adopted straight off the frame via closureFromView.
+func (w *Worker) handleStealReplyView(env *wire.Envelope, p wire.StealReplyView) {
+	ok := p.OK()
+	if w.stealPending && !w.stealSentAt.IsZero() {
+		if m := w.cfg.Metrics; m != nil {
+			m.StealRTT().ObserveSince(w.stealSentAt)
+		}
+		if w.spans.Load() != nil && !w.stealSpanID.Zero() {
+			sp := wire.Span{Kind: wire.SpanStealReq, Flags: wire.FlagSampled, Worker: w.id,
+				Task: w.stealSpanID, Peer: env.From,
+				Start: w.stealSentAt.UnixNano(), End: time.Now().UnixNano()}
+			if ok {
+				sp.Link = p.Task().ID()
+			}
+			w.spans.Load().add(sp)
+			w.stealSpanID = types.TaskID{}
+		}
+	}
+	w.stealPending = false
+	if ok {
+		w.dbgRepliesOK.Add(1)
+	} else {
+		w.dbgRepliesFail.Add(1)
+	}
+	if ok {
+		w.localFailures = 0
+	} else if w.siteOf[env.From] == w.cfg.Site {
+		w.localFailures++
+	}
+	if w.forwardTo != types.NoWorker {
+		// We already migrated away. Leave the task unconfirmed: the
+		// victim's steal record redoes it when our tombstone lands.
+		return
+	}
+	if !ok {
+		w.consecFails++
+		w.counters.FailedSteals.Add(1)
+		return
+	}
+	cl, err := closureFromView(p.Task())
+	if err != nil {
+		// Corrupt closure body: drop the reply; the victim's unconfirmed
+		// steal record redoes the task when we are (wrongly) given up on,
+		// exactly as if the reply had been lost in flight.
+		return
+	}
+	w.adoptClosure(cl)
 }
 
 // applyView installs a fresh membership view: the host map for routing and
@@ -1246,8 +1349,13 @@ func (w *Worker) putBackStealable(cl *Closure) {
 // stolen task's continuation targets the victim's steal record, which is
 // how we know where to confirm).
 func (w *Worker) adoptStolen(wc wire.Closure) {
+	w.adoptClosure(closureFromWire(wc))
+}
+
+// adoptClosure installs an already-converted stolen closure (from either
+// the struct or the zero-copy ingest path).
+func (w *Worker) adoptClosure(cl *Closure) {
 	w.dbgAdopts.Add(1)
-	cl := closureFromWire(wc)
 	w.ensureSpans(cl.TC)
 	w.counters.TaskAdopted()
 	w.counters.TasksStolen.Add(1)
@@ -1706,9 +1814,11 @@ func (w *Worker) unregister(reason wire.LeaveReason, migratedTo types.WorkerID) 
 	// sized batch, so keep flushing until the recorder's backlog drains
 	// (each report seals and ships the next batch).
 	for {
-		rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
-			Payload: w.statReport()}
-		_ = w.conn.Send(rep)
+		for _, sr := range w.statReports() {
+			rep := &wire.Envelope{Job: w.job, From: w.id, To: types.ClearinghouseID,
+				Payload: sr}
+			_ = w.conn.Send(rep)
+		}
 		if w.spans.Load() == nil || w.spans.Load().backlog() == 0 {
 			break
 		}

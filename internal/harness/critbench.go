@@ -12,7 +12,7 @@ import (
 	"phish"
 	"phish/internal/apps/fib"
 	"phish/internal/apps/pfold"
-	"phish/internal/wire"
+	"phish/internal/types"
 )
 
 // This file is the empirical-critical-path benchmark: traced runs of two
@@ -124,24 +124,15 @@ func critRunOne(name string, prog *phish.Program, rootFn string,
 }
 
 // critStealSeqAllocs re-measures the untraced wire steal sequence (the
-// same four-message round trip WireBench times) and returns allocs/op.
+// same four-message zero-copy round trip WireBench times as
+// "steal-sequence") and returns allocs/op.
 func critStealSeqAllocs() int64 {
 	seq := stealSequence()
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		var scratch []types.Value
 		for i := 0; i < b.N; i++ {
-			for _, env := range seq {
-				f, err := wire.EncodeFrame(env)
-				if err != nil {
-					b.Fatal(err)
-				}
-				decoded, err := wire.Decode(f.Bytes())
-				if err != nil {
-					b.Fatal(err)
-				}
-				decoded.Free()
-				f.Free()
-			}
+			runStealSequenceView(b, seq, &scratch)
 		}
 	})
 	return r.AllocsPerOp()

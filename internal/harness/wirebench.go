@@ -62,6 +62,49 @@ func stealSequence() []*wire.Envelope {
 	}
 }
 
+// runStealSequenceView is one iteration of the production steal path:
+// encode each of the four messages, parse it back as a zero-copy view, and
+// touch every field a worker's ingest reads — the stolen closure's args
+// landing in the caller's reused scratch slice, exactly like adoption onto
+// a pooled closure. Shared by WireBench and the crit gate so both measure
+// the same path.
+func runStealSequenceView(b *testing.B, seq []*wire.Envelope, scratch *[]types.Value) {
+	for _, env := range seq {
+		f, err := wire.EncodeFrame(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		decoded, err := wire.DecodeView(f.Bytes(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, ok := decoded.Payload.(*wire.View)
+		if !ok {
+			b.Fatalf("hot payload decoded as %T, not a view", decoded.Payload)
+		}
+		if sr, ok := v.AsStealRequest(); ok {
+			_ = sr.Thief()
+		} else if rp, ok := v.AsStealReply(); ok {
+			cl := rp.Task()
+			_, _, _ = cl.ID(), cl.Fn(), cl.Cont()
+			_, _, _ = cl.Missing(), cl.NoSteal(), cl.TC()
+			*scratch, err = cl.AppendArgs((*scratch)[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		} else if sc, ok := v.AsStealConfirm(); ok {
+			_ = sc.Record()
+		} else if av, ok := v.AsArg(); ok {
+			if _, err := av.Val(); err != nil {
+				b.Fatal(err)
+			}
+			_, _, _ = av.Cont(), av.Crossed(), av.TC()
+		}
+		decoded.Free()
+		f.Free()
+	}
+}
+
 // WireBench measures the wire codec and steal-path serialization costs:
 // the binary codec (production path, pooled and unpooled) next to the gob
 // reference codec it replaced.
@@ -111,6 +154,15 @@ func WireBench() []WireBenchResult {
 			}
 		}},
 		{"steal-sequence", func(b *testing.B) {
+			// The production path: zero-copy views read in place.
+			var scratch []types.Value
+			for i := 0; i < b.N; i++ {
+				runStealSequenceView(b, seq, &scratch)
+			}
+		}},
+		{"steal-sequence-materialize", func(b *testing.B) {
+			// The pre-view path (decode into owned structs), kept for the
+			// differential trajectory.
 			for i := 0; i < b.N; i++ {
 				for _, env := range seq {
 					f, err := wire.EncodeFrame(env)
@@ -162,6 +214,39 @@ func WireBench() []WireBenchResult {
 		})
 	}
 	return out
+}
+
+// StealSeqAllocBudget is the hard ceiling on steal-sequence allocs/op: the
+// zero-copy steal path stays single-digit or the gate fails.
+const StealSeqAllocBudget = 10
+
+// CheckWire gates CI on the steal path's allocation profile: the fresh
+// steal-sequence measurement must exist, stay under the hard single-digit
+// budget, and not regress past the recorded BENCH_wire.json baseline
+// (base nil skips the comparison — no baseline yet). ns/op is recorded
+// for the trajectory but not gated; shared CI machines make timing gates
+// flaky where alloc counts are exact.
+func CheckWire(base, fresh []WireBenchResult) error {
+	var got *WireBenchResult
+	for i := range fresh {
+		if fresh[i].Name == "steal-sequence" {
+			got = &fresh[i]
+		}
+	}
+	if got == nil {
+		return fmt.Errorf("harness: wirebench produced no steal-sequence measurement")
+	}
+	if got.AllocsPerOp >= StealSeqAllocBudget {
+		return fmt.Errorf("harness: steal-sequence allocs %d, budget < %d — the zero-copy steal path regressed",
+			got.AllocsPerOp, StealSeqAllocBudget)
+	}
+	for _, wb := range base {
+		if wb.Name == "steal-sequence" && got.AllocsPerOp > wb.AllocsPerOp {
+			return fmt.Errorf("harness: steal-sequence allocs %d exceed the recorded %d baseline",
+				got.AllocsPerOp, wb.AllocsPerOp)
+		}
+	}
+	return nil
 }
 
 // PrintWireBench renders the measurements as a table.

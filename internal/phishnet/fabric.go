@@ -46,6 +46,15 @@ const (
 	// CodecGob runs every envelope through the reference gob codec — the
 	// pre-optimization baseline, kept for comparison benchmarks.
 	CodecGob
+	// CodecView encodes every envelope and hands consumers zero-copy
+	// *wire.View payloads backed by a pooled arena — exactly what a real
+	// UDP deployment delivers for hot messages — so in-process tests and
+	// benchmarks exercise the read-in-place ingest paths end to end.
+	CodecView
+	// CodecV1 pins the legacy v1 positional encoder while decoding with
+	// the current decoder — the cross-version differential mode (an old
+	// sender talking to a new receiver).
+	CodecV1
 )
 
 // SetCodec selects in-flight envelope treatment. Call before traffic
@@ -156,6 +165,45 @@ func (f *Fabric) deliver(env *wire.Envelope) error {
 			return err
 		}
 		env, err = wire.DecodeGob(frame)
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+	case CodecView:
+		f.mu.Unlock()
+		frame, err := wire.EncodeFrame(env)
+		if err != nil {
+			return err
+		}
+		n := len(frame.Bytes())
+		if a := wire.NewArena(); n <= len(a.Bytes()) {
+			// Copy into an arena so the view outlives the pooled frame; the
+			// view holds its own arena reference, mirroring the UDP read
+			// loop's ownership hand-off.
+			copy(a.Bytes(), frame.Bytes())
+			frame.Free()
+			env, err = wire.DecodeView(a.Bytes()[:n], a)
+			a.Release()
+			if err != nil {
+				return err
+			}
+		} else {
+			// Oversized frame (cold-path bulk): no arena, decode owned.
+			a.Release()
+			env, err = wire.Decode(frame.Bytes())
+			frame.Free()
+			if err != nil {
+				return err
+			}
+		}
+		f.mu.Lock()
+	case CodecV1:
+		f.mu.Unlock()
+		buf, err := wire.AppendEncodeLegacy(nil, env)
+		if err != nil {
+			return err
+		}
+		env, err = wire.Decode(buf)
 		if err != nil {
 			return err
 		}

@@ -145,8 +145,20 @@ func TestUDPBasicExchange(t *testing.T) {
 	if env.From != 1 {
 		t.Errorf("from = %d", env.From)
 	}
-	if _, ok := env.Payload.(wire.Heartbeat); !ok {
-		t.Errorf("payload = %T", env.Payload)
+	// Hot messages arrive as zero-copy views over UDP; accessors read the
+	// fields in place, and Materialize converts for struct consumers.
+	v, ok := env.Payload.(*wire.View)
+	if !ok {
+		t.Fatalf("payload = %T, want *wire.View", env.Payload)
+	}
+	if hb, ok := v.AsHeartbeat(); !ok || hb.Worker() != 1 {
+		t.Errorf("heartbeat view: ok=%v worker=%d", ok, hb.Worker())
+	}
+	if err := env.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if hb, ok := env.Payload.(wire.Heartbeat); !ok || hb.Worker != 1 {
+		t.Errorf("materialized payload = %#v", env.Payload)
 	}
 
 	// Reply the other way.
@@ -154,9 +166,14 @@ func TestUDPBasicExchange(t *testing.T) {
 		t.Fatal(err)
 	}
 	env = recvOne(t, a, 2*time.Second)
-	if _, ok := env.Payload.(wire.StealRequest); !ok {
-		t.Errorf("payload = %T", env.Payload)
+	v, ok = env.Payload.(*wire.View)
+	if !ok {
+		t.Fatalf("payload = %T, want *wire.View", env.Payload)
 	}
+	if sr, ok := v.AsStealRequest(); !ok || sr.Thief() != 2 {
+		t.Errorf("steal-request view: ok=%v thief=%d", ok, sr.Thief())
+	}
+	env.Free()
 }
 
 func TestUDPManyMessagesNoDuplicates(t *testing.T) {

@@ -55,14 +55,15 @@ type UDP struct {
 	conn  *net.UDPConn
 	mbox  *mailbox
 
-	mu      sync.Mutex
-	peers   map[types.WorkerID]*net.UDPAddr
-	pending map[uint64]*pendingSend
-	batches map[types.WorkerID]*outBatch
-	seen    map[string]*dedupWindow
-	ackEnv  wire.Envelope // scratch envelope for piggybacked acks
-	seq     uint64
-	closed  bool
+	mu       sync.Mutex
+	peers    map[types.WorkerID]*net.UDPAddr
+	pending  map[uint64]*pendingSend
+	batches  map[types.WorkerID]*outBatch
+	seen     map[string]*dedupWindow
+	ackEnv   wire.Envelope // scratch envelope for piggybacked acks
+	seq      uint64
+	flushGen uint64 // monotonic flush-timer generation (see outBatch.gen)
+	closed   bool
 
 	// Retransmit schedule (SetRetransmit overrides; tests compress it).
 	retxBase  time.Duration
@@ -99,11 +100,15 @@ type pendingSend struct {
 	next  time.Time
 }
 
-// outBatch accumulates frames bound for one peer until flushed.
+// outBatch accumulates frames bound for one peer until flushed. gen
+// identifies the arming that scheduled the pending flush: a flush
+// callback only acts if its generation is still current, so a callback
+// that was already in flight when the batch was rebuilt (or re-armed)
+// can never flush the wrong bytes or steal a newer arming's flush.
 type outBatch struct {
 	dst   *net.UDPAddr
 	buf   []byte
-	timer *time.Timer
+	gen   uint64
 	armed bool
 }
 
@@ -372,24 +377,31 @@ func (u *UDP) queueAckLocked(to types.WorkerID, seq uint64) (data []byte, dst *n
 	return data, dst
 }
 
+// armLocked schedules a flush for the batch unless one is already armed.
+// Each arming gets a fresh timer stamped with a new generation instead of
+// Reset-ing a shared timer: Reset races with a concurrently firing
+// AfterFunc — the stale callback could flush a batch already being
+// rebuilt, or consume the fire that the Reset was counting on, losing a
+// flush. A generation-checked callback acts at most once, and only for
+// the arming that created it.
 func (u *UDP) armLocked(to types.WorkerID, b *outBatch) {
 	if b.armed {
 		return
 	}
 	b.armed = true
-	if b.timer == nil {
-		b.timer = time.AfterFunc(udpFlushDelay, func() { u.flushPeer(to) })
-	} else {
-		b.timer.Reset(udpFlushDelay)
-	}
+	u.flushGen++
+	gen := u.flushGen
+	b.gen = gen
+	time.AfterFunc(udpFlushDelay, func() { u.flushPeer(to, gen) })
 }
 
 // flushPeer writes out the accumulated batch for one peer (flush-timer
-// callback).
-func (u *UDP) flushPeer(to types.WorkerID) {
+// callback). A callback whose generation no longer matches the batch's
+// current arming is stale and must not touch the batch.
+func (u *UDP) flushPeer(to types.WorkerID, gen uint64) {
 	u.mu.Lock()
 	b := u.batches[to]
-	if b == nil || u.closed {
+	if b == nil || u.closed || !b.armed || b.gen != gen {
 		u.mu.Unlock()
 		return
 	}
@@ -487,37 +499,52 @@ func (u *UDP) Close() error {
 
 func (u *UDP) readLoop() {
 	defer u.wg.Done()
-	buf := make([]byte, 64<<10)
 	for {
-		n, from, err := u.conn.ReadFromUDP(buf)
+		// Each datagram lands in a pooled arena so hot-path frames can be
+		// handed to consumers as zero-copy views that alias the receive
+		// buffer. Every view decoded from the datagram retains the arena;
+		// our release below only drops the read loop's own reference, and
+		// the buffer recycles once the last view is freed or materialized.
+		a := wire.NewArena()
+		n, from, err := u.conn.ReadFromUDP(a.Bytes())
 		if err != nil {
+			a.Release()
 			return // closed
 		}
 		// A datagram carries one or more length-prefixed frames back to
-		// back (the sender batches). Decode copies everything it retains,
-		// so the read buffer is reused as-is.
-		data := buf[:n]
+		// back (the sender batches). All frames share the one arena.
+		data := a.Bytes()[:n]
 		for len(data) >= 4 {
 			flen := 4 + int(binary.BigEndian.Uint32(data[:4]))
 			if flen > len(data) {
 				break // truncated tail; drop like a real network would
 			}
-			env, err := wire.Decode(data[:flen])
+			env, err := wire.DecodeView(data[:flen], a)
 			data = data[flen:]
 			if err != nil {
 				continue // garbage frame; framing is still intact
 			}
 			u.handleInbound(env, from)
 		}
+		a.Release()
 	}
 }
 
 func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
-	if ack, ok := env.Payload.(wire.Ack); ok {
+	ackSeq, isAck := uint64(0), false
+	switch p := env.Payload.(type) {
+	case wire.Ack:
+		ackSeq, isAck = p.Seq, true
+	case *wire.View:
+		if av, ok := p.AsAck(); ok {
+			ackSeq, isAck = av.Seq(), true
+		}
+	}
+	if isAck {
 		u.mu.Lock()
-		if p := u.pending[ack.Seq]; p != nil {
+		if p := u.pending[ackSeq]; p != nil {
 			p.frame.Free()
-			delete(u.pending, ack.Seq)
+			delete(u.pending, ackSeq)
 		}
 		u.mu.Unlock()
 		env.Free() // consumed in-transport; the envelope never leaves here

@@ -1,0 +1,170 @@
+package phishnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"phish/internal/types"
+	"phish/internal/wire"
+)
+
+// TestUDPFlushTimerStress hammers the batcher from many goroutines so
+// flush-timer callbacks constantly overlap re-arming. Before the
+// generation-counter guard, armLocked Reset a shared timer that could be
+// mid-fire: the stale callback would flush a batch that a newer arming
+// owned, or swallow the fire the Reset counted on. Run under -race this
+// doubles as the data-race regression for that pattern.
+func TestUDPFlushTimerStress(t *testing.T) {
+	a, err := ListenUDP(1, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeer(2, b.LocalAddr())
+	b.SetPeer(1, a.LocalAddr())
+
+	const senders = 8
+	const perSender = 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				env := &wire.Envelope{To: 2, Payload: wire.Heartbeat{
+					Worker: types.WorkerID(s*perSender + i),
+				}}
+				if err := a.Send(env); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%16 == 0 {
+					// Let flush timers fire mid-stream so arming and
+					// callbacks interleave instead of one giant batch.
+					time.Sleep(udpFlushDelay)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Every message must arrive exactly once: a lost flush would stall a
+	// tail of the stream until retransmit (or forever for untracked
+	// sends), and a double flush would trip the dedup window accounting.
+	seen := make(map[types.WorkerID]bool)
+	deadline := time.After(10 * time.Second)
+	for len(seen) < senders*perSender {
+		select {
+		case env := <-b.Recv():
+			if err := env.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+			hb, ok := env.Payload.(wire.Heartbeat)
+			if !ok {
+				t.Fatalf("payload = %T", env.Payload)
+			}
+			if seen[hb.Worker] {
+				t.Fatalf("worker %d delivered twice", hb.Worker)
+			}
+			seen[hb.Worker] = true
+			env.Free()
+		case <-deadline:
+			t.Fatalf("received %d/%d messages", len(seen), senders*perSender)
+		}
+	}
+}
+
+// TestUDPViewArenaRecycling drives enough batched traffic through the
+// zero-copy receive path that arenas and views must recycle through their
+// pools many times over, with consumers freeing some views, materializing
+// others, and holding a few across subsequent datagrams. Any refcount slip
+// shows up as cross-talk: a held view's fields changing when its arena is
+// wrongly recycled under later traffic.
+func TestUDPViewArenaRecycling(t *testing.T) {
+	a, err := ListenUDP(1, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeer(2, b.LocalAddr())
+	b.SetPeer(1, a.LocalAddr())
+
+	const n = 600
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = a.Send(&wire.Envelope{To: 2, Payload: wire.StealReply{
+				OK: true,
+				Task: wire.Closure{
+					ID:   types.TaskID{Worker: 1, Seq: uint64(i)},
+					Fn:   "pfold",
+					Args: []types.Value{int64(i), "payload-string"},
+				},
+			}})
+		}
+	}()
+
+	type held struct {
+		env *wire.Envelope
+		seq uint64
+	}
+	var holds []held
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case env := <-b.Recv():
+			v, ok := env.Payload.(*wire.View)
+			if !ok {
+				t.Fatalf("payload = %T", env.Payload)
+			}
+			sr, ok := v.AsStealReply()
+			if !ok || !sr.OK() {
+				t.Fatalf("bad steal reply view (ok=%v)", ok)
+			}
+			cl := sr.Task()
+			seq := cl.ID().Seq
+			if fn := cl.Fn(); fn != "pfold" {
+				t.Fatalf("fn = %q", fn)
+			}
+			switch got % 3 {
+			case 0:
+				env.Free()
+			case 1:
+				if err := env.Materialize(); err != nil {
+					t.Fatal(err)
+				}
+				task := env.Payload.(wire.StealReply).Task
+				if task.ID.Seq != seq || task.Args[1].(types.Value) != types.Value("payload-string") {
+					t.Fatalf("materialized closure corrupted: %+v", task)
+				}
+				env.Free()
+			case 2:
+				holds = append(holds, held{env, seq}) // outlive later datagrams
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("received %d/%d", got, n)
+		}
+	}
+	for _, h := range holds {
+		sr, ok := h.env.Payload.(*wire.View).AsStealReply()
+		if !ok {
+			t.Fatal("held view lost its shape")
+		}
+		if cl := sr.Task(); cl.ID().Seq != h.seq || cl.Fn() != "pfold" {
+			t.Fatalf("held view mutated: seq %d -> %d fn %q", h.seq, cl.ID().Seq, cl.Fn())
+		}
+		h.env.Free()
+	}
+}

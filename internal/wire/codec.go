@@ -158,10 +158,14 @@ var envelopePool = sync.Pool{New: func() any { return new(Envelope) }}
 
 // Free returns a decoded envelope to the pool. The envelope and its
 // payload must not be referenced afterwards. Only call this when this
-// code path is the envelope's final owner.
+// code path is the envelope's final owner. A zero-copy view payload is
+// freed with the envelope, dropping its arena reference.
 func (e *Envelope) Free() {
 	if e == nil {
 		return
+	}
+	if v, ok := e.Payload.(*View); ok {
+		v.Free()
 	}
 	*e = Envelope{}
 	envelopePool.Put(e)
@@ -170,28 +174,38 @@ func (e *Envelope) Free() {
 // fnIntern deduplicates closure function names. A job invokes the same
 // handful of task functions billions of times, so the decode path would
 // otherwise allocate a fresh copy of "fib" or "pfold" for every stolen
-// closure. The table is append-only and bounded: past the cap, unseen
-// names fall back to plain allocation (a corrupt or adversarial stream
-// must not grow memory without bound).
+// closure. Memory stays bounded by two-generation rotation: when the
+// current generation fills to half the cap, it becomes the previous
+// generation (dropping the one before it) and a fresh map takes over.
+// Names still in use are re-promoted on their next decode, so a stream of
+// unique names — corrupt, adversarial, or just a very wide job — cycles
+// the generations instead of saturating the table and forcing every
+// later decode of a live name to allocate.
 var fnIntern = struct {
 	sync.RWMutex
-	m map[string]string
-}{m: make(map[string]string)}
+	cur, old map[string]string
+}{cur: make(map[string]string), old: make(map[string]string)}
 
 const fnInternMax = 1024
 
 func internName(b []byte) string {
 	fnIntern.RLock()
-	s, ok := fnIntern.m[string(b)] // compiles to a zero-alloc map lookup
-	fnIntern.RUnlock()
+	s, ok := fnIntern.cur[string(b)] // compiles to a zero-alloc map lookup
 	if ok {
+		fnIntern.RUnlock()
 		return s
 	}
-	s = string(b)
-	fnIntern.Lock()
-	if len(fnIntern.m) < fnInternMax {
-		fnIntern.m[s] = s
+	s, ok = fnIntern.old[string(b)]
+	fnIntern.RUnlock()
+	if !ok {
+		s = string(b)
 	}
+	fnIntern.Lock()
+	if len(fnIntern.cur) >= fnInternMax/2 {
+		fnIntern.old = fnIntern.cur
+		fnIntern.cur = make(map[string]string, 8)
+	}
+	fnIntern.cur[s] = s
 	fnIntern.Unlock()
 	return s
 }
@@ -218,16 +232,39 @@ func Encode(env *Envelope) ([]byte, error) {
 
 // AppendEncode appends env's frame to dst and returns the extended slice.
 // Frames are self-delimiting, so several may be appended back to back into
-// one buffer (the UDP transport batches datagrams this way).
+// one buffer (the UDP transport batches datagrams this way). Hot scheduler
+// payloads are emitted in the v2 field-keyed layout (view.go); everything
+// else keeps the v1 positional body.
 func AppendEncode(dst []byte, env *Envelope) ([]byte, error) {
+	return appendEncode(dst, env, true)
+}
+
+// AppendEncodeLegacy is AppendEncode pinned to v1 bodies for every tag —
+// the old codec, kept reachable so the fabric's differential codec modes
+// and cross-version tests can exercise a v2 decoder against v1 frames.
+func AppendEncodeLegacy(dst []byte, env *Envelope) ([]byte, error) {
+	return appendEncode(dst, env, false)
+}
+
+func appendEncode(dst []byte, env *Envelope, allowV2 bool) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
-	dst = append(dst, frameVersion, payloadTag(env.Payload))
+	tag := payloadTag(env.Payload)
+	ver := byte(frameVersion)
+	if allowV2 && v2Tag(tag) {
+		ver = frameVersionV2
+	}
+	dst = append(dst, ver, tag)
 	dst = appendI64(dst, int64(env.Job))
 	dst = appendI32(dst, int32(env.From))
 	dst = appendI32(dst, int32(env.To))
 	dst = appendU64(dst, env.Seq)
-	dst, err := appendPayload(dst, env.Payload)
+	var err error
+	if ver == frameVersionV2 {
+		dst, err = appendPayloadV2(dst, env.Payload)
+	} else {
+		dst, err = appendPayload(dst, env.Payload)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wire: encode %T: %w", env.Payload, err)
 	}
@@ -256,7 +293,7 @@ func Decode(frame []byte) (env *Envelope, err error) {
 	if int64(n) != int64(len(frame)-4) {
 		return nil, fmt.Errorf("wire: frame length mismatch: header %d, body %d", n, len(frame)-4)
 	}
-	if frame[4] != frameVersion {
+	if frame[4] != frameVersion && frame[4] != frameVersionV2 {
 		return nil, fmt.Errorf("%w %d", errFrameVersion, frame[4])
 	}
 	tag := frame[5]
@@ -265,6 +302,15 @@ func Decode(frame []byte) (env *Envelope, err error) {
 	e.From = types.WorkerID(int32(binary.BigEndian.Uint32(frame[14:18])))
 	e.To = types.WorkerID(int32(binary.BigEndian.Uint32(frame[18:22])))
 	e.Seq = binary.BigEndian.Uint64(frame[22:30])
+	if frame[4] == frameVersionV2 {
+		p, err := materializeV2(tag, frame[frameHeaderLen:])
+		if err != nil {
+			e.Free()
+			return nil, fmt.Errorf("wire: decode %s: %w", tagName(tag), err)
+		}
+		e.Payload = p
+		return e, nil
+	}
 	r := reader{b: frame[frameHeaderLen:]}
 	e.Payload = readPayload(&r, tag)
 	if r.err != nil {
@@ -471,8 +517,12 @@ func appendValue(b []byte, v types.Value) ([]byte, error) {
 	default:
 		// Opaque application value: gob is the fallback boundary. The
 		// concrete type must have been registered via RegisterValue.
+		// Address a branch-local copy, not the parameter: &v would make v
+		// escape and heap-allocate the interface header on every call,
+		// including the scalar cases above that never reach gob.
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		opaque := v
+		if err := gob.NewEncoder(&buf).Encode(&opaque); err != nil {
 			return nil, err
 		}
 		b = append(b, vGob)
@@ -608,7 +658,9 @@ func appendCounts(b []byte, m map[types.WorkerID]int64) []byte {
 // payloadTag maps a payload to its wire tag; unknown types get the gob
 // fallback tag.
 func payloadTag(p any) byte {
-	switch p.(type) {
+	switch x := p.(type) {
+	case *View:
+		return x.tag
 	case StealRequest:
 		return tStealRequest
 	case StealReply:

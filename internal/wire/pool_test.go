@@ -100,9 +100,24 @@ func TestInternedFnNames(t *testing.T) {
 		env.Free()
 	}
 	fnIntern.RLock()
-	n := len(fnIntern.m)
+	n := len(fnIntern.cur) + len(fnIntern.old)
 	fnIntern.RUnlock()
 	if n > fnInternMax {
 		t.Fatalf("intern table grew to %d entries, cap is %d", n, fnInternMax)
 	}
+
+	// Eviction regression: after the flood, a name that keeps appearing
+	// must intern again — the old append-only table stayed saturated
+	// forever, making every decode of a live name allocate.
+	c, _ := Decode(frame)
+	d, _ := Decode(frame)
+	fc := c.Payload.(StealReply).Task.Fn
+	fd := d.Payload.(StealReply).Task.Fn
+	hc := (*reflect.StringHeader)(reflect.ValueOf(&fc).UnsafePointer())
+	hd := (*reflect.StringHeader)(reflect.ValueOf(&fd).UnsafePointer())
+	if hc.Data != hd.Data {
+		t.Error("post-flood decodes of a recurring Fn no longer share backing; eviction failed to make room")
+	}
+	c.Free()
+	d.Free()
 }

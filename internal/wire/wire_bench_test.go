@@ -60,3 +60,60 @@ func BenchmarkEncodeStolenClosure(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEncodeFrameArg is the pooled encode path on its own (the
+// steady-state zero-alloc claim EncodeFrame makes).
+func BenchmarkEncodeFrameArg(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := EncodeFrame(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Free()
+	}
+}
+
+// BenchmarkDecodeViewArg is the zero-copy counterpart of BenchmarkDecodeArg:
+// parse in place, touch every field through accessors, free.
+func BenchmarkDecodeViewArg(b *testing.B) {
+	frame, err := Encode(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := DecodeView(frame, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, _ := env.Payload.(*View).AsArg()
+		if _, err := a.Val(); err != nil {
+			b.Fatal(err)
+		}
+		_ = a.Cont()
+		env.Free()
+	}
+}
+
+// BenchmarkInternSaturated pins the fnIntern eviction fix: decoding a
+// recurring function name must stay allocation-light even after a flood
+// of unique names has cycled the table. Before two-generation rotation,
+// saturation made every decode of a live name allocate forever.
+func BenchmarkInternSaturated(b *testing.B) {
+	var names [][]byte
+	for i := 0; i < fnInternMax*2; i++ {
+		names = append(names, []byte("saturate-"+string(rune('a'+i%26))+"-"+string(rune('0'+i%10))+"-"+string(rune('A'+(i/260)%26))))
+	}
+	hot := []byte("pfold-hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = internName(names[i%len(names)])
+		if internName(hot) == "" {
+			b.Fatal("intern failed")
+		}
+	}
+}
