@@ -37,6 +37,9 @@ func main() {
 	update := flag.Duration("update", 2*time.Minute, "membership update push interval (the paper's 2 minutes)")
 	timeout := flag.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	journal := flag.String("journal", "", "journal file for crash recovery (an existing file resumes that job)")
+	phi := flag.Float64("phi", 8, "phi-accrual crash threshold (8 ~= 1-1e-8 confidence; 0 falls back to the fixed -hb timeout for everyone)")
+	phiSlack := flag.Duration("phi-slack", 0, "acceptable-pause allowance subtracted before phi scoring (0 = the -hb timeout; negative = none)")
+	drainAfter := flag.Duration("drain-after", 0, "order a planned drain for a worker graded suspect continuously this long (0 disables)")
 	shards := flag.Int("shards", 8, "lock stripes for clearinghouse state (1 = single flat shard)")
 	metricsAddr := flag.String("metrics", "", "serve the whole-job rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
 	flag.Usage = func() {
@@ -69,6 +72,9 @@ func main() {
 	}
 	cfg := clearinghouse.DefaultConfig()
 	cfg.UpdateEvery = *update
+	cfg.PhiThreshold = *phi
+	cfg.PhiSlack = *phiSlack
+	cfg.SuspectDrainAfter = *drainAfter
 	cfg.Shards = *shards
 	if *metricsAddr != "" {
 		cfg.Metrics = telemetry.NewMetrics()

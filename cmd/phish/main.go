@@ -51,6 +51,8 @@ func main() {
 	restore := flag.String("restore", "", "resume the job from this checkpoint file instead of starting fresh")
 	metricsAddr := flag.String("metrics", "", "serve the job's telemetry rollup at /metrics and /cluster.json on this HTTP address (off when empty)")
 	shards := flag.Int("shards", 8, "lock stripes for clearinghouse state (1 = single flat shard)")
+	phi := flag.Float64("phi", 8, "phi-accrual crash threshold (8 ~= 1-1e-8 confidence; 0 falls back to the fixed heartbeat timeout for everyone)")
+	drainAfter := flag.Duration("drain-after", 0, "order a planned drain for a worker graded suspect continuously this long (0 disables)")
 	top := flag.String("top", "", "phishtop: poll a clearinghouse telemetry URL (e.g. http://host:9090) and render a live cluster table instead of running a job")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "phishtop poll interval")
 	traceFlag := flag.Bool("trace", false, "record a distributed span trace and print the cluster timeline with T1/Tinf accounting at the end")
@@ -129,6 +131,8 @@ func main() {
 	chCfg.Shards = *shards
 	chCfg.UpdateEvery = 15 * time.Second
 	chCfg.HeartbeatTimeout = 30 * time.Second
+	chCfg.PhiThreshold = *phi
+	chCfg.SuspectDrainAfter = *drainAfter
 	if *metricsAddr != "" {
 		chCfg.Metrics = telemetry.NewMetrics()
 	}

@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench (alias: wire), schedbench, chbench, migrate, crit, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, table2, speedup-all, wirebench (alias: wire), schedbench, chbench, migrate, crit, chaos, all")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wirebench JSON baseline")
 	schedOut := flag.String("sched-out", "BENCH_sched.json", "output path for the schedbench/chbench JSON baseline")
 	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "output path for the migration soak JSON baseline")
 	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the crit (trace accounting) JSON baseline")
-	check := flag.Bool("check", false, "wirebench/migrate/crit: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the failure-detector chaos JSON baseline")
+	check := flag.Bool("check", false, "wirebench/migrate/crit/chaos: compare against the recorded baseline and exit nonzero on regression instead of rewriting it")
 	chShards := flag.String("ch-shards", "", "chbench shard counts, e.g. 1,4,16,64")
 	chWorkers := flag.String("ch-workers", "", "chbench simulated worker populations, e.g. 1000,10000,100000")
 	chIters := flag.Int("ch-iters", 0, "chbench hot-path rounds per ingest goroutine")
@@ -245,7 +246,30 @@ func main() {
 			fmt.Printf("\nwrote %s\n", *traceOut)
 		}
 	}
+	if run("chaos") {
+		did = true
+		f, err := harness.ChaosBench(harness.DefaultChaosBenchConfig())
+		if err != nil {
+			log.Fatalf("phishbench: %v", err)
+		}
+		harness.PrintChaosBench(os.Stdout, f)
+		if *check {
+			base, err := harness.ReadChaosBenchJSON(*chaosOut)
+			if err != nil {
+				log.Fatalf("phishbench: read %s: %v", *chaosOut, err)
+			}
+			if err := harness.CheckChaos(base, f); err != nil {
+				log.Fatalf("phishbench: %v", err)
+			}
+			fmt.Printf("\nfailure-detector contract holds (%s)\n", *chaosOut)
+		} else {
+			if err := harness.WriteChaosBenchJSON(*chaosOut, f); err != nil {
+				log.Fatalf("phishbench: write %s: %v", *chaosOut, err)
+			}
+			fmt.Printf("\nwrote %s\n", *chaosOut)
+		}
+	}
 	if !did {
-		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, crit, all)", *exp)
+		log.Fatalf("phishbench: unknown experiment %q (table1, fig4, fig5, table2, speedup-all, wirebench, schedbench, chbench, migrate, crit, chaos, all)", *exp)
 	}
 }

@@ -45,10 +45,43 @@ type Config struct {
 	// HeartbeatTimeout declares a worker crashed when nothing is heard
 	// from it for this long. Zero disables heartbeat-based detection
 	// (explicit crash notifications still work). A worker that has never
-	// sent a single heartbeat is exempt — a participant configured with
-	// heartbeats off must not be declared dead by a clearinghouse with
-	// them on.
+	// sent a single heartbeat is exempt from this timeout — a participant
+	// configured with heartbeats off must not be declared dead by a
+	// clearinghouse with them on — but see RegistrationGrace. With
+	// PhiThreshold > 0 this fixed timeout only governs members whose
+	// inter-arrival history is still cold.
 	HeartbeatTimeout time.Duration
+	// PhiThreshold enables the phi-accrual adaptive failure detector:
+	// a heartbeat-known worker with a warm inter-arrival history is
+	// declared crashed when its suspicion score crosses this value
+	// (phi 1 ≈ 90% confidence, 2 ≈ 99%, 8 ≈ 1-1e-8). Zero or negative
+	// disables phi and keeps the classic fixed HeartbeatTimeout for
+	// everyone. DefaultConfig enables it at 8.
+	PhiThreshold float64
+	// PhiSuspect is the graded-health band: a worker whose phi sits in
+	// [PhiSuspect, PhiThreshold) — silent for longer than its own history
+	// predicts, but not yet provably gone — is marked suspect and
+	// broadcast to thieves for deprioritization. Zero means
+	// PhiThreshold/2. Suspicion grading as a whole is active only while
+	// PhiThreshold > 0.
+	PhiSuspect float64
+	// PhiSlack is the acceptable-pause allowance subtracted from a
+	// worker's elapsed silence before phi scoring, absorbing GC and
+	// scheduler stalls that are much larger than network jitter. Zero
+	// means HeartbeatTimeout (detection is then never more trigger-happy
+	// than the classic fixed timeout); negative means no allowance.
+	PhiSlack time.Duration
+	// RegistrationGrace bounds how long a registered worker may go
+	// without its first heartbeat before it is declared dead anyway (the
+	// old behavior exempted it forever, leaking its closures). Zero means
+	// 4× HeartbeatTimeout; negative restores the permanent exemption.
+	RegistrationGrace time.Duration
+	// SuspectDrainAfter orders a planned drain (the PR-5 migration path)
+	// for a worker that has stayed suspect continuously for this long:
+	// its deque and checkpoints move to a healthy peer in milliseconds
+	// instead of being redone after an eventual crash declaration. Zero
+	// disables drain orders.
+	SuspectDrainAfter time.Duration
 	// Shards is the lock-stripe count for the worker-keyed state store.
 	// Purely a performance knob: any value produces identical behavior,
 	// epochs, and rollups (shard count is not persisted and recovery may
@@ -87,9 +120,43 @@ func DefaultConfig() Config {
 	return Config{
 		UpdateEvery:      2 * time.Second,
 		HeartbeatTimeout: 6 * time.Second,
+		PhiThreshold:     8,
 		Shards:           1,
 		ReportTTL:        5 * time.Minute,
 		Clock:            clock.System,
+	}
+}
+
+// phiSlack resolves the acceptable-pause allowance (see Config.PhiSlack).
+func (c *Config) phiSlack() time.Duration {
+	switch {
+	case c.PhiSlack > 0:
+		return c.PhiSlack
+	case c.PhiSlack < 0:
+		return 0
+	default:
+		return c.HeartbeatTimeout
+	}
+}
+
+// phiSuspect resolves the suspect band's lower bound.
+func (c *Config) phiSuspect() float64 {
+	if c.PhiSuspect > 0 {
+		return c.PhiSuspect
+	}
+	return c.PhiThreshold / 2
+}
+
+// registrationGrace resolves the never-heartbeated deadline; 0 means the
+// grace sweep is disabled.
+func (c *Config) registrationGrace() time.Duration {
+	switch {
+	case c.RegistrationGrace > 0:
+		return c.RegistrationGrace
+	case c.RegistrationGrace < 0:
+		return 0
+	default:
+		return 4 * c.HeartbeatTimeout
 	}
 }
 
@@ -144,8 +211,16 @@ type Clearinghouse struct {
 	lastCkptJournal map[types.WorkerID]time.Time
 
 	// counters is the clearinghouse's own telemetry (journal records,
-	// transport retransmits).
+	// transport retransmits, false evictions).
 	counters stats.Counters
+
+	// health grades live workers (phi band, exec-rate and steal-RTT EWMA
+	// tracks) into the suspect set; see health.go.
+	health healthState
+	// evicted remembers recently swept-dead workers (Run goroutine only):
+	// a heartbeat arriving from one is a detector false positive, counted
+	// once in counters.FalseEvictions. Entries expire on the sweep tick.
+	evicted map[types.WorkerID]time.Time
 
 	doneCh chan struct{}
 	stopCh chan struct{}
@@ -171,10 +246,12 @@ func New(spec wire.JobSpec, conn phishnet.Conn, cfg Config) *Clearinghouse {
 		armRoot:         true,
 		journal:         cfg.Journal,
 		lastCkptJournal: make(map[types.WorkerID]time.Time),
+		evicted:         make(map[types.WorkerID]time.Time),
 		doneCh:          make(chan struct{}),
 		stopCh:          make(chan struct{}),
 		ranCh:           make(chan struct{}),
 	}
+	c.store.SetPhiSlack(cfg.phiSlack())
 	if c.journal != nil {
 		c.journal.instrument(&c.counters, cfg.Metrics.WALAppend())
 		c.journal.append(&journalRecord{Kind: jSpec, Spec: spec}, true)
@@ -255,6 +332,7 @@ func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
 		// and takes the switch below unchanged.
 		if hb, ok := v.AsHeartbeat(); ok && hb.Worker() == env.From {
 			c.msgsRecv.Add(1)
+			c.noteBeatFrom(env.From)
 			c.hot.Beats = append(c.hot.Beats, env.From)
 			if ns := hb.SendNS(); ns != 0 {
 				c.spans.noteHeartbeat(env.From, ns, time.Now().UnixNano())
@@ -276,6 +354,7 @@ func (c *Clearinghouse) foldHot(env *wire.Envelope) bool {
 			return false
 		}
 		c.msgsRecv.Add(1)
+		c.noteBeatFrom(p.Worker)
 		c.hot.Beats = append(c.hot.Beats, p.Worker)
 		if p.SendNS != 0 {
 			// Offset refinement uses wall clocks on both ends (span
@@ -398,6 +477,7 @@ func (c *Clearinghouse) handle(env *wire.Envelope) {
 	case wire.Heartbeat:
 		// Slow path (relayed, From ≠ Worker); the common case folds in
 		// batches via foldHot without touching c.mu.
+		c.noteBeatFrom(p.Worker)
 		c.store.Heartbeat(p.Worker, c.clk.Now())
 		if p.SendNS != 0 {
 			c.spans.noteHeartbeat(p.Worker, p.SendNS, time.Now().UnixNano())
@@ -718,18 +798,50 @@ func (c *Clearinghouse) maybeJournalCkpts(rep *wire.StatReport) {
 
 func (c *Clearinghouse) checkHeartbeats() {
 	now := c.clk.Now()
-	// Only workers that have actually heartbeated are subject to the
-	// timeout: silence from a worker that never sent one means "not
-	// configured to heartbeat", not "dead".
-	for _, id := range c.store.SweepDead(now.Add(-c.cfg.HeartbeatTimeout)) {
+	// Workers with a warm phi history are judged by the adaptive detector
+	// (when enabled); cold ones by the fixed timeout; workers that never
+	// heartbeated only by the registration grace — silence from a worker
+	// that never sent one usually means "not configured to heartbeat",
+	// not "dead", but not forever.
+	fallbackCutoff := now.Add(-c.cfg.HeartbeatTimeout)
+	var graceCutoff time.Time
+	if g := c.cfg.registrationGrace(); g > 0 {
+		graceCutoff = now.Add(-g)
+	}
+	for _, id := range c.store.SweepDead(c.cfg.PhiThreshold, now, fallbackCutoff, graceCutoff) {
+		// Remember the eviction: a heartbeat arriving from this id later
+		// proves the detector wrong and is counted as a false eviction.
+		c.evicted[id] = now
 		c.mu.Lock()
 		c.crashLocked(id)
 		c.mu.Unlock()
 	}
+	// Expire eviction memory: a worker silent for ages after its eviction
+	// really was dead, and the map must not grow with job churn.
+	for id, at := range c.evicted {
+		if now.Sub(at) > 10*c.cfg.HeartbeatTimeout {
+			delete(c.evicted, id)
+		}
+	}
+	c.sweepHealth(now)
 	// Telemetry TTL rides the sweep: departed or never-registered workers'
 	// stat rows age out shard by shard instead of accreting forever.
 	if c.cfg.ReportTTL > 0 {
 		c.store.EvictReports(now.Add(-c.cfg.ReportTTL))
+	}
+}
+
+// noteBeatFrom records detector feedback for an inbound heartbeat: one
+// arriving from a recently evicted id means the sweep declared a live
+// worker dead. Run goroutine only; the len guard keeps the hot path to
+// one map-length check.
+func (c *Clearinghouse) noteBeatFrom(id types.WorkerID) {
+	if len(c.evicted) == 0 {
+		return
+	}
+	if _, ok := c.evicted[id]; ok {
+		delete(c.evicted, id)
+		c.counters.FalseEvictions.Add(1)
 	}
 }
 
@@ -764,16 +876,25 @@ func (c *Clearinghouse) ClusterSnapshot() telemetry.ClusterSnapshot {
 	for _, id := range liveIDs {
 		liveSet[id] = true
 	}
+	phiOf := make(map[types.WorkerID]int32)
+	for _, row := range c.store.Phis(now) {
+		if row.Warm {
+			phiOf[row.Worker] = int32(row.Phi * 1000)
+		}
+	}
+	suspects := c.suspectSnapshot()
 	reports := c.store.Reports()
 	rows := make([]telemetry.WorkerRow, 0, len(reports))
 	hists := make([][]wire.HistState, 0, len(reports)+1)
 	for _, r := range reports {
 		rows = append(rows, telemetry.WorkerRow{
-			Worker: int(r.Rep.Worker),
-			Live:   liveSet[r.Rep.Worker],
-			Deque:  r.Rep.Deque,
-			AgeMS:  now.Sub(r.At).Milliseconds(),
-			Stats:  stats.FromOrdered(r.Rep.Counters),
+			Worker:   int(r.Rep.Worker),
+			Live:     liveSet[r.Rep.Worker],
+			Deque:    r.Rep.Deque,
+			AgeMS:    now.Sub(r.At).Milliseconds(),
+			PhiMilli: phiOf[r.Rep.Worker],
+			Suspect:  suspects[r.Rep.Worker],
+			Stats:    stats.FromOrdered(r.Rep.Counters),
 		})
 		hists = append(hists, r.Rep.Hists)
 	}
@@ -785,6 +906,9 @@ func (c *Clearinghouse) ClusterSnapshot() telemetry.ClusterSnapshot {
 	}
 	cs := telemetry.BuildClusterSnapshot(int64(c.job), c.spec.Program, c.store.Epoch(), len(liveIDs), rows, hists)
 	cs.Totals.JournalRecords += chStats.JournalRecords
+	// False evictions are detected clearinghouse-side (a heartbeat from a
+	// swept-dead id), so they live in its own counters, not any report.
+	cs.Totals.FalseEvictions += chStats.FalseEvictions
 	return cs
 }
 

@@ -227,6 +227,46 @@ func TestHeartbeatTimeoutDeclaresCrash(t *testing.T) {
 	}
 }
 
+func TestRegistrationGraceEvictsNeverHeartbeated(t *testing.T) {
+	clk := clock.NewFake()
+	cfg := Config{UpdateEvery: time.Hour, HeartbeatTimeout: 10 * time.Second,
+		PhiThreshold: 8, RegistrationGrace: 40 * time.Second, Clock: clk}
+	h := newHarness(t, cfg)
+	w1 := h.attach(10) // heartbeats throughout and watches the broadcast
+	expect[wire.RegisterReply](t, w1, time.Second)
+	w2 := h.attach(11) // registers, then never heartbeats
+	expect[wire.RegisterReply](t, w2, time.Second)
+
+	step := func() {
+		h.t.Helper()
+		if !clk.BlockUntilWaiters(1, time.Second) {
+			t.Fatal("clearinghouse never armed its heartbeat check")
+		}
+		clk.Advance(5 * time.Second)
+		h.send(w1, 10, wire.Heartbeat{Worker: 10})
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Three full heartbeat timeouts pass. A worker that has never
+	// heartbeated is exempt from the fixed timeout (its runtime may have
+	// heartbeats off entirely)...
+	for i := 0; i < 6; i++ {
+		step()
+	}
+	if live := h.ch.LiveWorkers(); len(live) != 2 {
+		t.Fatalf("never-heartbeated worker evicted inside its grace: %v", live)
+	}
+	// ...but no longer forever: the registration grace bounds the
+	// exemption, reclaiming the leaked closures of a worker that died
+	// between registering and its first heartbeat.
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	expect[wire.WorkerDown](t, w1, 2*time.Second)
+	if live := h.ch.LiveWorkers(); len(live) != 1 || live[0] != 10 {
+		t.Errorf("live = %v, want [10] (grace expired for 11)", live)
+	}
+}
+
 func TestStayRequestArbitration(t *testing.T) {
 	h := newHarness(t, DefaultConfig())
 	w1 := h.attach(10) // root host

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"phish/internal/clock"
 	"phish/internal/phishnet"
 	"phish/internal/types"
 	"phish/internal/wire"
@@ -179,6 +180,77 @@ func TestJournalRecoveryTimesOutDeadWorkers(t *testing.T) {
 	}
 	if live := ch2.LiveWorkers(); len(live) != 0 {
 		t.Errorf("worker dead through the outage still live after recovery: %v", live)
+	}
+}
+
+func TestJournalRecoveryAdaptiveDetector(t *testing.T) {
+	// Recovery under the phi detector spans both regimes. A member that
+	// died during the clearinghouse outage never heartbeats the new
+	// incarnation, so its post-recovery history stays cold and the classic
+	// fixed timeout evicts it. The survivor re-registers and warms a
+	// steady cadence; when it later goes silent, phi declares it in a
+	// fraction of the fixed timeout.
+	path := filepath.Join(t.TempDir(), "job-1.jnl")
+	fab, ch, jnl := newJournaledCH(t, path)
+	w1 := fab.Attach(10)
+	send := func(port *phishnet.Port, from types.WorkerID, payload any) {
+		t.Helper()
+		if err := port.Send(&wire.Envelope{Job: 1, From: from, To: types.ClearinghouseID, Payload: payload}); err != nil {
+			t.Fatalf("send %T: %v", payload, err)
+		}
+	}
+	send(w1, 10, wire.Register{Worker: 10})
+	expect[wire.SpawnRoot](t, w1, time.Second)
+	w2 := fab.Attach(11)
+	send(w2, 11, wire.Register{Worker: 11})
+	expect[wire.RegisterReply](t, w2, time.Second)
+	ch.Stop()
+	_ = jnl.Close()
+	fab.Close()
+
+	rec, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewFake()
+	cfg := Config{UpdateEvery: time.Hour, HeartbeatTimeout: 10 * time.Second,
+		PhiThreshold: 8, PhiSlack: -1, Clock: clk}
+	fab2 := phishnet.NewFabric()
+	defer fab2.Close()
+	ch2 := NewFromRecovery(rec, fab2.Attach(types.ClearinghouseID), cfg)
+	go ch2.Run()
+	defer ch2.Stop()
+
+	w1b := fab2.Attach(10)
+	send(w1b, 10, wire.Register{Worker: 10})
+	expect[wire.RegisterReply](t, w1b, time.Second)
+
+	// 16 fake seconds at a 1 s heartbeat cadence: sweeps run every 5 s,
+	// and by t=15s worker 11's silence exceeds the fixed timeout.
+	for i := 0; i < 16; i++ {
+		if !clk.BlockUntilWaiters(1, time.Second) {
+			t.Fatal("clearinghouse never armed its heartbeat check")
+		}
+		clk.Advance(time.Second)
+		send(w1b, 10, wire.Heartbeat{Worker: 10})
+		time.Sleep(2 * time.Millisecond)
+	}
+	if live := ch2.LiveWorkers(); len(live) != 1 || live[0] != 10 {
+		t.Fatalf("live = %v, want [10] (cold-history 11 past the fixed timeout)", live)
+	}
+
+	// The survivor goes silent. Its warm history (mean 1 s, floored
+	// stddev 250 ms) pushes phi past 8 within ~2.5 s of silence, so the
+	// next sweep catches it — 6 s in, well under the 10 s fixed timeout.
+	for i := 0; i < 6; i++ {
+		if !clk.BlockUntilWaiters(1, time.Second) {
+			t.Fatal("clearinghouse never armed its heartbeat check")
+		}
+		clk.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if live := ch2.LiveWorkers(); len(live) != 0 {
+		t.Errorf("warm-history worker silent 6s (phi >> 8) still live: %v", live)
 	}
 }
 

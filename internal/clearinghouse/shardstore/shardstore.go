@@ -31,6 +31,7 @@
 package shardstore
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,15 @@ import (
 
 	"phish/internal/types"
 	"phish/internal/wire"
+)
+
+// Phi-accrual detector tuning. The window bounds how much history one
+// member's inter-arrival ring holds; the minimum sample count keeps a cold
+// member (fresh registration or journal recovery) on the fixed fallback
+// timeout instead of letting one or two gaps produce a spiky estimate.
+const (
+	phiWindow     = 32
+	phiMinSamples = 4
 )
 
 // Member is one (possibly departed) participant's record.
@@ -48,6 +58,102 @@ type Member struct {
 	// HBSeen gates timeout-based crash detection: only a worker that has
 	// actually heartbeated may be declared dead by silence.
 	HBSeen bool
+	// RegisteredAt anchors the registration-grace deadline: a member that
+	// registers but never heartbeats is not exempt from the sweep forever —
+	// past the grace it is declared dead like any silent worker.
+	RegisteredAt time.Time
+
+	// Phi-accrual inter-arrival history: a ring of recent heartbeat gaps
+	// with running sum and sum-of-squares, so Phi is O(1). The history is
+	// cold (phi unavailable, fixed fallback applies) until phiMinSamples
+	// gaps accrue — a recovered or freshly registered member can neither be
+	// instantly suspected nor permanently exempted.
+	hbLast   time.Time
+	hbGaps   [phiWindow]int64
+	hbGapN   int
+	hbGapIdx int
+	hbGapSum int64
+	hbGapSq  float64
+}
+
+// beat folds one heartbeat arrival into the member's detector state. The
+// first beat only anchors hbLast; gaps are measured between consecutive
+// beats. Zero gaps (several beats folded from one inbox drain at the same
+// instant) carry no arrival-process information and are skipped.
+func (m *Member) beat(now time.Time) {
+	if m.HBSeen && !m.hbLast.IsZero() {
+		if gap := now.Sub(m.hbLast).Nanoseconds(); gap > 0 {
+			if m.hbGapN == phiWindow {
+				old := m.hbGaps[m.hbGapIdx]
+				m.hbGapSum -= old
+				m.hbGapSq -= float64(old) * float64(old)
+			} else {
+				m.hbGapN++
+			}
+			m.hbGaps[m.hbGapIdx] = gap
+			m.hbGapIdx = (m.hbGapIdx + 1) % phiWindow
+			m.hbGapSum += gap
+			m.hbGapSq += float64(gap) * float64(gap)
+		}
+	}
+	if now.After(m.hbLast) {
+		m.hbLast = now
+	}
+	m.LastHeard = now
+	m.HBSeen = true
+}
+
+// phi returns the suspicion score for the member at now, and whether the
+// history is warm enough to score at all. Phi is the standard accrual
+// scale: -log10 of the probability that a heartbeat later than the elapsed
+// silence would still arrive, under a normal fit of the observed gaps.
+// Phi 1 ≈ 90% confidence the member is gone, 2 ≈ 99%, 8 ≈ 1-1e-8.
+//
+// slack is an acceptable-pause allowance in nanoseconds, subtracted from
+// the elapsed silence before scoring: on real clocks a GC or scheduler
+// stall delays heartbeats by far more than the network jitter the gap
+// history models, and without the allowance a tight history (fast
+// heartbeats, low variance) crosses any threshold within a stall's worth
+// of silence.
+func (m *Member) phi(now time.Time, slack int64) (float64, bool) {
+	if m.hbGapN < phiMinSamples {
+		return 0, false
+	}
+	n := float64(m.hbGapN)
+	mean := float64(m.hbGapSum) / n
+	variance := m.hbGapSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stddev := math.Sqrt(variance)
+	// Floor the deviation: a metronomic heartbeat (fake clock, idle LAN)
+	// would otherwise make any delay register as infinite suspicion.
+	if min := mean / 4; stddev < min {
+		stddev = min
+	}
+	elapsed := float64(now.Sub(m.hbLast).Nanoseconds() - slack)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return phiScore(elapsed, mean, stddev), true
+}
+
+// phiScore evaluates -log10(1 - CDF(elapsed)) using the logistic
+// approximation to the normal CDF (same shape Cassandra and Akka use):
+// monotonic in elapsed, exact enough at the tails that matter.
+func phiScore(elapsed, mean, stddev float64) float64 {
+	y := (elapsed - mean) / stddev
+	e := math.Exp(-y * (1.5976 + 0.070566*y*y))
+	var p float64
+	if elapsed > mean {
+		p = e / (1 + e)
+	} else {
+		p = 1 - 1/(1+e)
+	}
+	if p < 1e-300 {
+		p = 1e-300 // cap phi around 300 instead of returning +Inf
+	}
+	return -math.Log10(p)
 }
 
 // Report is the latest StatReport accepted from one worker, its arrival
@@ -81,7 +187,14 @@ type Store struct {
 	// store starts with zeroed shard epochs but must resume past the
 	// journaled value).
 	epochBase atomic.Uint64
+	// phiSlack is the acceptable-pause allowance (ns) subtracted from every
+	// member's elapsed silence before phi scoring; see Member.phi.
+	phiSlack atomic.Int64
 }
+
+// SetPhiSlack configures the acceptable-pause allowance applied to every
+// phi evaluation (Phi, Phis, SweepDead). Zero means no allowance.
+func (s *Store) SetPhiSlack(d time.Duration) { s.phiSlack.Store(d.Nanoseconds()) }
 
 // New builds a store with n shards (n < 1 is treated as 1). Shard count
 // does not affect semantics, only lock striping.
@@ -153,7 +266,7 @@ func (s *Store) Register(id types.WorkerID, info wire.MemberInfo, now time.Time)
 	m, ok := sh.members[id]
 	switch {
 	case !ok:
-		sh.members[id] = &Member{Info: info, LastHeard: now}
+		sh.members[id] = &Member{Info: info, LastHeard: now, RegisteredAt: now}
 		sh.epoch++
 		sh.live++
 		return true, false
@@ -294,11 +407,14 @@ func (s *Store) Rehost(from, to types.WorkerID) {
 // RestoreMember folds one recovered journal row into the store without an
 // epoch bump (recovery seeds the epoch via SetEpochBase). Recovered
 // members are heartbeat-known: the heartbeat machinery re-establishes who
-// actually survived the outage.
+// actually survived the outage. Their inter-arrival history is cold — the
+// pre-outage arrival process says nothing about the post-outage one — so
+// the fixed fallback timeout governs them until fresh gaps accrue: no
+// instant suspicion, no permanent exemption.
 func (s *Store) RestoreMember(info wire.MemberInfo, departed bool, now time.Time) {
 	sh := s.shardOf(info.Worker)
 	sh.mu.Lock()
-	sh.members[info.Worker] = &Member{Info: info, LastHeard: now, Departed: departed, HBSeen: true}
+	sh.members[info.Worker] = &Member{Info: info, LastHeard: now, Departed: departed, HBSeen: true, RegisteredAt: now, hbLast: now}
 	if !departed {
 		sh.live++
 	}
@@ -318,15 +434,57 @@ func (s *Store) Touch(id types.WorkerID, now time.Time) {
 	sh.mu.Unlock()
 }
 
-// Heartbeat refreshes liveness and marks the member heartbeat-known.
+// Heartbeat refreshes liveness, marks the member heartbeat-known, and
+// folds the arrival into its phi inter-arrival history.
 func (s *Store) Heartbeat(id types.WorkerID, now time.Time) {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	if m, ok := sh.members[id]; ok && !m.Departed {
-		m.LastHeard = now
-		m.HBSeen = true
+		m.beat(now)
 	}
 	sh.mu.Unlock()
+}
+
+// Phi returns id's suspicion score at now. warm reports whether the
+// member has enough inter-arrival history to score; a cold member always
+// scores 0 and must be judged by the fixed fallback timeout instead.
+func (s *Store) Phi(id types.WorkerID, now time.Time) (score float64, warm bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.members[id]
+	if !ok || m.Departed || !m.HBSeen {
+		return 0, false
+	}
+	return m.phi(now, s.phiSlack.Load())
+}
+
+// PhiRow is one live member's suspicion score for rollups.
+type PhiRow struct {
+	Worker types.WorkerID
+	Phi    float64
+	Warm   bool
+}
+
+// Phis returns the suspicion score of every live heartbeat-known member,
+// sorted by worker id (merge-over-shards, like Members).
+func (s *Store) Phis(now time.Time) []PhiRow {
+	var out []PhiRow
+	slack := s.phiSlack.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.members {
+			if m.Departed || !m.HBSeen {
+				continue
+			}
+			score, warm := m.phi(now, slack)
+			out = append(out, PhiRow{Worker: id, Phi: score, Warm: warm})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
 }
 
 // reportKey is the monotonic ordering key of a cumulative StatReport: the
@@ -399,8 +557,7 @@ func (s *Store) FoldHot(b *HotBatch, now time.Time) {
 		sh.mu.Lock()
 		for _, id := range b.Beats {
 			if m, ok := sh.members[id]; ok && !m.Departed {
-				m.LastHeard = now
-				m.HBSeen = true
+				m.beat(now)
 			}
 		}
 		for _, rep := range b.Reports {
@@ -436,8 +593,7 @@ func (s *Store) FoldHot(b *HotBatch, now time.Time) {
 				continue
 			}
 			if m, ok := sh.members[id]; ok && !m.Departed {
-				m.LastHeard = now
-				m.HBSeen = true
+				m.beat(now)
 			}
 		}
 		for i := range b.Reports {
@@ -511,16 +667,47 @@ func (s *Store) Members() []Member {
 	return out
 }
 
-// SweepDead returns the live, heartbeat-known members not heard from since
-// cutoff — the per-shard dead-worker sweep. The caller (the Run goroutine)
-// turns each into a crash.
-func (s *Store) SweepDead(cutoff time.Time) []types.WorkerID {
+// SweepDead returns the live members the detector declares dead at now —
+// the per-shard dead-worker sweep. The caller (the Run goroutine) turns
+// each into a crash. Three regimes per member:
+//
+//   - Heartbeat-known with a warm inter-arrival history and phiThreshold
+//     > 0: dead when the phi-accrual suspicion crosses the threshold. The
+//     detector adapts — a worker with naturally jittery heartbeats earns
+//     slack, a metronomic one is declared quickly.
+//   - Heartbeat-known but cold (fresh registration, journal recovery) or
+//     phi disabled (phiThreshold <= 0): dead when LastHeard predates
+//     fallbackCutoff, the classic fixed timeout.
+//   - Never heartbeated: dead when RegisteredAt predates graceCutoff. A
+//     member that registers and goes silent before its first heartbeat is
+//     not exempt forever — past the registration grace its closures are
+//     redistributed like any crash. A zero graceCutoff disables the grace
+//     sweep (members restored by older journals carry no RegisteredAt).
+func (s *Store) SweepDead(phiThreshold float64, now, fallbackCutoff, graceCutoff time.Time) []types.WorkerID {
 	var dead []types.WorkerID
+	slack := s.phiSlack.Load()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for id, m := range sh.members {
-			if !m.Departed && m.HBSeen && m.LastHeard.Before(cutoff) {
+			if m.Departed {
+				continue
+			}
+			if !m.HBSeen {
+				if !graceCutoff.IsZero() && !m.RegisteredAt.IsZero() && m.RegisteredAt.Before(graceCutoff) {
+					dead = append(dead, id)
+				}
+				continue
+			}
+			if phiThreshold > 0 {
+				if score, warm := m.phi(now, slack); warm {
+					if score > phiThreshold {
+						dead = append(dead, id)
+					}
+					continue
+				}
+			}
+			if m.LastHeard.Before(fallbackCutoff) {
 				dead = append(dead, id)
 			}
 		}

@@ -227,10 +227,161 @@ func TestSweepDeadAndHBSeenGate(t *testing.T) {
 	}
 	s.Heartbeat(0, t0)
 	s.Heartbeat(1, t0.Add(10*time.Second))
-	// 2 and 3 never heartbeated: exempt from the timeout.
-	dead := s.SweepDead(t0.Add(5 * time.Second))
+	// 2 and 3 never heartbeated; with a zero grace cutoff they stay exempt
+	// from the timeout (legacy behavior).
+	now := t0.Add(10 * time.Second)
+	dead := s.SweepDead(0, now, t0.Add(5*time.Second), time.Time{})
 	if len(dead) != 1 || dead[0] != 0 {
 		t.Fatalf("SweepDead = %v, want [0]", dead)
+	}
+}
+
+func TestSweepDeadRegistrationGrace(t *testing.T) {
+	s := New(4)
+	s.Register(1, info(1), t0)
+	s.Register(2, info(2), t0.Add(8*time.Second))
+	// Neither ever heartbeated. A grace cutoff later than 1's registration
+	// but earlier than 2's evicts only 1: the forever-exemption is gone, but
+	// a freshly registered worker still gets its grace window.
+	now := t0.Add(10 * time.Second)
+	dead := s.SweepDead(0, now, now, t0.Add(5*time.Second))
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("SweepDead = %v, want [1] (grace expired for 1 only)", dead)
+	}
+	s.Remove(1) // the clearinghouse removes swept members
+	// A heartbeat moves 2 under the normal regimes; the grace no longer
+	// applies once HBSeen is set.
+	s.Heartbeat(2, now)
+	dead = s.SweepDead(0, now.Add(time.Minute), now.Add(30*time.Second), now.Add(50*time.Second))
+	if len(dead) != 1 || dead[0] != 2 {
+		t.Fatalf("SweepDead after heartbeat = %v, want [2] (fixed fallback)", dead)
+	}
+}
+
+// TestPhiWarmupAndAdaptivity: phi is unavailable until phiMinSamples gaps
+// have been observed, then scores silence relative to the member's own
+// cadence — a slow-cadence member tolerates a silence that convicts a
+// fast-cadence one.
+func TestPhiWarmupAndAdaptivity(t *testing.T) {
+	s := New(4)
+	s.Register(1, info(1), t0)
+	s.Register(2, info(2), t0)
+	now := t0
+	s.Heartbeat(1, now)
+	s.Heartbeat(2, now)
+	for i := 0; i < 16; i++ {
+		now = now.Add(100 * time.Millisecond) // worker 1: 100 ms cadence
+		s.Heartbeat(1, now)
+		if i%10 == 9 {
+			s.Heartbeat(2, now) // worker 2: 1 s cadence
+		}
+	}
+	if _, warm := s.Phi(1, now); !warm {
+		t.Fatal("worker 1 not warm after 16 regular gaps")
+	}
+	// Shortly after a beat both score near zero.
+	if phi, _ := s.Phi(1, now.Add(50*time.Millisecond)); phi > 1 {
+		t.Fatalf("phi(1) right after a beat = %v, want ~0", phi)
+	}
+	// One second of silence convicts the 100 ms-cadence member but is
+	// within the 1 s-cadence member's normal rhythm.
+	probe := now.Add(time.Second)
+	phi1, warm1 := s.Phi(1, probe)
+	phi2, warm2 := s.Phi(2, probe)
+	if !warm1 {
+		t.Fatal("worker 1 went cold")
+	}
+	if phi1 < 8 {
+		t.Fatalf("phi(1) after 10x-cadence silence = %v, want >= 8", phi1)
+	}
+	if warm2 && phi2 >= 8 {
+		t.Fatalf("phi(2) after 1x-cadence silence = %v, want < 8", phi2)
+	}
+	// An unknown member is never warm.
+	if _, warm := s.Phi(99, probe); warm {
+		t.Fatal("unknown member reported warm phi")
+	}
+}
+
+// TestPhiSlack: the store-level acceptable-pause allowance is subtracted
+// from elapsed silence before scoring.
+func TestPhiSlack(t *testing.T) {
+	s := New(2)
+	s.Register(1, info(1), t0)
+	now := t0
+	s.Heartbeat(1, now)
+	for i := 0; i < 8; i++ {
+		now = now.Add(10 * time.Millisecond)
+		s.Heartbeat(1, now)
+	}
+	probe := now.Add(300 * time.Millisecond)
+	if phi, _ := s.Phi(1, probe); phi < 8 {
+		t.Fatalf("phi without slack after 30x silence = %v, want >= 8", phi)
+	}
+	s.SetPhiSlack(time.Second)
+	if phi, _ := s.Phi(1, probe); phi > 1 {
+		t.Fatalf("phi with 1s slack = %v, want ~0 (silence inside the allowance)", phi)
+	}
+}
+
+// TestSweepDeadPhi: a warm member is judged by phi, not the fixed cutoff; a
+// cold member falls back to the fixed cutoff.
+func TestSweepDeadPhi(t *testing.T) {
+	s := New(4)
+	s.Register(1, info(1), t0) // will warm up
+	s.Register(2, info(2), t0) // stays cold (one beat, no gaps)
+	now := t0
+	s.Heartbeat(1, now)
+	s.Heartbeat(2, now)
+	for i := 0; i < 12; i++ {
+		now = now.Add(50 * time.Millisecond)
+		s.Heartbeat(1, now)
+	}
+	// Probe 2 s after 1's last beat — 40x its cadence, far past phi=8 —
+	// with a fixed cutoff so lax neither member trips it. Only the warm
+	// member is evicted: phi detects faster than the conservative fallback.
+	probe := now.Add(2 * time.Second)
+	laxCutoff := t0.Add(-time.Hour)
+	dead := s.SweepDead(8, probe, laxCutoff, time.Time{})
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("phi sweep = %v, want [1] (warm member by phi, cold member exempt)", dead)
+	}
+	// The cold member is still governed by the fixed cutoff.
+	s2 := New(4)
+	s2.Register(2, info(2), t0)
+	s2.Heartbeat(2, t0)
+	dead = s2.SweepDead(8, t0.Add(time.Minute), t0.Add(30*time.Second), time.Time{})
+	if len(dead) != 1 || dead[0] != 2 {
+		t.Fatalf("cold-member sweep = %v, want [2] (fixed fallback)", dead)
+	}
+	// Phis reports the warm scores for telemetry.
+	rows := s.Phis(probe)
+	var found bool
+	for _, r := range rows {
+		if r.Worker == 1 && r.Warm && r.Phi >= 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Phis(%v) = %+v, want warm worker 1 with phi >= 8", probe, rows)
+	}
+}
+
+// TestRestoreMemberColdHistory: journal-recovered members carry no gap
+// history, so they are governed by the fixed fallback (no instant
+// suspicion from a stale pre-outage cadence) yet remain sweepable.
+func TestRestoreMemberColdHistory(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		s := New(shards)
+		s.RestoreMember(info(1), false, t0)
+		if _, warm := s.Phi(1, t0.Add(time.Second)); warm {
+			t.Fatalf("shards=%d: restored member has warm phi; recovery must cold-start history", shards)
+		}
+		// Sweepable by the fixed fallback immediately (HBSeen is set).
+		dead := s.SweepDead(8, t0.Add(time.Minute), t0.Add(30*time.Second), time.Time{})
+		if len(dead) != 1 || dead[0] != 1 {
+			t.Fatalf("shards=%d: restored-member sweep = %v, want [1]", shards, dead)
+		}
 	}
 }
 
@@ -323,7 +474,7 @@ func TestConcurrentFolds(t *testing.T) {
 		s.Reports()
 		s.Epoch()
 		s.LiveCount()
-		s.SweepDead(t0.Add(-time.Hour))
+		s.SweepDead(8, t0, t0.Add(-time.Hour), time.Time{})
 	}
 	close(stop)
 	wg.Wait()

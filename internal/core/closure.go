@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"phish/internal/types"
 	"phish/internal/wire"
@@ -34,6 +35,13 @@ type Closure struct {
 	// attempt, not a fresh execution, so the counters don't recount it.
 	// Local-only: it does not travel the wire.
 	preempted bool
+	// execNS accumulates this worker's execution time across the attempt's
+	// slices (a checkpointing body yields between slices), and freshLocal
+	// records that the attempt started from scratch here — together they
+	// let completion report the Fn's full local cost to the speculation
+	// track even for bodies that checkpoint mid-run. Local-only.
+	execNS     int64
+	freshLocal bool
 }
 
 // ready reports whether all argument slots are filled.
@@ -172,12 +180,24 @@ type stealRecord struct {
 	// unconfirmed record whose thief departs means the reply was lost in
 	// flight, so the task is redone locally.
 	confirmed bool
+	// grantedAt anchors the speculation rule: a confirmed record whose
+	// thief is suspect and whose age exceeds K× the Fn's p99 local
+	// execution time is redone without waiting for a crash declaration.
+	// The age (not the wall time) rides the wire as Record.OutstandingNS,
+	// so a migrated-in record keeps its clock running at adoption.
+	grantedAt time.Time
 }
 
 func (r *stealRecord) toWire() wire.Record {
-	return wire.Record{ID: r.id, RealCont: r.realCont, Task: r.task, Thief: r.thief, Confirmed: r.confirmed}
+	var outstanding int64
+	if !r.grantedAt.IsZero() {
+		outstanding = int64(time.Since(r.grantedAt))
+	}
+	return wire.Record{ID: r.id, RealCont: r.realCont, Task: r.task, Thief: r.thief, Confirmed: r.confirmed,
+		OutstandingNS: outstanding}
 }
 
 func recordFromWire(w wire.Record) *stealRecord {
-	return &stealRecord{id: w.ID, realCont: w.RealCont, task: w.Task, thief: w.Thief, confirmed: w.Confirmed}
+	return &stealRecord{id: w.ID, realCont: w.RealCont, task: w.Task, thief: w.Thief, confirmed: w.Confirmed,
+		grantedAt: time.Now().Add(-time.Duration(w.OutstandingNS))}
 }

@@ -172,6 +172,48 @@ type Config struct {
 	// never preempts, so checkpointable tasks degrade to the redo-from-
 	// scratch behavior (the benchmark baseline).
 	NoCkpt bool
+
+	// SuspectTTL is how long a worker keeps a peer on its suspect
+	// blacklist after the last evidence against it — a clearinghouse
+	// SuspectSet naming it, or a locally observed steal timeout. Suspect
+	// victims are deprioritized (stolen from only when no healthy victim
+	// exists) and suspect thieves are candidates for speculative redo.
+	// Zero means max(3× HeartbeatEvery, 4× StealTimeout); negative
+	// disables local blacklisting and SuspectSet tracking entirely.
+	SuspectTTL time.Duration
+	// SpeculateAfter is the K in the speculation rule: a task lent to a
+	// suspect thief and outstanding for more than K× the p99 of its Fn's
+	// local execution time is re-dispatched locally from its last
+	// published checkpoint (the steal record's seq/dedup machinery keeps
+	// results exactly-once; the loser's work is wasted, not wrong). Zero
+	// means 4; negative disables speculation.
+	SpeculateAfter float64
+}
+
+// suspectTTL resolves Config.SuspectTTL (see its comment).
+func (c *Config) suspectTTL() time.Duration {
+	switch {
+	case c.SuspectTTL > 0:
+		return c.SuspectTTL
+	case c.SuspectTTL < 0:
+		return 0
+	}
+	ttl := 3 * c.HeartbeatEvery
+	if m := 4 * c.StealTimeout; m > ttl {
+		ttl = m
+	}
+	return ttl
+}
+
+// speculateAfter resolves the speculation multiplier; 0 means disabled.
+func (c *Config) speculateAfter() float64 {
+	switch {
+	case c.SpeculateAfter > 0:
+		return c.SpeculateAfter
+	case c.SpeculateAfter < 0:
+		return 0
+	}
+	return 4
 }
 
 // defaultCkptEvery is the unsolicited checkpoint publication interval used

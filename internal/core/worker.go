@@ -64,6 +64,7 @@ type Worker struct {
 	stealPending  bool
 	stealDeadline time.Time
 	stealSentAt   time.Time
+	stealVictim   types.WorkerID // target of the pending steal (for timeout blacklisting)
 	// stealSpanID names the in-flight steal attempt's span (zero when no
 	// attempt is traced); the id is minted from the worker's own sequence
 	// so it can never collide with a task id.
@@ -75,6 +76,16 @@ type Worker struct {
 
 	unsent    []wire.Arg
 	lastRetry time.Time
+
+	// Graded health (see speculate.go): the expiry-stamped suspect
+	// blacklist, the per-Fn execution-time tracks behind the speculation
+	// deadline, the speculation-scan pacer, and scratch for suspect-aware
+	// victim picks. Scheduler goroutine only.
+	suspect      map[types.WorkerID]suspectMark
+	fnExec       map[string]*execStats
+	lastSpecScan time.Time
+	victimsScr   []types.WorkerID
+	localsScr    []types.WorkerID
 
 	registered  bool
 	shutdownMsg bool
@@ -118,7 +129,11 @@ type Worker struct {
 	stopReq  atomic.Bool
 	crashReq atomic.Bool
 	drainReq atomic.Bool
-	wakeCh   chan struct{}
+	// drainOrdered distinguishes a clearinghouse degradation drain from an
+	// owner-return reclaim: the manager quarantines the machine after the
+	// former. Loop goroutine only.
+	drainOrdered bool
+	wakeCh       chan struct{}
 
 	hbStop chan struct{}
 
@@ -157,25 +172,28 @@ func NewWorker(job types.JobID, id types.WorkerID, prog *Program, conn phishnet.
 		clk = clock.System
 	}
 	w := &Worker{
-		id:        id,
-		job:       job,
-		prog:      prog,
-		conn:      conn,
-		cfg:       cfg,
-		clk:       clk,
-		waiting:   make(map[types.TaskID]*Closure),
-		records:   make(map[types.TaskID]*stealRecord),
-		fnCache:   make(map[string]TaskFunc),
-		rng:       rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b9)),
-		hostOf:    make(map[types.WorkerID]types.WorkerID),
-		siteOf:    make(map[types.WorkerID]int32),
-		msgSentTo: make(map[types.WorkerID]int64),
-		msgRecvFr: make(map[types.WorkerID]int64),
-		dead:      make(map[types.WorkerID]bool),
-		forwardTo: types.NoWorker,
-		ckptPub:   make(map[types.TaskID]wire.TaskCkpt),
-		wakeCh:    make(chan struct{}, 1),
-		hbStop:    make(chan struct{}),
+		id:          id,
+		job:         job,
+		prog:        prog,
+		conn:        conn,
+		cfg:         cfg,
+		clk:         clk,
+		waiting:     make(map[types.TaskID]*Closure),
+		records:     make(map[types.TaskID]*stealRecord),
+		fnCache:     make(map[string]TaskFunc),
+		rng:         rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b9)),
+		hostOf:      make(map[types.WorkerID]types.WorkerID),
+		siteOf:      make(map[types.WorkerID]int32),
+		msgSentTo:   make(map[types.WorkerID]int64),
+		msgRecvFr:   make(map[types.WorkerID]int64),
+		dead:        make(map[types.WorkerID]bool),
+		suspect:     make(map[types.WorkerID]suspectMark),
+		fnExec:      make(map[string]*execStats),
+		forwardTo:   types.NoWorker,
+		stealVictim: types.NoWorker,
+		ckptPub:     make(map[types.TaskID]wire.TaskCkpt),
+		wakeCh:      make(chan struct{}, 1),
+		hbStop:      make(chan struct{}),
 	}
 	if cfg.SpanTrace {
 		w.spans.Store(newSpanRecorder(cfg.SpanBuf))
@@ -560,11 +578,16 @@ func (w *Worker) loop() {
 		w.drainAll()
 		w.retryUnsent(false)
 		w.maybeReRegister()
+		w.maybeSpeculate(time.Now())
 		if w.shutdownMsg || w.crashReq.Load() {
 			return
 		}
 		if w.stopReq.Load() || w.drainReq.Load() {
-			w.migrateAndLeave(wire.LeaveReclaimed)
+			reason := wire.LeaveReclaimed
+			if w.drainOrdered {
+				reason = wire.LeaveDrained
+			}
+			w.migrateAndLeave(reason)
 			return
 		}
 		if w.paused {
@@ -593,6 +616,11 @@ func (w *Worker) popNext() (*Closure, bool) {
 }
 
 func (w *Worker) execute(cl *Closure) {
+	if !cl.preempted && cl.execNS == 0 {
+		// First local slice of this attempt: only a run that started from
+		// scratch (no checkpoint blob) measures the Fn's full cost.
+		cl.freshLocal = cl.CkptSeq == 0 && len(cl.Ckpt) == 0
+	}
 	if cl.preempted {
 		// Resuming a locally preempted body: same attempt, already counted.
 		cl.preempted = false
@@ -609,10 +637,9 @@ func (w *Worker) execute(cl *Closure) {
 	}
 	m := w.cfg.Metrics // one pointer check when telemetry is off
 	traced := w.spans.Load() != nil && cl.TC.Sampled()
-	var execT0 time.Time
-	if m != nil || traced {
-		execT0 = time.Now()
-	}
+	// Timed unconditionally: the per-Fn execution track feeds the
+	// speculation deadline and must be warm before trouble starts.
+	execT0 := time.Now()
 	completed := false
 	func() {
 		// A panicking task is an application bug; contain it to this
@@ -646,6 +673,7 @@ func (w *Worker) execute(cl *Closure) {
 			Task: cl.ID, Parent: cl.TC.Parent, Link: cl.Cont.Task,
 			Start: execT0.UnixNano(), End: time.Now().UnixNano()})
 	}
+	cl.execNS += int64(time.Since(execT0))
 	if completed && w.ctx.yielded {
 		// The body vacated at a Yield: the closure stays live with its
 		// checkpoint attached, at the head so a drain packs it first (and
@@ -661,6 +689,15 @@ func (w *Worker) execute(cl *Closure) {
 	w.ctx.yielded = false
 	w.counters.TaskRetired()
 	if completed {
+		if cl.freshLocal {
+			// A started-from-scratch attempt is the clean sample of what
+			// this Fn costs; bodies resumed from a stolen or migrated
+			// checkpoint would contribute partial runs that drag the p99
+			// estimate down. Slices are summed across yields and local
+			// preemptions, so a body that checkpoints mid-run still feeds
+			// the track its full cost.
+			w.noteExec(cl.Fn, time.Duration(cl.execNS))
+		}
 		if cl.CkptSeq > 0 {
 			w.dropCkptPub(cl.ID)
 		}
@@ -674,10 +711,16 @@ func (w *Worker) execute(cl *Closure) {
 func (w *Worker) thieveStep() bool {
 	now := time.Now()
 	if w.stealPending && now.After(w.stealDeadline) {
-		// The victim never answered; count a failure and move on.
+		// The victim never answered; count a failure and move on. The
+		// silence is also local evidence of degradation: blacklist the
+		// victim for one decay interval so the next picks go elsewhere.
 		w.stealPending = false
 		w.consecFails++
 		w.counters.FailedSteals.Add(1)
+		if w.stealVictim != types.NoWorker {
+			w.markSuspect(w.stealVictim, now, false)
+			w.stealVictim = types.NoWorker
+		}
 		if w.spans.Load() != nil && !w.stealSpanID.Zero() {
 			// A timed-out attempt is still idle time worth attributing;
 			// Link stays zero (nothing was won).
@@ -729,6 +772,7 @@ func (w *Worker) thieveStep() bool {
 			w.tr(trace.EvStealRequest, types.TaskID{}, victim, "")
 			w.counters.StealAttempts.Add(1)
 			w.stealPending = true
+			w.stealVictim = victim
 			w.stealSentAt = time.Now()
 			w.stealDeadline = w.stealSentAt.Add(w.cfg.StealTimeout)
 		} else {
@@ -752,14 +796,18 @@ func (w *Worker) shouldAskRetire() bool {
 		w.dq.Empty() && len(w.waiting) == 0
 }
 
-// pickVictim chooses a steal victim among the live peers.
+// pickVictim chooses a steal victim among the live peers. Suspect victims
+// are deprioritized: each candidate pool is filtered down to its healthy
+// members first, falling back to the full pool only when everyone in it is
+// suspect (see healthyOf).
 func (w *Worker) pickVictim() (types.WorkerID, bool) {
 	if len(w.victims) == 0 {
 		return 0, false
 	}
+	victims := w.healthyOf(w.victims, &w.victimsScr)
 	switch w.cfg.Victim {
 	case RoundRobinVictim:
-		v := w.victims[w.rrNext%len(w.victims)]
+		v := victims[w.rrNext%len(victims)]
 		w.rrNext++
 		return v, true
 	case SiteAwareVictim:
@@ -769,13 +817,13 @@ func (w *Worker) pickVictim() (types.WorkerID, bool) {
 		if tries <= 0 {
 			tries = 4
 		}
-		if len(w.localVictims) > 0 && w.localFailures < tries {
-			return w.localVictims[w.rng.Intn(len(w.localVictims))], true
+		if locals := w.healthyOf(w.localVictims, &w.localsScr); len(locals) > 0 && w.localFailures < tries {
+			return locals[w.rng.Intn(len(locals))], true
 		}
 		w.localFailures = 0
-		return w.victims[w.rng.Intn(len(w.victims))], true
+		return victims[w.rng.Intn(len(victims))], true
 	default:
-		return w.victims[w.rng.Intn(len(w.victims))], true
+		return victims[w.rng.Intn(len(victims))], true
 	}
 }
 
@@ -901,6 +949,7 @@ func (w *Worker) handle(env *wire.Envelope) {
 			}
 		}
 		w.stealPending = false
+		w.stealVictim = types.NoWorker
 		if p.OK {
 			w.dbgRepliesOK.Add(1)
 		} else {
@@ -934,6 +983,15 @@ func (w *Worker) handle(env *wire.Envelope) {
 		w.migrateAck = true
 	case wire.WorkerDown:
 		w.onWorkerDown(p.Worker, p.Ckpts, p.TC)
+	case wire.SuspectSet:
+		w.onSuspectSet(p)
+	case wire.DrainOrder:
+		// The clearinghouse judged this worker persistently degraded: leave
+		// on a planned schedule, shipping the deque and checkpoints to a
+		// healthy adopter (the same path an owner-return reclaim takes).
+		w.tr(trace.EvUnregister, types.TaskID{}, env.From, "drain order: "+p.Reason)
+		w.drainOrdered = true
+		w.drainReq.Store(true)
 	case wire.DrainAck:
 		w.drainAcked = true
 		if p.OK {
@@ -1031,6 +1089,7 @@ func (w *Worker) handleStealReplyView(env *wire.Envelope, p wire.StealReplyView)
 		}
 	}
 	w.stealPending = false
+	w.stealVictim = types.NoWorker
 	if ok {
 		w.dbgRepliesOK.Add(1)
 	} else {
@@ -1291,7 +1350,7 @@ func (w *Worker) grantSteal(thief types.WorkerID) {
 		w.sendTo(thief, wire.StealReply{OK: false})
 		return
 	}
-	rec := &stealRecord{id: w.nextTaskID(), realCont: cl.Cont, thief: thief}
+	rec := &stealRecord{id: w.nextTaskID(), realCont: cl.Cont, thief: thief, grantedAt: time.Now()}
 	stolen := *cl
 	stolen.Cont = types.Continuation{Task: rec.id}
 	rec.task = stolen.toWire()

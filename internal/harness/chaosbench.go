@@ -1,0 +1,682 @@
+package harness
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phish/internal/clearinghouse"
+	"phish/internal/cluster"
+	"phish/internal/core"
+	"phish/internal/idlesim"
+	"phish/internal/jobmanager"
+	"phish/internal/model"
+	"phish/internal/phishnet"
+	"phish/internal/types"
+)
+
+// ChaosBenchConfig sizes the failure-detector chaos benchmark: one
+// checkpointable workload run under several arms — calm under the
+// adaptive detector, a crash scenario under the fixed timeout and under
+// the adaptive detector, and a gray-failure scenario run as three
+// fixed-vs-adaptive pairs — so detection latency, false positives, wasted
+// work, and makespan are directly comparable. The gray comparison uses
+// median makespans across its rounds: a fixed-timeout fleet under gray
+// failure is bimodal (sometimes work-stealing happens to rescue the
+// hostage chunks, sometimes the fleet thrashes more or less forever), and
+// a single draw from that distribution would gate CI on a coin flip.
+type ChaosBenchConfig struct {
+	// Chunks is the fan-out; Steps the number of ~1 ms work units per
+	// chunk. Ideal work is Chunks*Steps steps.
+	Chunks int64
+	Steps  int64
+	// Stations is the number of always-idle workstations.
+	Stations int
+	// Seed drives the transport fault plan and scenario draws.
+	Seed int64
+	// Crashes is how many sequential fail-stop crashes the crash scenario
+	// injects (each one is a detection-latency sample).
+	Crashes int
+	// Timeout bounds each run.
+	Timeout time.Duration
+}
+
+// Detector and scenario constants shared by every run, so the fixed and
+// adaptive arms differ only in the failure detector itself.
+const (
+	chaosHBEvery   = 10 * time.Millisecond
+	chaosHBTimeout = 400 * time.Millisecond
+	chaosPhiSlack  = 60 * time.Millisecond
+	chaosDrainAt   = 300 * time.Millisecond
+	// Gray failure shape: onset after the EWMA tracks are warm, then a
+	// machine goes gray every chaosGrayEvery — computing power collapsing
+	// to 2% in a few steps, plus a network latency ramp. The machines limp,
+	// they do not die. The gremlin times each collapse to land just after
+	// its victim starts a chunk, so every event deterministically takes a
+	// nearly-whole chunk hostage instead of a phase-of-the-moon fraction of
+	// one; sequential events make the comparison an average over several
+	// hostage rescues rather than one lucky or unlucky draw.
+	chaosGrayOnset    = 1000 * time.Millisecond
+	chaosGrayEvery    = 500 * time.Millisecond
+	chaosGrayEvents   = 3
+	chaosGrayCollapse = 50 * time.Millisecond
+	chaosGrayRamp     = 500 * time.Millisecond
+	chaosGraySpeed    = 0.02
+	chaosGrayDelay    = 25 * time.Millisecond
+	// chaosGrayRounds is how many fixed-vs-adaptive gray pairs feed the
+	// median; chaosGrayFixedCap censors a thrashing gray-fixed run — the
+	// fixed detector never declares a limping-but-heartbeating machine
+	// dead, so its worst mode simply does not terminate.
+	chaosGrayRounds   = 3
+	chaosGrayFixedCap = 20 * time.Second
+)
+
+// DefaultChaosBenchConfig finishes in under a minute on a laptop when the
+// gray-fixed rounds self-heal, and is bounded by their censoring cap when
+// they thrash.
+func DefaultChaosBenchConfig() ChaosBenchConfig {
+	return ChaosBenchConfig{
+		Chunks:   144,
+		Steps:    100,
+		Stations: 8,
+		Seed:     20260808,
+		Crashes:  3,
+		Timeout:  3 * time.Minute,
+	}
+}
+
+// ChaosRunResult is one run of the chaos workload.
+type ChaosRunResult struct {
+	Name     string `json:"name"`
+	Adaptive bool   `json:"adaptive"`
+	// Scenario is "calm", "crash", or "gray".
+	Scenario  string  `json:"scenario"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Steps is the number of work units actually executed; Ideal the
+	// fault-free minimum. WastedRatio is (Steps-Ideal)/Ideal.
+	Steps       int64   `json:"steps"`
+	IdealSteps  int64   `json:"ideal_steps"`
+	WastedRatio float64 `json:"wasted_ratio"`
+	// Crash-detection latency over the run's injected crashes (crash
+	// scenario only; zero elsewhere).
+	DetectP50MS float64 `json:"detect_p50_ms"`
+	DetectP99MS float64 `json:"detect_p99_ms"`
+	// FalseEvictions is the clearinghouse's count of workers it declared
+	// dead that later heartbeated (phish_false_evictions_total).
+	FalseEvictions int64 `json:"false_evictions"`
+	// SpeculativeRedos counts tasks re-dispatched from checkpoint while a
+	// suspect thief still held them (phish_speculative_redo_total).
+	SpeculativeRedos int64 `json:"speculative_redos"`
+	// TimedOut marks a censored run: the arm was still thrashing at the
+	// cap, and ElapsedMS records the cap, a lower bound on the true
+	// makespan.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// ChaosSummary is the headline comparison.
+type ChaosSummary struct {
+	IdealSteps int64 `json:"ideal_steps"`
+	// OracleMS is the calm makespan: the same fleet with no injected
+	// faults. Scenario runs report their makespan as a multiple of it.
+	OracleMS           float64 `json:"oracle_ms"`
+	CalmFalseEvictions int64   `json:"calm_false_evictions"`
+	// Crash-detection latency, fixed timeout vs adaptive phi, and the
+	// budget the adaptive arm must stay under (the fixed arm's timeout).
+	CrashFixedP99MS    float64 `json:"crash_fixed_p99_ms"`
+	CrashAdaptiveP99MS float64 `json:"crash_adaptive_p99_ms"`
+	DetectBudgetMS     float64 `json:"detect_budget_ms"`
+	// Gray-failure makespans — medians across the gray rounds, censored
+	// fixed runs entering at the cap — and the adaptive win:
+	// 100 * (fixed - adaptive) / fixed.
+	GrayFixedMS    float64 `json:"gray_fixed_ms"`
+	GrayAdaptiveMS float64 `json:"gray_adaptive_ms"`
+	GrayWinPct     float64 `json:"gray_win_pct"`
+	// Makespan over oracle, per scenario arm.
+	GrayFixedXOracle    float64 `json:"gray_fixed_x_oracle"`
+	GrayAdaptiveXOracle float64 `json:"gray_adaptive_x_oracle"`
+}
+
+// ChaosBenchFile is the on-disk shape of BENCH_chaos.json.
+type ChaosBenchFile struct {
+	Runs    []ChaosRunResult `json:"runs"`
+	Summary ChaosSummary     `json:"summary"`
+}
+
+// grayCtl maps workers to their speed curves and tracks each worker's
+// position inside its current chunk. The chaos workload consults it per
+// work unit, so a gray machine's chunks slow down mid-flight — including
+// chunks resumed from a checkpoint on a healthy adopter, which immediately
+// run at full speed again. The per-worker step phase lets the gray gremlin
+// time its collapse to the start of a chunk.
+type grayCtl struct {
+	mu     sync.Mutex
+	curves map[types.WorkerID]idlesim.Curve
+	phase  map[types.WorkerID]int64
+}
+
+func newGrayCtl() *grayCtl {
+	return &grayCtl{
+		curves: make(map[types.WorkerID]idlesim.Curve),
+		phase:  make(map[types.WorkerID]int64),
+	}
+}
+
+func (g *grayCtl) set(id types.WorkerID, c idlesim.Curve) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.curves[id] = c
+}
+
+// speedOf returns id's current speed and records step (the worker's index
+// inside the chunk it is executing) as its phase.
+func (g *grayCtl) speedOf(id types.WorkerID, step int64, now time.Time) float64 {
+	g.mu.Lock()
+	g.phase[id] = step
+	c, ok := g.curves[id]
+	g.mu.Unlock()
+	if !ok {
+		return 1
+	}
+	s := c.At(now)
+	if s < 0.01 {
+		s = 0.01
+	}
+	return s
+}
+
+// phaseOf reports the last step index id was seen executing.
+func (g *grayCtl) phaseOf(id types.WorkerID) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.phase[id]
+}
+
+// chaosBenchProg is the fan/chunks/sum shape the other soaks use, with one
+// twist: each ~1 ms work unit is stretched by the executing worker's
+// current speed curve, so a gray workstation visibly drags every task it
+// holds.
+func chaosBenchProg(steps *atomic.Int64, ctl *grayCtl) *core.Program {
+	p := core.NewProgram("chaosbench")
+	p.Register("chunks", func(c model.Ctx) {
+		n := c.Int(0)
+		var i, sum int64
+		if ck := c.Checkpoint(); len(ck) == 16 {
+			i = int64(binary.BigEndian.Uint64(ck))
+			sum = int64(binary.BigEndian.Uint64(ck[8:]))
+		}
+		for ; i < n; i++ {
+			sum += i
+			steps.Add(1)
+			speed := ctl.speedOf(c.Worker(), i, time.Now())
+			time.Sleep(time.Duration(float64(time.Millisecond) / speed))
+			var blob [16]byte
+			binary.BigEndian.PutUint64(blob[:8], uint64(i+1))
+			binary.BigEndian.PutUint64(blob[8:], uint64(sum))
+			if c.Yield(blob[:]) {
+				return
+			}
+		}
+		c.Return(sum)
+	})
+	p.Register("fan", func(c model.Ctx) {
+		k, n := c.Int(0), c.Int(1)
+		s := c.Successor("sum", int(k))
+		for i := int64(0); i < k; i++ {
+			c.Spawn("chunks", s.Cont(int(i)), n)
+		}
+	})
+	p.Register("sum", func(c model.Ctx) {
+		var total int64
+		for i := 0; i < c.NArgs(); i++ {
+			total += c.Int(i)
+		}
+		c.Return(total)
+	})
+	return p
+}
+
+// ChaosBench runs the five-way comparison and computes the summary.
+func ChaosBench(cfg ChaosBenchConfig) (*ChaosBenchFile, error) {
+	if cfg.Chunks <= 0 || cfg.Steps <= 0 {
+		d := DefaultChaosBenchConfig()
+		cfg.Chunks, cfg.Steps = d.Chunks, d.Steps
+	}
+	if cfg.Stations <= 0 {
+		cfg.Stations = 8
+	}
+	if cfg.Crashes <= 0 {
+		cfg.Crashes = 3
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * time.Minute
+	}
+
+	runs := make([]ChaosRunResult, 0, 3+2*chaosGrayRounds)
+	for _, arm := range []struct {
+		name     string
+		scenario string
+		adaptive bool
+	}{
+		{"calm", "calm", true},
+		{"crash-fixed", "crash", false},
+		{"crash-adaptive", "crash", true},
+	} {
+		r, err := chaosRunOne(arm.name, arm.scenario, arm.adaptive, cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	for round := 1; round <= chaosGrayRounds; round++ {
+		rf, err := chaosRunOne(fmt.Sprintf("gray-fixed-%d", round), "gray", false, cfg, chaosGrayFixedCap)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := chaosRunOne(fmt.Sprintf("gray-adaptive-%d", round), "gray", true, cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, rf, ra)
+	}
+
+	byName := func(n string) ChaosRunResult {
+		for _, r := range runs {
+			if r.Name == n {
+				return r
+			}
+		}
+		return ChaosRunResult{}
+	}
+	grayMedian := func(adaptive bool) float64 {
+		var ms []float64
+		for _, r := range runs {
+			if r.Scenario == "gray" && r.Adaptive == adaptive {
+				ms = append(ms, r.ElapsedMS)
+			}
+		}
+		if len(ms) == 0 {
+			return 0
+		}
+		sort.Float64s(ms)
+		return ms[len(ms)/2]
+	}
+	calm := byName("calm")
+	sum := ChaosSummary{
+		IdealSteps:         cfg.Chunks * cfg.Steps,
+		OracleMS:           calm.ElapsedMS,
+		CalmFalseEvictions: calm.FalseEvictions,
+		CrashFixedP99MS:    byName("crash-fixed").DetectP99MS,
+		CrashAdaptiveP99MS: byName("crash-adaptive").DetectP99MS,
+		DetectBudgetMS:     float64(chaosHBTimeout.Nanoseconds()) / 1e6,
+		GrayFixedMS:        grayMedian(false),
+		GrayAdaptiveMS:     grayMedian(true),
+	}
+	if sum.GrayFixedMS > 0 {
+		sum.GrayWinPct = 100 * (sum.GrayFixedMS - sum.GrayAdaptiveMS) / sum.GrayFixedMS
+	}
+	if calm.ElapsedMS > 0 {
+		sum.GrayFixedXOracle = sum.GrayFixedMS / calm.ElapsedMS
+		sum.GrayAdaptiveXOracle = sum.GrayAdaptiveMS / calm.ElapsedMS
+	}
+	return &ChaosBenchFile{Runs: runs, Summary: sum}, nil
+}
+
+// chaosRunOne runs the workload once under one (scenario, detector) arm.
+// A non-zero censorAt caps the run: instead of failing, a run still going
+// at the cap is recorded as a censored sample with ElapsedMS = the cap.
+func chaosRunOne(name, scenario string, adaptive bool, cfg ChaosBenchConfig, censorAt time.Duration) (ChaosRunResult, error) {
+	var steps atomic.Int64
+	ctl := newGrayCtl()
+	prog := chaosBenchProg(&steps, ctl)
+
+	w := core.DefaultConfig()
+	w.MaxStealFailures = 25
+	w.StealTimeout = 25 * time.Millisecond
+	w.HeartbeatEvery = chaosHBEvery
+	w.CkptEvery = 10 * time.Millisecond
+	ch := clearinghouse.Config{
+		UpdateEvery:      25 * time.Millisecond,
+		HeartbeatTimeout: chaosHBTimeout,
+	}
+	if adaptive {
+		ch.PhiThreshold = 8
+		ch.PhiSlack = chaosPhiSlack
+		ch.SuspectDrainAfter = chaosDrainAt
+		// Suspicion must outlive the broadcast cadence (HeartbeatTimeout/2)
+		// or the blacklist decays between SuspectSet refreshes and the
+		// speculation window flaps.
+		w.SuspectTTL = chaosHBTimeout + chaosHBTimeout/4
+		// Speculate aggressively: the workload's chunks are uniform, so 3×
+		// p99 outstanding on a graded suspect is already damning.
+		w.SpeculateAfter = 3
+	} else {
+		// Pure legacy arm: fixed timeout, no suspicion, no speculation.
+		w.SuspectTTL = -1
+		w.SpeculateAfter = -1
+	}
+	c := cluster.New(cluster.Options{
+		Worker: w,
+		CH:     ch,
+		JM: jobmanager.Config{
+			BusyPoll:      20 * time.Millisecond,
+			IdleRetry:     15 * time.Millisecond,
+			WorkPoll:      10 * time.Millisecond,
+			DrainCooldown: 10 * time.Second,
+		},
+		Faults:    &phishnet.FaultPlan{Seed: cfg.Seed},
+		Telemetry: true,
+	})
+	defer c.Close()
+	for i := 0; i < cfg.Stations; i++ {
+		c.AddWorkstation(idlesim.Always{})
+	}
+
+	t0 := time.Now()
+	j := c.Submit(prog, "fan", []types.Value{cfg.Chunks, cfg.Steps})
+
+	stop := make(chan struct{})
+	gremlinDone := make(chan struct{})
+	var detect []time.Duration
+	switch scenario {
+	case "crash":
+		go func() {
+			defer close(gremlinDone)
+			detect = chaosCrashGremlin(j, cfg.Crashes, stop)
+		}()
+	case "gray":
+		go func() {
+			defer close(gremlinDone)
+			chaosGrayGremlin(j, ctl, stop)
+		}()
+	default:
+		close(gremlinDone)
+	}
+
+	runTO := cfg.Timeout
+	if censorAt > 0 && censorAt < runTO {
+		runTO = censorAt
+	}
+	v, err := j.Wait(runTO)
+	elapsed := time.Since(t0)
+	close(stop)
+	<-gremlinDone
+	timedOut := false
+	if err != nil {
+		if censorAt <= 0 {
+			return ChaosRunResult{}, fmt.Errorf("harness: chaos %s: %w", name, err)
+		}
+		timedOut = true
+		elapsed = censorAt
+	} else {
+		want := cfg.Chunks * (cfg.Steps * (cfg.Steps - 1) / 2)
+		if got := v.(int64); got != want {
+			return ChaosRunResult{}, fmt.Errorf("harness: chaos %s: result %d, want %d", name, got, want)
+		}
+	}
+
+	ideal := cfg.Chunks * cfg.Steps
+	r := ChaosRunResult{
+		Name:             name,
+		Adaptive:         adaptive,
+		Scenario:         scenario,
+		ElapsedMS:        float64(elapsed.Nanoseconds()) / 1e6,
+		Steps:            steps.Load(),
+		IdealSteps:       ideal,
+		WastedRatio:      float64(steps.Load()-ideal) / float64(ideal),
+		FalseEvictions:   j.ClusterSnapshot().Totals.FalseEvictions,
+		SpeculativeRedos: j.Totals().SpeculativeRedos,
+		TimedOut:         timedOut,
+	}
+	if r.WastedRatio < 0 {
+		r.WastedRatio = 0
+	}
+	if len(detect) > 0 {
+		sort.Slice(detect, func(i, k int) bool { return detect[i] < detect[k] })
+		pct := func(p float64) float64 { // nearest-rank
+			idx := int(math.Ceil(p*float64(len(detect)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return float64(detect[idx].Nanoseconds()) / 1e6
+		}
+		r.DetectP50MS = pct(0.50)
+		r.DetectP99MS = pct(0.99)
+	}
+	return r, nil
+}
+
+// chaosCrashGremlin injects sequential fail-stop crashes, timing each one
+// from Crash call to the worker leaving the clearinghouse's live set.
+func chaosCrashGremlin(j *cluster.Job, crashes int, stop <-chan struct{}) []time.Duration {
+	var out []time.Duration
+	for n := 0; n < crashes; n++ {
+		select {
+		case <-stop:
+			return out
+		case <-time.After(400 * time.Millisecond):
+		}
+		victim := chaosPickVictim(j)
+		if victim == 0 {
+			continue
+		}
+		t0 := time.Now()
+		if !j.Crash(victim) {
+			continue
+		}
+		for {
+			if !chaosIsLive(j, victim) {
+				out = append(out, time.Since(t0))
+				break
+			}
+			select {
+			case <-stop:
+				return out
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	return out
+}
+
+// chaosGrayGremlin turns chaosGrayEvents workstations gray, one every
+// chaosGrayEvery after onset: each victim's compute collapses (grayCtl)
+// and its network grows a latency ramp (phishnet.GrayFault). The gray
+// condition follows the MACHINE, not the worker process: any later
+// incarnation minted by a sick station — the original worker was drained
+// or evicted and the station rejoined — inherits the gray shape.
+func chaosGrayGremlin(j *cluster.Job, ctl *grayCtl, stop <-chan struct{}) {
+	sickStations := make(map[types.WorkstationID]bool)
+	sickened := make(map[types.WorkerID]bool)
+	sicken := func(id types.WorkerID) {
+		if sickened[id] {
+			return
+		}
+		sickened[id] = true
+		now := time.Now()
+		ctl.set(id, idlesim.Ramp{From: 1, To: chaosGraySpeed, Start: now, Dur: chaosGrayCollapse})
+		if f := j.Faults(); f != nil {
+			f.SetGray(id, phishnet.GrayFault{Start: now, RampOver: chaosGrayRamp, MaxDelay: chaosGrayDelay})
+		}
+	}
+	// sleep ticks d away in slices, re-infecting fresh incarnations on sick
+	// stations as it goes. Returns false on stop.
+	sleep := func(d time.Duration) bool {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+			select {
+			case <-stop:
+				return false
+			case <-time.After(25 * time.Millisecond):
+			}
+			for _, id := range j.LiveWorkers() {
+				if sickStations[jobmanager.WorkerStation(id)] {
+					sicken(id)
+				}
+			}
+		}
+		return true
+	}
+	for ev := 0; ev < chaosGrayEvents; ev++ {
+		wait := chaosGrayEvery
+		if ev == 0 {
+			wait = chaosGrayOnset
+		}
+		if !sleep(wait) {
+			return
+		}
+		victim := chaosPickGrayVictim(j, sickStations)
+		if victim == 0 {
+			continue
+		}
+		// Wait (bounded) for the victim to start a fresh chunk, so the
+		// chunk it holds hostage is a nearly-whole one in every run rather
+		// than whatever fraction the event timer happened to land on.
+		deadline := time.Now().Add(time.Second)
+		for ctl.phaseOf(victim) > 10 && time.Now().Before(deadline) {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		sickStations[jobmanager.WorkerStation(victim)] = true
+		sicken(victim)
+	}
+	for sleep(time.Second) {
+	}
+}
+
+// chaosPickGrayVictim returns the highest-id live worker that neither
+// hosts the root lineage nor sits on an already-sick station.
+func chaosPickGrayVictim(j *cluster.Job, sickStations map[types.WorkstationID]bool) types.WorkerID {
+	root := j.RootHost()
+	var victim types.WorkerID
+	for _, id := range j.LiveWorkers() {
+		if id != root && id > victim && !sickStations[jobmanager.WorkerStation(id)] {
+			victim = id
+		}
+	}
+	return victim
+}
+
+// chaosPickVictim returns the highest-id live worker that is not hosting
+// the root lineage (crashing or degrading the submitting user's own
+// workstation measures join-state loss, not detection).
+func chaosPickVictim(j *cluster.Job) types.WorkerID {
+	root := j.RootHost()
+	var victim types.WorkerID
+	for _, id := range j.LiveWorkers() {
+		if id != root && id > victim {
+			victim = id
+		}
+	}
+	return victim
+}
+
+func chaosIsLive(j *cluster.Job, id types.WorkerID) bool {
+	for _, w := range j.LiveWorkers() {
+		if w == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintChaosBench renders the runs plus the headline summary. A "+" after
+// an elapsed time marks a censored run (still thrashing at the cap).
+func PrintChaosBench(w io.Writer, f *ChaosBenchFile) {
+	fmt.Fprintf(w, "failure detection — fixed timeout vs phi-accrual + graded health (ideal %d steps)\n", f.Summary.IdealSteps)
+	fmt.Fprintf(w, "%-16s %10s %8s %8s %11s %11s %8s %8s\n",
+		"run", "elapsed", "steps", "wasted", "detect-p50", "detect-p99", "false-ev", "spec")
+	for _, r := range f.Runs {
+		mark := " "
+		if r.TimedOut {
+			mark = "+" // censored: still thrashing at the cap
+		}
+		fmt.Fprintf(w, "%-16s %9.0fms%s %8d %7.1f%% %9.1fms %9.1fms %8d %8d\n",
+			r.Name, r.ElapsedMS, mark, r.Steps, 100*r.WastedRatio,
+			r.DetectP50MS, r.DetectP99MS, r.FalseEvictions, r.SpeculativeRedos)
+	}
+	fmt.Fprintf(w, "crash detection p99: fixed %.0f ms, adaptive %.0f ms (budget %.0f ms)\n",
+		f.Summary.CrashFixedP99MS, f.Summary.CrashAdaptiveP99MS, f.Summary.DetectBudgetMS)
+	fmt.Fprintf(w, "gray failure median makespan: fixed %.0f ms (%.1fx oracle), adaptive %.0f ms (%.1fx oracle) — %.1f%% win\n",
+		f.Summary.GrayFixedMS, f.Summary.GrayFixedXOracle,
+		f.Summary.GrayAdaptiveMS, f.Summary.GrayAdaptiveXOracle, f.Summary.GrayWinPct)
+}
+
+// ReadChaosBenchJSON loads a recorded baseline. A missing file returns
+// (nil, nil) so callers can distinguish "no baseline yet".
+func ReadChaosBenchJSON(path string) (*ChaosBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var f ChaosBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// WriteChaosBenchJSON records the run as the new baseline.
+func WriteChaosBenchJSON(path string, f *ChaosBenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckChaos gates CI on the detector's contract: no false-positive
+// evictions on a calm fleet, crash detection under the adaptive detector
+// bounded by the fixed arm's timeout, and suspicion + speculation beating
+// the fixed timeout by ≥20% makespan under a gray failure. The gates are
+// absolute; the baseline (nil-safe) only adds a wasted-work regression
+// check on the calm run.
+func CheckChaos(baseline, fresh *ChaosBenchFile) error {
+	s := fresh.Summary
+	if s.CalmFalseEvictions != 0 {
+		return fmt.Errorf("harness: calm run evicted %d live workers (phish_false_evictions_total must stay 0)", s.CalmFalseEvictions)
+	}
+	if s.CrashAdaptiveP99MS <= 0 {
+		return fmt.Errorf("harness: crash-adaptive run collected no detection samples")
+	}
+	if s.CrashAdaptiveP99MS > s.DetectBudgetMS {
+		return fmt.Errorf("harness: adaptive crash detection p99 %.0f ms exceeds the %.0f ms budget",
+			s.CrashAdaptiveP99MS, s.DetectBudgetMS)
+	}
+	if s.GrayWinPct < 20 {
+		return fmt.Errorf("harness: gray-failure makespan win %.1f%% < 20%% (fixed %.0f ms, adaptive %.0f ms)",
+			s.GrayWinPct, s.GrayFixedMS, s.GrayAdaptiveMS)
+	}
+	if baseline != nil {
+		const slack = 0.10 // absolute wasted-ratio slack for timing noise
+		var bCalm, fCalm ChaosRunResult
+		for _, r := range baseline.Runs {
+			if r.Name == "calm" {
+				bCalm = r
+			}
+		}
+		for _, r := range fresh.Runs {
+			if r.Name == "calm" {
+				fCalm = r
+			}
+		}
+		if bCalm.Name != "" && fCalm.WastedRatio > bCalm.WastedRatio+slack {
+			return fmt.Errorf("harness: calm wasted work %.1f%% regressed above baseline %.1f%% (+%.0f%% slack)",
+				100*fCalm.WastedRatio, 100*bCalm.WastedRatio, 100*slack)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+// The seeded scenario DSL: a Spec describes a fleet of virtual
+// workstations — a weighted mixture of profiles giving each station an
+// owner-activity schedule (diurnal shifts, fractional availability,
+// busy/idle alternation), a speed curve (stragglers, degradation ramps),
+// and optional correlated-failure waves and gray-failure windows. Build
+// expands the Spec deterministically: the same seed always yields the same
+// fleet, so a chaos benchmark and its baseline run against identical
+// weather. Everything is evaluated lazily against a caller-supplied time,
+// so thousands of stations can be driven on a virtual clock without any
+// per-station goroutines.
+package idlesim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Owner is the idleness query (jobmanager.Policy's shape, restated here so
+// the simulator does not depend on the scheduler).
+type Owner interface {
+	Idle(now time.Time) bool
+}
+
+// Curve is a time-varying scalar — speed multipliers, load levels,
+// latency scale factors.
+type Curve interface {
+	At(t time.Time) float64
+}
+
+// Const is a flat curve.
+type Const float64
+
+// At implements Curve.
+func (c Const) At(time.Time) float64 { return float64(c) }
+
+// Ramp interpolates linearly from From to To over [Start, Start+Dur],
+// holding flat on both sides. A gray failure's latency or slowdown ramp.
+type Ramp struct {
+	From, To float64
+	Start    time.Time
+	Dur      time.Duration
+}
+
+// At implements Curve.
+func (r Ramp) At(t time.Time) float64 {
+	if r.Dur <= 0 || !t.After(r.Start) {
+		if r.Dur <= 0 && t.After(r.Start) {
+			return r.To
+		}
+		return r.From
+	}
+	f := float64(t.Sub(r.Start)) / float64(r.Dur)
+	if f >= 1 {
+		return r.To
+	}
+	return r.From + f*(r.To-r.From)
+}
+
+// Diurnal is an owner on a repeating shift: active (workstation busy) for
+// Busy out of every Period, starting each period at Phase offset. With
+// Period = 24 h and Busy = 8 h it is the canonical office day; a fleet
+// built with jittered phases models timezones and flexible hours.
+type Diurnal struct {
+	Start  time.Time
+	Period time.Duration
+	Busy   time.Duration
+	Phase  time.Duration
+}
+
+// Idle implements Owner: the owner is away outside their busy window.
+func (d Diurnal) Idle(t time.Time) bool {
+	if d.Period <= 0 {
+		return true
+	}
+	off := (t.Sub(d.Start) + d.Phase) % d.Period
+	if off < 0 {
+		off += d.Period
+	}
+	return off >= d.Busy
+}
+
+// Fractional is an owner tuned to a target availability: the workstation
+// is idle Avail of the time in alternating seeded stretches of roughly
+// Period. It reuses the Activity generator so the busy/idle boundaries are
+// irregular, not a square wave.
+func Fractional(seed int64, start time.Time, avail float64, period time.Duration) Owner {
+	if avail <= 0 {
+		return Never{}
+	}
+	if avail >= 1 {
+		return Always{}
+	}
+	busy := time.Duration((1 - avail) * float64(period))
+	idle := time.Duration(avail * float64(period))
+	return NewActivity(seed, start, busy/2, busy+busy/2, idle/2, idle+idle/2, true)
+}
+
+// Profile is one kind of workstation in the mixture.
+type Profile struct {
+	// Name labels the profile in Station rows and reports.
+	Name string
+	// Weight is the profile's share of the fleet (relative to the sum of
+	// all weights; zero-weight profiles get no stations).
+	Weight float64
+
+	// Owner activity: exactly one of the following shapes.
+	// Avail > 0 selects fractional availability with AvailPeriod stretches.
+	Avail       float64
+	AvailPeriod time.Duration
+	// DiurnalPeriod > 0 selects a diurnal owner (Busy of every Period,
+	// phase jittered per station up to PhaseJitter).
+	DiurnalPeriod time.Duration
+	DiurnalBusy   time.Duration
+	PhaseJitter   time.Duration
+	// Neither set: the station is always idle (a dedicated machine).
+
+	// Speed is the station's work-rate multiplier (1 = nominal; a
+	// straggler profile sets, say, 0.3). SpeedJitter spreads stations
+	// uniformly ±SpeedJitter around Speed. Zero Speed means 1.
+	Speed       float64
+	SpeedJitter float64
+	// Degrade, when set, multiplies the speed curve by a ramp from 1 down
+	// to DegradeTo starting at a seeded point in [0, DegradeBy) after the
+	// fleet start — the compute half of a gray failure.
+	DegradeTo float64
+	DegradeBy time.Duration
+	DegradeIn time.Duration
+
+	// Gray, when true, marks the station for a network gray-failure window
+	// (latency ramp and/or asymmetric loss); the driver wires the marked
+	// stations into the transport's fault plan.
+	Gray bool
+}
+
+// Wave is one correlated-failure event: at Start+At, a seeded Frac of the
+// fleet (optionally restricted to one profile) fails together — a rack
+// power loss, a switch dying, a bad deploy.
+type Wave struct {
+	At      time.Duration
+	Frac    float64
+	Profile string // empty: drawn from the whole fleet
+	// Kind is interpreted by the driver ("crash", "partition", ...).
+	Kind string
+}
+
+// Spec is the scenario: a fleet size, a profile mixture, and failure
+// waves. The zero Spec is not useful; N and at least one profile are
+// required.
+type Spec struct {
+	Seed     int64
+	N        int
+	Profiles []Profile
+	Waves    []Wave
+}
+
+// Station is one expanded virtual workstation.
+type Station struct {
+	Index   int
+	Profile string
+	Owner   Owner
+	Speed   Curve
+	Gray    bool
+}
+
+// product multiplies two curves.
+type product struct{ a, b Curve }
+
+func (p product) At(t time.Time) float64 { return p.a.At(t) * p.b.At(t) }
+
+// Build expands the Spec into its fleet, deterministically in Seed. Station
+// i's owner schedule, speed, degradation onset, and profile assignment
+// depend only on (Seed, i) and the profile list — not on map iteration or
+// wall time.
+func (s *Spec) Build(start time.Time) ([]Station, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("idlesim: scenario needs N > 0")
+	}
+	if len(s.Profiles) == 0 {
+		return nil, fmt.Errorf("idlesim: scenario needs at least one profile")
+	}
+	var totalW float64
+	for _, p := range s.Profiles {
+		if p.Weight < 0 {
+			return nil, fmt.Errorf("idlesim: profile %q has negative weight", p.Name)
+		}
+		totalW += p.Weight
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("idlesim: profile weights sum to zero")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	out := make([]Station, s.N)
+	for i := range out {
+		// Weighted profile draw.
+		roll := rng.Float64() * totalW
+		p := s.Profiles[len(s.Profiles)-1]
+		for _, cand := range s.Profiles {
+			if roll < cand.Weight {
+				p = cand
+				break
+			}
+			roll -= cand.Weight
+		}
+		st := Station{Index: i, Profile: p.Name, Gray: p.Gray}
+
+		// Owner schedule. Each station gets a private seed so its schedule
+		// is independent of its neighbors'.
+		ownerSeed := s.Seed ^ int64(i)*-0x61C8864680B583EB
+		switch {
+		case p.Avail > 0:
+			period := p.AvailPeriod
+			if period <= 0 {
+				period = time.Hour
+			}
+			st.Owner = Fractional(ownerSeed, start, p.Avail, period)
+		case p.DiurnalPeriod > 0:
+			var phase time.Duration
+			if p.PhaseJitter > 0 {
+				phase = time.Duration(rng.Int63n(int64(p.PhaseJitter)))
+			}
+			st.Owner = Diurnal{Start: start, Period: p.DiurnalPeriod, Busy: p.DiurnalBusy, Phase: phase}
+		default:
+			st.Owner = Always{}
+		}
+
+		// Speed curve.
+		speed := p.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		if p.SpeedJitter > 0 {
+			speed += (2*rng.Float64() - 1) * p.SpeedJitter
+			if speed < 0.05 {
+				speed = 0.05
+			}
+		}
+		st.Speed = Const(speed)
+		if p.DegradeTo > 0 && p.DegradeTo < 1 {
+			onset := time.Duration(0)
+			if p.DegradeIn > 0 {
+				onset = time.Duration(rng.Int63n(int64(p.DegradeIn)))
+			}
+			by := p.DegradeBy
+			if by <= 0 {
+				by = time.Minute
+			}
+			st.Speed = product{st.Speed, Ramp{From: 1, To: p.DegradeTo, Start: start.Add(onset), Dur: by}}
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// WaveEvent is one expanded correlated failure.
+type WaveEvent struct {
+	At       time.Time
+	Kind     string
+	Stations []int
+}
+
+// ExpandWaves picks each wave's victims deterministically in Seed (a draw
+// stream separate from Build's, so adding a wave never reshuffles the
+// fleet).
+func (s *Spec) ExpandWaves(start time.Time, stations []Station) []WaveEvent {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x57A17))
+	out := make([]WaveEvent, 0, len(s.Waves))
+	for _, w := range s.Waves {
+		var pool []int
+		for _, st := range stations {
+			if w.Profile == "" || st.Profile == w.Profile {
+				pool = append(pool, st.Index)
+			}
+		}
+		n := int(w.Frac*float64(len(pool)) + 0.5)
+		if n > len(pool) {
+			n = len(pool)
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		victims := append([]int(nil), pool[:n]...)
+		sort.Ints(victims)
+		out = append(out, WaveEvent{At: start.Add(w.At), Kind: w.Kind, Stations: victims})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// CountIdle evaluates the fleet at one instant: how many stations are
+// available (owner away). With a virtual clock this samples thousands of
+// stations per call without a single goroutine.
+func CountIdle(stations []Station, t time.Time) int {
+	n := 0
+	for i := range stations {
+		if stations[i].Owner.Idle(t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package idlesim
+
+import (
+	"testing"
+	"time"
+
+	"phish/internal/clock"
+)
+
+func chaosSpec(seed int64) *Spec {
+	return &Spec{
+		Seed: seed,
+		N:    2000,
+		Profiles: []Profile{
+			{Name: "dedicated", Weight: 1, Speed: 1},
+			{Name: "office", Weight: 4, DiurnalPeriod: 24 * time.Hour,
+				DiurnalBusy: 8 * time.Hour, PhaseJitter: 4 * time.Hour, Speed: 1, SpeedJitter: 0.2},
+			{Name: "flaky", Weight: 2, Avail: 0.5, AvailPeriod: time.Hour, Speed: 1},
+			{Name: "straggler", Weight: 1, Speed: 0.3},
+			{Name: "gray", Weight: 1, Gray: true, DegradeTo: 0.2,
+				DegradeBy: 30 * time.Minute, DegradeIn: time.Hour},
+		},
+		Waves: []Wave{
+			{At: 2 * time.Hour, Frac: 0.1, Kind: "crash"},
+			{At: 6 * time.Hour, Frac: 0.5, Profile: "flaky", Kind: "partition"},
+		},
+	}
+}
+
+// TestScenarioDeterministic: same seed, same fleet; different seed,
+// different fleet.
+func TestScenarioDeterministic(t *testing.T) {
+	start := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	a, err := chaosSpec(7).Build(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := chaosSpec(7).Build(start)
+	c, _ := chaosSpec(8).Build(start)
+	probe := start.Add(13*time.Hour + 17*time.Minute)
+	same, diff := 0, 0
+	for i := range a {
+		if a[i].Profile != b[i].Profile || a[i].Owner.Idle(probe) != b[i].Owner.Idle(probe) ||
+			a[i].Speed.At(probe) != b[i].Speed.At(probe) {
+			t.Fatalf("station %d diverges under identical seeds", i)
+		}
+		if a[i].Profile == c[i].Profile {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical profile assignment")
+	}
+	wa := chaosSpec(7).ExpandWaves(start, a)
+	wb := chaosSpec(7).ExpandWaves(start, b)
+	if len(wa) != 2 || len(wa[0].Stations) == 0 {
+		t.Fatalf("waves = %+v", wa)
+	}
+	for i := range wa {
+		if len(wa[i].Stations) != len(wb[i].Stations) || wa[i].Stations[0] != wb[i].Stations[0] {
+			t.Fatal("wave victims diverge under identical seeds")
+		}
+	}
+	for _, id := range wa[1].Stations {
+		if a[id].Profile != "flaky" {
+			t.Fatalf("profile-restricted wave hit %q", a[id].Profile)
+		}
+	}
+}
+
+// TestScenarioOnVirtualClock drives the 2000-station fleet across a
+// simulated week on a fake clock: availability must swing with the diurnal
+// cycle and the fractional profiles must hit their target on average. No
+// goroutines, no real time.
+func TestScenarioOnVirtualClock(t *testing.T) {
+	clk := clock.NewFake()
+	start := clk.Now()
+	spec := &Spec{
+		Seed: 11,
+		N:    2000,
+		Profiles: []Profile{
+			{Name: "office", Weight: 1, DiurnalPeriod: 24 * time.Hour, DiurnalBusy: 10 * time.Hour},
+			{Name: "flaky", Weight: 1, Avail: 0.5, AvailPeriod: time.Hour},
+		},
+	}
+	stations, err := spec.Build(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumIdle, samples int
+	minIdle, maxIdle := spec.N, 0
+	for i := 0; i < 7*24; i++ {
+		clk.Advance(time.Hour)
+		n := CountIdle(stations, clk.Now())
+		sumIdle += n
+		samples++
+		if n < minIdle {
+			minIdle = n
+		}
+		if n > maxIdle {
+			maxIdle = n
+		}
+	}
+	// Expected mean availability: office 14/24, flaky 0.5 → ~0.54.
+	mean := float64(sumIdle) / float64(samples) / float64(spec.N)
+	if mean < 0.40 || mean > 0.70 {
+		t.Fatalf("mean availability %.2f, want ~0.54", mean)
+	}
+	// The diurnal cycle must actually swing the fleet (office workers all
+	// share phase 0 here, so day vs night moves ~half the fleet).
+	if maxIdle-minIdle < spec.N/4 {
+		t.Fatalf("availability swing %d..%d too flat for a diurnal fleet", minIdle, maxIdle)
+	}
+}
+
+// TestRampCurve covers the gray-degradation shape.
+func TestRampCurve(t *testing.T) {
+	start := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	r := Ramp{From: 1, To: 0.2, Start: start, Dur: 10 * time.Minute}
+	if v := r.At(start.Add(-time.Minute)); v != 1 {
+		t.Fatalf("before start: %v", v)
+	}
+	mid := r.At(start.Add(5 * time.Minute))
+	if mid < 0.55 || mid > 0.65 {
+		t.Fatalf("midpoint: %v, want ~0.6", mid)
+	}
+	if v := r.At(start.Add(time.Hour)); v != 0.2 {
+		t.Fatalf("after end: %v", v)
+	}
+}

@@ -75,6 +75,11 @@ type Config struct {
 	// WorkPoll is how often to check for the owner's return while a
 	// worker runs (paper: 2 seconds).
 	WorkPoll time.Duration
+	// DrainCooldown is how long the workstation sits out after its worker
+	// was drained for degradation (wire.LeaveDrained) before requesting
+	// work again. A sick machine that rejoins moments after its drain
+	// defeats the drain. Zero takes 4×IdleRetry.
+	DrainCooldown time.Duration
 	// Clock drives the polling; nil means the system clock.
 	Clock clock.Clock
 }
@@ -100,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.WorkPoll <= 0 {
 		c.WorkPoll = d.WorkPoll
 	}
+	if c.DrainCooldown <= 0 {
+		c.DrainCooldown = 4 * c.IdleRetry
+	}
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
@@ -116,6 +124,9 @@ type Stats struct {
 	Finished atomic.Int64
 	// Retired counts workers that left because parallelism shrank.
 	Retired atomic.Int64
+	// Drained counts workers the clearinghouse drained for degradation;
+	// each one puts the workstation into its DrainCooldown.
+	Drained atomic.Int64
 	// EmptyPolls counts job requests that found the pool empty.
 	EmptyPolls atomic.Int64
 	// SourceErrors counts job requests that failed outright (PhishJobQ
@@ -182,6 +193,13 @@ func (m *Manager) nextWorkerID() types.WorkerID {
 	return types.WorkerID(int32(m.ws)*workerIDStride + m.incarnation)
 }
 
+// WorkerStation recovers the workstation that minted a worker id. Fault
+// injectors and monitors use it to reason about the machine behind a
+// sequence of worker incarnations.
+func WorkerStation(id types.WorkerID) types.WorkstationID {
+	return types.WorkstationID(int32(id) / workerIDStride)
+}
+
 // Run is the daemon loop; it blocks until Stop.
 func (m *Manager) Run() {
 	defer close(m.doneCh)
@@ -219,6 +237,13 @@ func (m *Manager) Run() {
 		}
 		m.stats.JobsStarted.Add(1)
 		m.supervise(proc)
+		if proc.LeaveReason() == wire.LeaveDrained {
+			// The clearinghouse judged this machine degraded: quarantine
+			// it before offering its cycles again.
+			if !m.sleep(m.cfg.DrainCooldown) {
+				return
+			}
+		}
 	}
 }
 
@@ -255,6 +280,8 @@ func (m *Manager) recordExit(proc WorkerProc) {
 		m.stats.Retired.Add(1)
 	case wire.LeaveReclaimed:
 		m.stats.Reclaims.Add(1)
+	case wire.LeaveDrained:
+		m.stats.Drained.Add(1)
 	}
 }
 

@@ -243,3 +243,42 @@ func TestUDPFaultDropsAreRetransmitted(t *testing.T) {
 		}
 	}
 }
+
+// TestGrayFaultShapes: asymmetric loss applies per direction, the latency
+// ramp grows from zero toward its cap, and ClearGray/HealAll heal.
+func TestGrayFaultShapes(t *testing.T) {
+	f := NewFaults(FaultPlan{Seed: 3})
+	f.SetGray(1, GrayFault{LossOut: 1}) // everything 1 sends is lost
+	if v := f.Judge(1, 2); !v.Drop {
+		t.Fatal("LossOut=1 did not drop an outbound message")
+	}
+	if v := f.Judge(2, 1); v.Drop {
+		t.Fatal("LossOut dropped an inbound message (asymmetry broken)")
+	}
+	f.SetGray(1, GrayFault{LossIn: 1})
+	if v := f.Judge(2, 1); !v.Drop {
+		t.Fatal("LossIn=1 did not drop an inbound message")
+	}
+	if v := f.Judge(1, 2); v.Drop {
+		t.Fatal("LossIn dropped an outbound message (asymmetry broken)")
+	}
+
+	// Latency ramp: installed with Start in the past, the ramp is partway
+	// up; far past, it is capped.
+	f.HealAll()
+	f.SetGray(1, GrayFault{Start: time.Now().Add(-5 * time.Second),
+		RampOver: 10 * time.Second, MaxDelay: 100 * time.Millisecond})
+	v := f.Judge(1, 2)
+	if v.Delay < 30*time.Millisecond || v.Delay > 70*time.Millisecond {
+		t.Fatalf("mid-ramp delay = %v, want ~50ms", v.Delay)
+	}
+	f.SetGray(1, GrayFault{Start: time.Now().Add(-time.Minute),
+		RampOver: 10 * time.Second, MaxDelay: 100 * time.Millisecond})
+	if v := f.Judge(1, 2); v.Delay != 100*time.Millisecond {
+		t.Fatalf("post-ramp delay = %v, want the 100ms cap", v.Delay)
+	}
+	f.ClearGray(1)
+	if v := f.Judge(1, 2); v.Delay != 0 || v.Drop {
+		t.Fatalf("verdict after ClearGray = %+v, want clean", v)
+	}
+}

@@ -51,14 +51,47 @@ type DropEvent struct {
 	At       time.Time
 }
 
+// GrayFault is a gray-failure window for one worker: the peer is not dead,
+// it is *worse* — its traffic sees latency that ramps up over time and
+// probabilistic loss that may differ by direction (the classic failing-NIC
+// shape: transmit path rotten, receive path fine). Loss injected here sits
+// below the reliability layer, so the victim limps — retransmits,
+// backed-off acks — rather than vanishing, which is exactly the case a
+// fixed heartbeat timeout handles worst.
+type GrayFault struct {
+	// Start anchors the latency ramp; delay added to the worker's traffic
+	// grows linearly from zero at Start to MaxDelay at Start+RampOver and
+	// holds there. Zero MaxDelay means no added latency.
+	Start    time.Time
+	RampOver time.Duration
+	MaxDelay time.Duration
+	// LossOut and LossIn are the probabilities a datagram the worker sends
+	// (respectively receives) is lost, on top of the plan's symmetric Drop.
+	LossOut, LossIn float64
+}
+
+// delayAt returns the ramped extra latency at time t.
+func (g *GrayFault) delayAt(t time.Time) time.Duration {
+	if g.MaxDelay <= 0 || !t.After(g.Start) {
+		return 0
+	}
+	if g.RampOver <= 0 || t.Sub(g.Start) >= g.RampOver {
+		return g.MaxDelay
+	}
+	return time.Duration(float64(g.MaxDelay) * float64(t.Sub(g.Start)) / float64(g.RampOver))
+}
+
 // Faults makes deterministic per-message fault decisions and tracks
-// dynamic partitions. Safe for concurrent use.
+// dynamic partitions. Safe for concurrent use. Probabilistic verdicts are
+// deterministic in (seed, per-pair traffic); gray-failure latency ramps
+// are time-varying by definition and read the wall clock.
 type Faults struct {
 	plan FaultPlan
 
 	mu     sync.Mutex
 	pairs  map[pairKey]*rand.Rand
 	cuts   map[pairKey]bool // symmetric: stored both ways
+	gray   map[types.WorkerID]*GrayFault
 	record bool
 	drops  []DropEvent
 }
@@ -71,7 +104,24 @@ func NewFaults(plan FaultPlan) *Faults {
 		plan:  plan,
 		pairs: make(map[pairKey]*rand.Rand),
 		cuts:  make(map[pairKey]bool),
+		gray:  make(map[types.WorkerID]*GrayFault),
 	}
+}
+
+// SetGray opens (or replaces) a gray-failure window on id. Every message
+// id sends or receives is judged against it until ClearGray.
+func (f *Faults) SetGray(id types.WorkerID, g GrayFault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := g
+	f.gray[id] = &cp
+}
+
+// ClearGray heals id's gray failure.
+func (f *Faults) ClearGray(id types.WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.gray, id)
 }
 
 // pairRand returns the deterministic PRNG for the ordered pair, creating
@@ -97,7 +147,10 @@ func (f *Faults) Judge(from, to types.WorkerID) Verdict {
 	defer f.mu.Unlock()
 	k := pairKey{from, to}
 	r := f.pairRand(k)
+	// Five draws, always, outcome-independent: a plan or gray window
+	// changing mid-run must not shift the pair's subsequent decisions.
 	dropRoll, dupRoll, jitRoll := r.Float64(), r.Float64(), r.Float64()
+	grayOutRoll, grayInRoll := r.Float64(), r.Float64()
 	var v Verdict
 	if f.cutLocked(from, to) {
 		v.Drop = true
@@ -115,6 +168,23 @@ func (f *Faults) Judge(from, to types.WorkerID) Verdict {
 			if v.Delay < 0 {
 				v.Delay = 0
 			}
+		}
+	}
+	// Gray windows: the sender's outbound shape and the receiver's inbound
+	// shape both apply; latency ramps stack.
+	if len(f.gray) > 0 {
+		now := time.Now()
+		if g := f.gray[from]; g != nil {
+			if g.LossOut > 0 && grayOutRoll < g.LossOut {
+				v.Drop = true
+			}
+			v.Delay += g.delayAt(now)
+		}
+		if g := f.gray[to]; g != nil {
+			if g.LossIn > 0 && grayInRoll < g.LossIn {
+				v.Drop = true
+			}
+			v.Delay += g.delayAt(now)
 		}
 	}
 	if v.Drop && f.record {
@@ -164,11 +234,12 @@ func (f *Faults) Rejoin(id types.WorkerID) {
 	delete(f.cuts, pairKey{wildcardPeer, id})
 }
 
-// HealAll clears every partition and isolation.
+// HealAll clears every partition, isolation, and gray window.
 func (f *Faults) HealAll() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cuts = make(map[pairKey]bool)
+	f.gray = make(map[types.WorkerID]*GrayFault)
 }
 
 // wildcardPeer marks an Isolate entry; no real worker uses this id.

@@ -59,6 +59,7 @@ type UDP struct {
 	peers    map[types.WorkerID]*net.UDPAddr
 	pending  map[uint64]*pendingSend
 	batches  map[types.WorkerID]*outBatch
+	rtt      map[types.WorkerID]*peerRTT
 	seen     map[string]*dedupWindow
 	ackEnv   wire.Envelope // scratch envelope for piggybacked acks
 	seq      uint64
@@ -93,11 +94,43 @@ type UDP struct {
 // frame buffer is pooled; it is freed exactly when the entry leaves the
 // pending map (ack, peer drop, give-up, or close).
 type pendingSend struct {
-	to    types.WorkerID
-	frame *wire.Frame
-	tries int
-	wait  time.Duration // current backoff interval (pre-jitter)
-	next  time.Time
+	to     types.WorkerID
+	frame  *wire.Frame
+	tries  int
+	wait   time.Duration // current backoff interval (pre-jitter)
+	next   time.Time
+	sentAt time.Time // first transmission; anchors the peer's RTT sample
+}
+
+// peerRTT is one peer's round-trip track (Jacobson-style smoothed RTT and
+// mean deviation), measured from first transmission to ack receipt.
+// Guarded by u.mu.
+type peerRTT struct {
+	ew  float64 // smoothed RTT, ns
+	dev float64 // smoothed |sample - ew|, ns
+	n   int64
+}
+
+// rttMinSamples is how many acks a peer needs before its RTT track may
+// stretch the retransmit schedule.
+const rttMinSamples = 4
+
+func (r *peerRTT) observe(d time.Duration) {
+	x := float64(d)
+	if r.n == 0 {
+		r.ew = x
+		r.dev = x / 2
+	} else {
+		// Classic TCP gains: alpha 1/8 for the mean, beta 1/4 for the
+		// deviation.
+		diff := x - r.ew
+		if diff < 0 {
+			diff = -diff
+		}
+		r.dev += 0.25 * (diff - r.dev)
+		r.ew += 0.125 * (x - r.ew)
+	}
+	r.n++
 }
 
 // outBatch accumulates frames bound for one peer until flushed. gen
@@ -174,6 +207,7 @@ func ListenUDP(job types.JobID, local types.WorkerID, addr string) (*UDP, error)
 		peers:        make(map[types.WorkerID]*net.UDPAddr),
 		pending:      make(map[uint64]*pendingSend),
 		batches:      make(map[types.WorkerID]*outBatch),
+		rtt:          make(map[types.WorkerID]*peerRTT),
 		seen:         make(map[string]*dedupWindow),
 		retxBase:     udpRetxBase,
 		retxCap:      udpRetxCap,
@@ -247,6 +281,28 @@ func (u *UDP) jitteredLocked(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (0.75 + 0.5*u.rng.Float64()))
 }
 
+// rtoLocked seeds a frame's first retransmit interval from the peer's RTT
+// track: smoothed RTT plus four deviations, the TCP retransmission-timeout
+// shape. The track only ever *stretches* the schedule — the configured
+// base remains the floor (the deliberately-long-for-a-LAN rationale in the
+// package constants still applies; a sub-millisecond in-process RTT must
+// not turn the transport aggressive) and the cap remains the ceiling. A
+// peer without rttMinSamples acked round trips gets the plain base.
+func (u *UDP) rtoLocked(to types.WorkerID) time.Duration {
+	r := u.rtt[to]
+	if r == nil || r.n < rttMinSamples {
+		return u.retxBase
+	}
+	rto := time.Duration(r.ew + 4*r.dev)
+	if rto < u.retxBase {
+		return u.retxBase
+	}
+	if rto > u.retxCap {
+		return u.retxCap
+	}
+	return rto
+}
+
 // SetPeer implements Conn.
 func (u *UDP) SetPeer(id types.WorkerID, addr string) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -278,6 +334,7 @@ func (u *UDP) DropPeer(id types.WorkerID) {
 		b.buf = nil
 		delete(u.batches, id)
 	}
+	delete(u.rtt, id) // a re-announced peer may be a new incarnation elsewhere
 }
 
 // LocalAddr implements Conn.
@@ -322,12 +379,14 @@ func (u *UDP) Send(env *wire.Envelope) error {
 		u.writeOwned(data, dst, env.To)
 		return nil
 	}
-	wait := u.retxBase
+	now := time.Now()
+	wait := u.rtoLocked(env.To)
 	u.pending[env.Seq] = &pendingSend{
-		to:    env.To,
-		frame: frame,
-		wait:  wait,
-		next:  time.Now().Add(u.jitteredLocked(wait)),
+		to:     env.To,
+		frame:  frame,
+		wait:   wait,
+		next:   now.Add(u.jitteredLocked(wait)),
+		sentAt: now,
 	}
 	data, dst := u.enqueueLocked(env.To, frame.Bytes())
 	u.mu.Unlock()
@@ -543,6 +602,17 @@ func (u *UDP) handleInbound(env *wire.Envelope, from *net.UDPAddr) {
 	if isAck {
 		u.mu.Lock()
 		if p := u.pending[ackSeq]; p != nil {
+			// Karn's rule: only a never-retransmitted frame yields an RTT
+			// sample — after a retransmit the ack is ambiguous about which
+			// transmission it answers.
+			if p.tries == 0 && !p.sentAt.IsZero() {
+				r := u.rtt[p.to]
+				if r == nil {
+					r = &peerRTT{}
+					u.rtt[p.to] = r
+				}
+				r.observe(time.Since(p.sentAt))
+			}
 			p.frame.Free()
 			delete(u.pending, ackSeq)
 		}

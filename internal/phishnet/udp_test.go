@@ -168,3 +168,109 @@ func TestUDPViewArenaRecycling(t *testing.T) {
 		h.env.Free()
 	}
 }
+
+// TestAdaptiveRetransmitRTO: the per-peer RTT track stretches the first
+// retransmit interval for slow peers but never shrinks it below the
+// configured base, stays silent until warm, and resets on DropPeer.
+func TestAdaptiveRetransmitRTO(t *testing.T) {
+	u, err := ListenUDP(1, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	const peer = types.WorkerID(2)
+
+	rto := func() time.Duration {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		return u.rtoLocked(peer)
+	}
+	feed := func(d time.Duration, n int) {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		r := u.rtt[peer]
+		if r == nil {
+			r = &peerRTT{}
+			u.rtt[peer] = r
+		}
+		for i := 0; i < n; i++ {
+			r.observe(d)
+		}
+	}
+
+	if got := rto(); got != u.retxBase {
+		t.Fatalf("cold-peer RTO = %v, want base %v", got, u.retxBase)
+	}
+	// Below warmup the track is ignored even if samples exist.
+	feed(300*time.Millisecond, rttMinSamples-1)
+	if got := rto(); got != u.retxBase {
+		t.Fatalf("under-warm RTO = %v, want base %v", got, u.retxBase)
+	}
+	// Warm and slow: RTO follows ew + 4*dev, above the base.
+	feed(300*time.Millisecond, 8)
+	if got := rto(); got <= u.retxBase {
+		t.Fatalf("slow-peer RTO = %v, want > base %v", got, u.retxBase)
+	} else if got > u.retxCap {
+		t.Fatalf("slow-peer RTO = %v exceeds cap %v", got, u.retxCap)
+	}
+	// A fast peer is floored at the base: adaptivity never turns the
+	// transport more aggressive than configured.
+	u.DropPeer(peer)
+	feed(200*time.Microsecond, 8)
+	if got := rto(); got != u.retxBase {
+		t.Fatalf("fast-peer RTO = %v, want base floor %v", got, u.retxBase)
+	}
+	// Huge RTTs are capped.
+	u.DropPeer(peer)
+	feed(time.Hour, 8)
+	if got := rto(); got != u.retxCap {
+		t.Fatalf("huge-RTT RTO = %v, want cap %v", got, u.retxCap)
+	}
+}
+
+// TestRTTMeasuredAtAck: a real request/ack round trip on the loopback
+// populates the sender's RTT track for the peer (Karn-filtered to
+// unretransmitted frames).
+func TestRTTMeasuredAtAck(t *testing.T) {
+	a, err := ListenUDP(1, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeer(2, b.LocalAddr())
+	b.SetPeer(1, a.LocalAddr())
+
+	for i := 0; i < 6; i++ {
+		if err := a.Send(&wire.Envelope{To: 2, Payload: wire.Heartbeat{Worker: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case env := <-b.Recv():
+			env.Free()
+		case <-time.After(5 * time.Second):
+			t.Fatal("datagram never arrived")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a.mu.Lock()
+		r := a.rtt[2]
+		n := int64(0)
+		if r != nil {
+			n = r.n
+		}
+		a.mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no RTT sample recorded after acked sends")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -76,6 +76,16 @@ type Counters struct {
 	// CkptResumes counts task executions that started from a checkpoint
 	// blob instead of from scratch.
 	CkptResumes atomic.Int64
+	// SpeculativeRedos counts steal-record tasks re-dispatched while their
+	// thief was merely suspect (not declared dead): the task was overdue
+	// past K× its function's p99 exec time, so a second copy was started
+	// from the last published checkpoint. Seq/dedup keeps results
+	// exactly-once; this counts the extra dispatches.
+	SpeculativeRedos atomic.Int64
+	// FalseEvictions counts workers the failure detector declared dead
+	// that later proved alive (a heartbeat arrived after eviction) — the
+	// detector's false-positive count, maintained by the clearinghouse.
+	FalseEvictions atomic.Int64
 }
 
 // TaskCreated records a new live closure and maintains the high-water mark.
@@ -129,6 +139,8 @@ type Snapshot struct {
 	TasksPreempted   int64
 	CkptSaves        int64
 	CkptResumes      int64
+	SpeculativeRedos int64
+	FalseEvictions   int64
 	// Orphans counts results dropped because their consumer task no
 	// longer exists (expected after crash recovery, zero otherwise).
 	Orphans int64
@@ -166,6 +178,8 @@ func (c *Counters) Snapshot() Snapshot {
 		TasksPreempted:   c.TasksPreempted.Load(),
 		CkptSaves:        c.CkptSaves.Load(),
 		CkptResumes:      c.CkptResumes.Load(),
+		SpeculativeRedos: c.SpeculativeRedos.Load(),
+		FalseEvictions:   c.FalseEvictions.Load(),
 	}
 }
 
@@ -198,6 +212,8 @@ func JobTotals(workers []Snapshot) Snapshot {
 		t.TasksPreempted += w.TasksPreempted
 		t.CkptSaves += w.CkptSaves
 		t.CkptResumes += w.CkptResumes
+		t.SpeculativeRedos += w.SpeculativeRedos
+		t.FalseEvictions += w.FalseEvictions
 		t.Orphans += w.Orphans
 		if w.MaxTasksInUse > t.MaxTasksInUse {
 			t.MaxTasksInUse = w.MaxTasksInUse
@@ -259,6 +275,8 @@ var OrderedNames = []string{
 	"tasks_preempted_total",
 	"ckpt_saves_total",
 	"ckpt_resumes_total",
+	"speculative_redo_total",
+	"false_evictions_total",
 }
 
 // Ordered flattens the snapshot into the positional form of OrderedNames.
@@ -288,6 +306,8 @@ func (s Snapshot) Ordered() []int64 {
 		s.TasksPreempted,
 		s.CkptSaves,
 		s.CkptResumes,
+		s.SpeculativeRedos,
+		s.FalseEvictions,
 	}
 }
 
@@ -326,5 +346,7 @@ func FromOrdered(vals []int64) Snapshot {
 		TasksPreempted:   at(21),
 		CkptSaves:        at(22),
 		CkptResumes:      at(23),
+		SpeculativeRedos: at(24),
+		FalseEvictions:   at(25),
 	}
 }

@@ -16,11 +16,17 @@ import (
 // WorkerRow is one worker's slice of the cluster rollup: its latest
 // piggybacked StatReport, decoded.
 type WorkerRow struct {
-	Worker int            `json:"worker"`
-	Live   bool           `json:"live"`
-	Deque  int32          `json:"deque"`
-	AgeMS  int64          `json:"age_ms"` // since the last report arrived
-	Stats  stats.Snapshot `json:"stats"`
+	Worker int   `json:"worker"`
+	Live   bool  `json:"live"`
+	Deque  int32 `json:"deque"`
+	AgeMS  int64 `json:"age_ms"` // since the last report arrived
+	// PhiMilli is the phi-accrual suspicion score ×1000 (0 when the
+	// detector is off or the worker's inter-arrival history is cold).
+	PhiMilli int32 `json:"phi_milli,omitempty"`
+	// Suspect carries the graded-health verdict and its reason ("phi",
+	// "exec-rate", "steal-rtt"); empty when healthy.
+	Suspect string         `json:"suspect,omitempty"`
+	Stats   stats.Snapshot `json:"stats"`
 }
 
 // ClusterSnapshot is the clearinghouse's whole-job rollup: per-worker rows,
@@ -105,6 +111,13 @@ func WriteClusterProm(w io.Writer, cs ClusterSnapshot) error {
 		{"phish_worker_tasks_stolen_total", typeCounter, func(r WorkerRow) int64 { return r.Stats.TasksStolen }},
 		{"phish_worker_steal_failures_total", typeCounter, func(r WorkerRow) int64 { return r.Stats.FailedSteals }},
 		{"phish_worker_tasks_redone_total", typeCounter, func(r WorkerRow) int64 { return r.Stats.TasksRedone }},
+		{"phish_worker_phi_milli", typeGauge, func(r WorkerRow) int64 { return int64(r.PhiMilli) }},
+		{"phish_worker_suspect", typeGauge, func(r WorkerRow) int64 {
+			if r.Suspect != "" {
+				return 1
+			}
+			return 0
+		}},
 	}
 	for _, pw := range perWorker {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", pw.name, pw.typ)
@@ -170,18 +183,22 @@ func RenderTop(cs ClusterSnapshot, prev *ClusterSnapshot, dt time.Duration) stri
 		}
 	}
 	sb.WriteByte('\n')
-	fmt.Fprintf(&sb, "%6s %4s %5s %9s %8s %9s %7s %6s %7s %6s\n",
-		"WORKER", "LIVE", "DEQ", "EXEC", "STOLEN", "ATTEMPTS", "FAILS", "REDO", "MSGS", "AGE")
+	fmt.Fprintf(&sb, "%6s %4s %5s %9s %8s %9s %7s %6s %7s %6s %6s %-9s\n",
+		"WORKER", "LIVE", "DEQ", "EXEC", "STOLEN", "ATTEMPTS", "FAILS", "REDO", "MSGS", "AGE", "PHI", "SUSPECT")
 	for _, r := range cs.Workers {
 		live := "-"
 		if r.Live {
 			live = "y"
 		}
-		fmt.Fprintf(&sb, "%6d %4s %5d %9d %8d %9d %7d %6d %7d %5.1fs\n",
+		suspect := r.Suspect
+		if suspect == "" {
+			suspect = "-"
+		}
+		fmt.Fprintf(&sb, "%6d %4s %5d %9d %8d %9d %7d %6d %7d %5.1fs %6.2f %-9s\n",
 			r.Worker, live, r.Deque,
 			r.Stats.TasksExecuted, r.Stats.TasksStolen, r.Stats.StealAttempts,
 			r.Stats.FailedSteals, r.Stats.TasksRedone, r.Stats.MessagesSent,
-			float64(r.AgeMS)/1000)
+			float64(r.AgeMS)/1000, float64(r.PhiMilli)/1000, suspect)
 	}
 	return sb.String()
 }

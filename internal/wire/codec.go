@@ -96,6 +96,8 @@ const (
 	tStatReport
 	tDrainRequest
 	tDrainAck
+	tSuspectSet
+	tDrainOrder
 	// tGobEnvelope carries a gob-encoded payload of a type this codec has
 	// no hand-rolled shape for (applications extending the protocol).
 	tGobEnvelope byte = 255
@@ -608,7 +610,8 @@ func appendRecord(b []byte, r Record) ([]byte, error) {
 		return nil, err
 	}
 	b = appendI32(b, int32(r.Thief))
-	return appendBool(b, r.Confirmed), nil
+	b = appendBool(b, r.Confirmed)
+	return appendI64(b, r.OutstandingNS), nil
 }
 
 func appendView(b []byte, v MembershipView) []byte {
@@ -729,6 +732,10 @@ func payloadTag(p any) byte {
 		return tDrainRequest
 	case DrainAck:
 		return tDrainAck
+	case SuspectSet:
+		return tSuspectSet
+	case DrainOrder:
+		return tDrainOrder
 	case nil:
 		return tNilPayload
 	default:
@@ -751,6 +758,7 @@ var tagNames = map[byte]string{
 	tJobListReply: "JobListReply", tAck: "Ack", tNilPayload: "nil",
 	tPeerGone: "PeerGone", tStatReport: "StatReport",
 	tDrainRequest: "DrainRequest", tDrainAck: "DrainAck",
+	tSuspectSet: "SuspectSet", tDrainOrder: "DrainOrder",
 	tGobEnvelope: "gob-fallback",
 }
 
@@ -898,6 +906,16 @@ func appendPayload(b []byte, p any) ([]byte, error) {
 		return appendI32(b, int32(x.Worker)), nil
 	case DrainAck:
 		return appendStr(appendI32(appendBool(b, x.OK), int32(x.Victim)), x.Addr), nil
+	case SuspectSet:
+		b = appendLen(b, len(x.Suspects), x.Suspects == nil)
+		for _, s := range x.Suspects {
+			b = appendI32(b, int32(s.Worker))
+			b = appendI32(b, s.PhiMilli)
+			b = appendTaskCkpts(b, s.Ckpts)
+		}
+		return b, nil
+	case DrainOrder:
+		return appendStr(b, x.Reason), nil
 	case nil:
 		return b, nil
 	default:
@@ -1214,11 +1232,12 @@ func (r *reader) closures() []Closure {
 
 func (r *reader) record() Record {
 	return Record{
-		ID:        r.taskID(),
-		RealCont:  r.cont(),
-		Task:      r.closure(),
-		Thief:     r.worker(),
-		Confirmed: r.bool(),
+		ID:            r.taskID(),
+		RealCont:      r.cont(),
+		Task:          r.closure(),
+		Thief:         r.worker(),
+		Confirmed:     r.bool(),
+		OutstandingNS: r.i64(),
 	}
 }
 
@@ -1369,6 +1388,19 @@ func readPayload(r *reader, tag byte) any {
 		return DrainRequest{Worker: r.worker()}
 	case tDrainAck:
 		return DrainAck{OK: r.bool(), Victim: r.worker(), Addr: r.str()}
+	case tSuspectSet:
+		// A suspect entry is at least worker + phi + ckpt flag = 9 bytes.
+		n := r.count(9)
+		if n < 0 {
+			return SuspectSet{}
+		}
+		ss := SuspectSet{Suspects: make([]SuspectInfo, n)}
+		for i := range ss.Suspects {
+			ss.Suspects[i] = SuspectInfo{Worker: r.worker(), PhiMilli: r.i32(), Ckpts: r.taskCkpts()}
+		}
+		return ss
+	case tDrainOrder:
+		return DrainOrder{Reason: r.str()}
 	case tNilPayload:
 		return nil
 	case tGobEnvelope:

@@ -184,6 +184,12 @@ type Record struct {
 	Task      Closure
 	Thief     types.WorkerID
 	Confirmed bool
+	// OutstandingNS is how long the steal had been outstanding when the
+	// record was serialized. Carried as a relative duration (clock-skew
+	// free) so an adopter can keep the speculation deadline running across
+	// migrations; restarting the clock on every hop would let a churning
+	// fleet defer speculative redo indefinitely.
+	OutstandingNS int64
 }
 
 // ---- Micro-level (intra-job) payloads ----
@@ -290,6 +296,11 @@ const (
 	LeaveNoWork
 	// LeaveCrash: synthesized by the clearinghouse when heartbeats stop.
 	LeaveCrash
+	// LeaveDrained: the clearinghouse ordered a drain because the worker
+	// graded as degraded. The workstation's manager should sit out a
+	// cooldown before offering the machine again — a sick machine that
+	// rejoins moments after its drain defeats the drain.
+	LeaveDrained
 )
 
 func (r LeaveReason) String() string {
@@ -302,6 +313,8 @@ func (r LeaveReason) String() string {
 		return "no-work"
 	case LeaveCrash:
 		return "crash"
+	case LeaveDrained:
+		return "drained"
 	default:
 		return fmt.Sprintf("LeaveReason(%d)", int32(r))
 	}
@@ -402,6 +415,37 @@ type WorkerDown struct {
 	// redoing a recorded task for the dead worker inherits it even when
 	// its own record predates sampling.
 	TC TraceCtx
+}
+
+// SuspectInfo is one graded-suspicion entry in a SuspectSet broadcast:
+// a live worker whose phi score or health telemetry has degraded past the
+// suspect band. PhiMilli is the phi-accrual suspicion score ×1000 (ints
+// only on the wire). Ckpts carries the suspect's last published task
+// checkpoints so a victim speculating on an overdue stolen task can resume
+// from the freshest blob instead of the one that traveled with the steal.
+type SuspectInfo struct {
+	Worker   types.WorkerID
+	PhiMilli int32
+	Ckpts    []TaskCkpt
+}
+
+// SuspectSet tells workers which participants the clearinghouse currently
+// grades as suspect (slow-not-dead). Thieves deprioritize suspects as
+// steal victims, and victims holding steal records against a suspect arm
+// speculative re-dispatch. The set is a full replacement: a worker absent
+// from the latest set is no longer suspect (entries also decay locally, so
+// a lost final broadcast cannot blacklist a worker forever).
+type SuspectSet struct {
+	Suspects []SuspectInfo
+}
+
+// DrainOrder is a clearinghouse-initiated planned drain: the receiving
+// worker should hand off its state via the PR-5 migration path and leave,
+// because the clearinghouse grades it persistently degraded. The worker
+// obeys at its own pace — an order to a worker that just recovered is
+// merely a wasted migration, never a correctness problem.
+type DrainOrder struct {
+	Reason string
 }
 
 // DrainRequest asks the clearinghouse to coordinate a planned drain: pick
@@ -571,7 +615,7 @@ func registerPayloads() {
 		Pause{}, PauseAck{}, SnapshotRequest{}, SnapshotReply{}, Resume{},
 		JobRequest{}, JobReply{}, JobSubmit{}, JobSubmitReply{}, JobDone{},
 		JobList{}, JobListReply{}, Ack{}, PeerGone{}, StatReport{},
-		DrainRequest{}, DrainAck{},
+		DrainRequest{}, DrainAck{}, SuspectSet{}, DrainOrder{},
 		// Common Value concrete types.
 		int64(0), int(0), int32(0), uint64(0), float64(0), "", true,
 		[]byte(nil), []int64(nil), []float64(nil), []types.Value(nil),

@@ -32,7 +32,8 @@ func everyPayload() []any {
 	tc := TraceCtx{Parent: types.TaskID{Worker: 4, Seq: 21}, Flags: FlagSampled}
 	traced := Closure{ID: types.TaskID{Worker: 4, Seq: 22}, Fn: "fib",
 		Args: []types.Value{int64(12)}, TC: tc}
-	rec := Record{ID: types.TaskID{Worker: 3, Seq: 18}, RealCont: cl.Cont, Task: cl, Thief: 7, Confirmed: true}
+	rec := Record{ID: types.TaskID{Worker: 3, Seq: 18}, RealCont: cl.Cont, Task: cl, Thief: 7, Confirmed: true,
+		OutstandingNS: 2_500_000_000}
 	return []any{
 		StealRequest{Thief: 7},
 		StealRequest{Thief: types.NoWorker},
@@ -120,6 +121,15 @@ func everyPayload() []any {
 		DrainRequest{Worker: 9},
 		DrainAck{OK: true, Victim: 4, Addr: "127.0.0.1:9999"},
 		DrainAck{Victim: types.NoWorker},
+		SuspectSet{Suspects: []SuspectInfo{
+			{Worker: 4, PhiMilli: 8750, Ckpts: []TaskCkpt{
+				{Task: types.TaskID{Worker: 4, Seq: 2}, Seq: 3, Data: []byte{1, 2}}}},
+			{Worker: 6, PhiMilli: -1},
+		}},
+		SuspectSet{},
+		SuspectSet{Suspects: []SuspectInfo{}},
+		DrainOrder{Reason: "degraded: exec-rate"},
+		DrainOrder{},
 		nil,
 	}
 }
